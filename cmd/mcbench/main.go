@@ -1,0 +1,37 @@
+// Command mcbench regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints the rows/series of the
+// corresponding table or figure.
+//
+// Usage:
+//
+//	mcbench -exp table1            # Table 1 (dataset stats, DG time)
+//	mcbench -exp fig4              # Figure 4 (2D, size/time vs ε)
+//	mcbench -exp all               # everything, in paper order
+//	mcbench -exp fig8 -full        # paper-scale sizes (n up to 10⁷)
+//
+// The default profile scales datasets down to finish on a single core;
+// see EXPERIMENTS.md for recorded paper-vs-measured comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mincore/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", fmt.Sprintf("experiment to run: one of %v or 'all'", experiments.Experiments()))
+	full := flag.Bool("full", false, "run at the paper's dataset sizes (slow)")
+	tiny := flag.Bool("tiny", false, "run at quarter scale (quick smoke of every figure)")
+	seed := flag.Int64("seed", 1, "random seed for dataset generation and sampling")
+	steps := flag.Int("eps-steps", 0, "trim ε sweeps to the largest k values (0 = full sweep)")
+	flag.Parse()
+
+	cfg := experiments.Config{Full: *full, Tiny: *tiny, Seed: *seed, MaxEpsSteps: *steps}
+	if err := experiments.Run(*exp, os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbench:", err)
+		os.Exit(1)
+	}
+}

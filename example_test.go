@@ -1,0 +1,81 @@
+package mincore_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mincore"
+)
+
+// ExampleNew demonstrates the end-to-end pipeline: preprocess a raw
+// point cloud, compute a 5% coreset, and answer a maximization query.
+func ExampleNew() {
+	rng := rand.New(rand.NewSource(1))
+	points := make([]mincore.Point, 10000)
+	for i := range points {
+		points[i] = mincore.Point{rng.NormFloat64(), rng.NormFloat64()}
+	}
+
+	cs, err := mincore.New(points)
+	if err != nil {
+		panic(err)
+	}
+	q, err := cs.Coreset(0.05, mincore.OptMC)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("coreset is optimal and valid:", q.Size() > 0 && q.Loss <= 0.05)
+	// Output: coreset is optimal and valid: true
+}
+
+// ExampleCoreseter_FixedSize solves the dual problem: the best coreset
+// under a size budget.
+func ExampleCoreseter_FixedSize() {
+	rng := rand.New(rand.NewSource(2))
+	points := make([]mincore.Point, 5000)
+	for i := range points {
+		points[i] = mincore.Point{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	cs, err := mincore.New(points)
+	if err != nil {
+		panic(err)
+	}
+	q, err := cs.FixedSize(6, mincore.OptMC)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("within budget:", q.Size() <= 6, "— loss within its ε:", q.Loss <= q.Eps+1e-9)
+	// Output: within budget: true — loss within its ε: true
+}
+
+// ExampleCoreset_Top1 answers a linear maximization query from the
+// coreset with the (1−ε) guarantee.
+func ExampleCoreset_Top1() {
+	rng := rand.New(rand.NewSource(3))
+	points := make([]mincore.Point, 5000)
+	for i := range points {
+		points[i] = mincore.Point{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	cs, err := mincore.New(points)
+	if err != nil {
+		panic(err)
+	}
+	q, err := cs.Coreset(0.1, mincore.Auto)
+	if err != nil {
+		panic(err)
+	}
+	u := mincore.Point{1, 0.5, -0.2}
+	_, approx := q.Top1(u)
+
+	// Exact maximum for comparison.
+	best := approx
+	for i := 0; i < cs.N(); i++ {
+		p := cs.Point(i)
+		v := p[0]*u[0] + p[1]*u[1] + p[2]*u[2]
+		if v > best {
+			best = v
+		}
+	}
+	fmt.Println("within (1−ε) of the exact maximum:", approx >= 0.9*best)
+	// Output: within (1−ε) of the exact maximum: true
+}

@@ -1,0 +1,213 @@
+package mincore_test
+
+// Failure-injection tests: degenerate and adversarial inputs through the
+// public API must produce errors or valid results, never panics or
+// invalid coresets.
+
+import (
+	"math/rand"
+	"testing"
+
+	"mincore"
+)
+
+func TestDegenerateSinglePoint(t *testing.T) {
+	cs, err := mincore.New([]mincore.Point{{3, 4}})
+	if err != nil {
+		// Acceptable: a single point cannot be made fat. But it must be
+		// an error, not a panic.
+		return
+	}
+	// If accepted, any coreset must be that point.
+	q, err := cs.Coreset(0.1, mincore.Auto)
+	if err == nil && q.Size() != 1 {
+		t.Fatalf("single-point coreset of size %d", q.Size())
+	}
+}
+
+func TestDegenerateCollinear(t *testing.T) {
+	pts := make([]mincore.Point, 50)
+	for i := range pts {
+		x := float64(i)
+		pts[i] = mincore.Point{x, 2 * x}
+	}
+	cs, err := mincore.New(pts)
+	if err != nil {
+		return // rejecting flat data is allowed
+	}
+	// The perturbed, normalized set must still yield valid coresets.
+	q, err := cs.Coreset(0.2, mincore.Auto)
+	if err != nil {
+		t.Fatalf("collinear: %v", err)
+	}
+	if q.Loss > 0.2+1e-6 {
+		t.Fatalf("collinear coreset loss %v", q.Loss)
+	}
+}
+
+func TestDegenerateConstantDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]mincore.Point, 200)
+	for i := range pts {
+		pts[i] = mincore.Point{rng.NormFloat64(), 7, rng.NormFloat64()}
+	}
+	cs, err := mincore.New(pts)
+	if err != nil {
+		return
+	}
+	q, err := cs.Coreset(0.1, mincore.Auto)
+	if err != nil {
+		t.Fatalf("constant-dim: %v", err)
+	}
+	if q.Loss > 0.1+1e-6 {
+		t.Fatalf("constant-dim loss %v", q.Loss)
+	}
+}
+
+func TestAllIdenticalPoints(t *testing.T) {
+	pts := make([]mincore.Point, 100)
+	for i := range pts {
+		pts[i] = mincore.Point{1, 2, 3}
+	}
+	if _, err := mincore.New(pts); err == nil {
+		t.Log("identical points accepted after perturbation — allowed")
+	}
+}
+
+func TestOneDimensionalData(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := make([]mincore.Point, 100)
+	for i := range pts {
+		pts[i] = mincore.Point{rng.NormFloat64()}
+	}
+	cs, err := mincore.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cs.Coreset(0.1, mincore.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() != 2 {
+		t.Fatalf("1D coreset size %d want 2", q.Size())
+	}
+	if q.Loss > 1e-9 {
+		t.Fatalf("1D coreset loss %v want 0", q.Loss)
+	}
+}
+
+func TestExtremeEpsilons(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]mincore.Point, 200)
+	for i := range pts {
+		pts[i] = mincore.Point{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	cs, err := mincore.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{-1, 0, 1, 2} {
+		for _, algo := range []mincore.Algorithm{mincore.OptMC, mincore.DSMC, mincore.SCMC, mincore.ANN} {
+			if _, err := cs.Coreset(eps, algo); err == nil {
+				t.Fatalf("%s accepted ε=%v", algo, eps)
+			}
+		}
+	}
+	// Near-boundary but legal values must work.
+	for _, eps := range []float64{1e-4, 0.999} {
+		if _, err := cs.Coreset(eps, mincore.OptMC); err != nil {
+			t.Fatalf("legal ε=%v rejected: %v", eps, err)
+		}
+	}
+}
+
+func TestTinyEpsilonReturnsLargeCoreset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]mincore.Point, 300)
+	for i := range pts {
+		pts[i] = mincore.Point{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	cs, err := mincore.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cs.Coreset(1e-6, mincore.OptMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At ε → 0 the optimal coreset approaches the extreme set.
+	if q.Size() > cs.NumExtreme() {
+		t.Fatalf("|Q| = %d > ξ = %d", q.Size(), cs.NumExtreme())
+	}
+	if q.Loss > 1e-6+1e-9 {
+		t.Fatalf("loss %v", q.Loss)
+	}
+}
+
+func TestHugeCoordinates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := make([]mincore.Point, 200)
+	for i := range pts {
+		pts[i] = mincore.Point{rng.NormFloat64() * 1e12, rng.NormFloat64() * 1e-9}
+	}
+	cs, err := mincore.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cs.Coreset(0.1, mincore.OptMC)
+	if err != nil {
+		t.Fatalf("anisotropic scales: %v", err)
+	}
+	if q.Loss > 0.1+1e-6 {
+		t.Fatalf("anisotropic loss %v", q.Loss)
+	}
+}
+
+func TestNegativeOrthantData(t *testing.T) {
+	// MC (unlike RMS) handles arbitrary-sign data; everything in the
+	// negative orthant.
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]mincore.Point, 300)
+	for i := range pts {
+		pts[i] = mincore.Point{-1 - rng.Float64(), -2 - rng.Float64(), -3 - rng.Float64()}
+	}
+	cs, err := mincore.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []mincore.Algorithm{mincore.DSMC, mincore.SCMC} {
+		q, err := cs.Coreset(0.1, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if q.Loss > 0.1+1e-6 {
+			t.Fatalf("%s loss %v", algo, q.Loss)
+		}
+	}
+}
+
+func TestFixedSizeBudgets(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := make([]mincore.Point, 300)
+	for i := range pts {
+		pts[i] = mincore.Point{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	cs, err := mincore.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.FixedSize(0, mincore.OptMC); err == nil {
+		t.Fatal("budget 0 should error")
+	}
+	if _, err := cs.FixedSize(-3, mincore.OptMC); err == nil {
+		t.Fatal("negative budget should error")
+	}
+	// A budget of n is trivially satisfiable.
+	q, err := cs.FixedSize(cs.N(), mincore.OptMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() > cs.N() {
+		t.Fatal("coreset larger than dataset")
+	}
+}

@@ -1,0 +1,3 @@
+module mincore
+
+go 1.22

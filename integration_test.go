@@ -1,0 +1,121 @@
+package mincore_test
+
+// Integration tests: full pipelines (generate → normalize → extreme
+// points → every algorithm → exact validation) across dimensions and
+// dataset shapes, plus the cross-algorithm ordering claims of the
+// paper's evaluation at test scale.
+
+import (
+	"testing"
+
+	"mincore"
+	"mincore/internal/data"
+)
+
+func prepDataset(t *testing.T, name string, n int) *mincore.Coreseter {
+	t.Helper()
+	ds, err := data.ByName(name, n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]mincore.Point, len(ds.Points))
+	for i, p := range ds.Points {
+		pts[i] = mincore.Point(p)
+	}
+	cs, err := mincore.New(pts, mincore.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func TestIntegrationAllDatasetsAllAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	cases := []struct {
+		name string
+		n    int
+	}{
+		{"foursquare-nyc", 4000},
+		{"roadnetwork", 4000},
+		{"climate", 4000},
+		{"airquality", 4000},
+		{"normal-2d", 4000},
+		{"uniform-5d", 3000},
+	}
+	eps := 0.1
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cs := prepDataset(t, c.name, c.n)
+			algos := []mincore.Algorithm{mincore.DSMC, mincore.SCMC, mincore.ANN}
+			if cs.Dim() == 2 {
+				algos = append(algos, mincore.OptMC)
+			}
+			sizes := map[mincore.Algorithm]int{}
+			for _, algo := range algos {
+				q, err := cs.Coreset(eps, algo)
+				if err != nil {
+					t.Fatalf("%s: %v", algo, err)
+				}
+				if q.Loss > eps+1e-6 {
+					t.Fatalf("%s: loss %v exceeds ε", algo, q.Loss)
+				}
+				sizes[algo] = q.Size()
+			}
+			// Paper's headline orderings at every scale we test:
+			// OptMC is minimum in 2D; DSMC and SCMC beat ANN.
+			if cs.Dim() == 2 {
+				for _, algo := range []mincore.Algorithm{mincore.DSMC, mincore.SCMC, mincore.ANN} {
+					if sizes[mincore.OptMC] > sizes[algo] {
+						t.Fatalf("OptMC (%d) larger than %s (%d)", sizes[mincore.OptMC], algo, sizes[algo])
+					}
+				}
+			}
+			if sizes[mincore.DSMC] > 2*sizes[mincore.ANN] {
+				t.Fatalf("DSMC (%d) far above ANN (%d) — shape claim violated",
+					sizes[mincore.DSMC], sizes[mincore.ANN])
+			}
+			t.Logf("%s (d=%d, ξ=%d): sizes %v", c.name, cs.Dim(), cs.NumExtreme(), sizes)
+		})
+	}
+}
+
+func TestIntegrationCoresetShrinksWithEps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	cs := prepDataset(t, "normal-3d", 3000)
+	prev := 1 << 30
+	for _, eps := range []float64{0.02, 0.05, 0.1, 0.2} {
+		q, err := cs.Coreset(eps, mincore.DSMC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Size() > prev+1 { // +1 tolerance for greedy noise
+			t.Fatalf("size grew with ε at %v: %d > %d", eps, q.Size(), prev)
+		}
+		prev = q.Size()
+	}
+}
+
+func TestIntegrationMCSmallerThanKernel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	// The paper's central claim, at small ε where the gap is widest; the
+	// FourSquare stand-in has the hull profile (ξ ≈ 40) Figure 4 uses.
+	cs := prepDataset(t, "foursquare-nyc", 20000)
+	eps := 0.005
+	opt, err := cs.Coreset(eps, mincore.OptMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := cs.Coreset(eps, mincore.ANN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Size() >= ann.Size() {
+		t.Fatalf("expected OptMC (%d) < ANN (%d) at ε=%g", opt.Size(), ann.Size(), eps)
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mincore/internal/geom"
+)
+
+// The arc-cover formulation of MC in R² (Section 5, opening paragraphs):
+// every ε-approximate Voronoi cell is a single arc of S¹ — it is the
+// intersection with S¹ of the polar cone of p/(1−ε) w.r.t. conv(P),
+// which is convex — so MC is exactly the minimum circular arc-cover
+// problem, solvable optimally by the classical greedy
+// (farthest-reaching extension from every possible starting arc).
+//
+// Algorithm 1's graph construction avoids computing the arcs explicitly
+// but pays O(ς²ξ) edges plus a shortest-cycle search; for large
+// candidate counts (big ε) the explicit O(ς log ς + ς·OPT·log ς)
+// arc-cover is far faster. OptMC dispatches on the candidate count; both
+// paths are provably optimal and are cross-checked in the tests.
+
+// arc is a candidate's ε-approximate cell [start, end] (CCW, may wrap),
+// with end ∈ [start, start+π).
+type arc struct {
+	start, end float64
+	id         int // index into inst.Pts
+}
+
+// OptMCArc solves MC in R² via minimum circular arc cover. It computes
+// each candidate's exact cell arc by bisection against the upper
+// envelope ω(X,·) and runs the optimal greedy cover.
+func (inst *Instance) OptMCArc(eps float64) ([]int, error) {
+	if inst.D != 2 {
+		return nil, fmt.Errorf("core: OptMCArc requires a 2D instance (d=%d)", inst.D)
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("core: OptMCArc requires ε ∈ (0,1), got %g", eps)
+	}
+	cand := inst.optMCCandidates(eps)
+	arcs := make([]arc, 0, len(cand))
+	for _, id := range cand {
+		if a, ok := inst.cellArc(id, eps); ok {
+			arcs = append(arcs, arc{start: a[0], end: a[1], id: id})
+		}
+	}
+	sol := minCircularArcCover(arcs)
+	if sol == nil {
+		return nil, fmt.Errorf("core: no feasible ε-coreset (ε=%g too small for tolerance?)", eps)
+	}
+	return sol, nil
+}
+
+// cellArc returns the arc [start, end] (end ≥ start, end−start < π) of
+// R_ε(p) for point id, or ok=false if the cell is empty at tolerance.
+// The seed angle is a boundary vector where the candidate test passes;
+// the endpoints are located by bisection, valid because the cell is a
+// single arc.
+func (inst *Instance) cellArc(id int, eps float64) ([2]float64, bool) {
+	p := inst.Pts[id]
+	f := func(theta float64) float64 {
+		u := geom.UnitFromTheta(theta)
+		return geom.Dot(p, u) - (1-eps)*inst.Omega(u)
+	}
+	// Seed: a boundary vector with f ≥ 0 (must exist for candidates), or
+	// the point's own angle if it happens to be inside its cell.
+	seed := math.NaN()
+	thetaP := geom.Theta(p)
+	if f(thetaP) >= 0 {
+		seed = thetaP
+	} else {
+		for _, u := range inst.BoundaryVecs {
+			th := geom.Theta(u)
+			if f(th) >= 0 {
+				seed = th
+				break
+			}
+		}
+	}
+	if math.IsNaN(seed) {
+		return [2]float64{}, false
+	}
+	// The cell lies within (θp − π/2, θp + π/2); beyond that ⟨p,u⟩ ≤ 0 <
+	// (1−ε)·ω. Bisect for each endpoint between the seed (inside) and a
+	// definitely-outside angle.
+	lo := bisectBoundary(f, seed, seed-math.Pi/2-1e-6, 60)
+	hi := bisectBoundary(f, seed, seed+math.Pi/2+1e-6, 60)
+	return [2]float64{lo, hi}, true
+}
+
+// bisectBoundary finds the zero crossing of f between inside (f ≥ 0) and
+// outside (f < 0), returning the angle of the last inside point.
+func bisectBoundary(f func(float64) float64, inside, outside float64, iters int) float64 {
+	if f(outside) >= 0 {
+		return outside // numerical safety: treat as boundary
+	}
+	for i := 0; i < iters; i++ {
+		mid := (inside + outside) / 2
+		if f(mid) >= 0 {
+			inside = mid
+		} else {
+			outside = mid
+		}
+	}
+	return inside
+}
+
+// minCircularArcCover returns the point ids of a minimum subset of arcs
+// covering the whole circle, or nil if no subset covers it. Classical
+// optimal greedy: for every arc taken as the start, repeatedly extend
+// with the arc that begins inside the covered range and reaches
+// farthest; the best chain over all starts is optimal.
+func minCircularArcCover(arcs []arc) []int {
+	m := len(arcs)
+	if m == 0 {
+		return nil
+	}
+	// Unroll: normalize starts into [0,2π), duplicate shifted by 2π.
+	type uarc struct {
+		s, e float64
+		id   int
+	}
+	un := make([]uarc, 0, 2*m)
+	for _, a := range arcs {
+		s := geom.NormalizeAngle(a.start)
+		e := s + (a.end - a.start)
+		un = append(un, uarc{s, e, a.id}, uarc{s + 2*math.Pi, e + 2*math.Pi, a.id})
+	}
+	sort.Slice(un, func(i, j int) bool { return un[i].s < un[j].s })
+	// Prefix argmax of end over sorted starts.
+	bestEnd := make([]float64, len(un))
+	bestIdx := make([]int, len(un))
+	for i := range un {
+		bestEnd[i] = un[i].e
+		bestIdx[i] = i
+		if i > 0 && bestEnd[i-1] > bestEnd[i] {
+			bestEnd[i] = bestEnd[i-1]
+			bestIdx[i] = bestIdx[i-1]
+		}
+	}
+	starts := make([]float64, len(un))
+	for i := range un {
+		starts[i] = un[i].s
+	}
+	// jump(x): the arc with start ≤ x reaching farthest.
+	jump := func(x float64) (float64, int, bool) {
+		k := sort.Search(len(starts), func(i int) bool { return starts[i] > x })
+		if k == 0 {
+			return 0, -1, false
+		}
+		return bestEnd[k-1], bestIdx[k-1], true
+	}
+
+	const tol = 1e-12
+	best := -1
+	var bestChain []int
+	// Sorted ascending with starts normalized to [0,2π), the first m
+	// entries are exactly the original (non-shifted) arcs.
+	for k := 0; k < m; k++ {
+		start := un[k]
+		if start.s >= 2*math.Pi {
+			continue
+		}
+		target := start.s + 2*math.Pi
+		cur := start.e
+		chain := []int{start.id}
+		ok := true
+		for cur < target-tol {
+			e, idx, found := jump(cur + tol)
+			if !found || e <= cur+tol {
+				ok = false
+				break
+			}
+			cur = e
+			chain = append(chain, un[idx].id)
+			if best > 0 && len(chain) >= best+1 {
+				ok = false // cannot improve
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Dedupe ids (the closing arc may be the start's copy).
+		seen := map[int]bool{}
+		var ids []int
+		for _, id := range chain {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		if best < 0 || len(ids) < best {
+			best = len(ids)
+			bestChain = ids
+		}
+	}
+	return bestChain
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mincore/internal/geom"
+)
+
+func TestArcCoverMatchesGraphOptMC(t *testing.T) {
+	// The two formulations are both optimal: sizes must agree, and both
+	// solutions must be valid, across instances and ε values.
+	for trial := 0; trial < 10; trial++ {
+		inst := fatRandom2D(t, 150+40*trial, int64(200+trial))
+		for _, eps := range []float64{0.02, 0.08, 0.2, 0.4} {
+			cand := inst.optMCCandidates(eps)
+			g, ids := inst.optMCGraph(cand, eps)
+			cyc := g.ShortestCycle()
+			arcSol, err := inst.OptMCArc(eps)
+			if cyc == nil {
+				if err == nil {
+					t.Fatalf("trial %d ε=%v: graph infeasible but arc cover found %d", trial, eps, len(arcSol))
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("trial %d ε=%v: graph found %d but arc cover failed: %v", trial, eps, len(cyc), err)
+			}
+			graphSol := make([]int, len(cyc))
+			for i, v := range cyc {
+				graphSol[i] = ids[v]
+			}
+			if la := inst.LossExact2D(arcSol); la > eps+1e-9 {
+				t.Fatalf("trial %d ε=%v: arc solution invalid (loss %v)", trial, eps, la)
+			}
+			if lg := inst.LossExact2D(graphSol); lg > eps+1e-9 {
+				t.Fatalf("trial %d ε=%v: graph solution invalid (loss %v)", trial, eps, lg)
+			}
+			if len(arcSol) != len(graphSol) {
+				t.Fatalf("trial %d ε=%v: arc cover %d vs graph %d", trial, eps, len(arcSol), len(graphSol))
+			}
+		}
+	}
+}
+
+func TestCellArcMatchesSweep(t *testing.T) {
+	// The bisected arc endpoints must agree with a dense membership sweep.
+	inst := fatRandom2D(t, 200, 301)
+	eps := 0.15
+	cand := inst.optMCCandidates(eps)
+	for _, id := range cand[:min(len(cand), 30)] {
+		a, ok := inst.cellArc(id, eps)
+		if !ok {
+			t.Fatalf("candidate %d has no arc", id)
+		}
+		p := inst.Pts[id]
+		for k := 0; k < 720; k++ {
+			th := 2 * math.Pi * float64(k) / 720
+			u := geom.UnitFromTheta(th)
+			inCell := geom.Dot(p, u) >= (1-eps)*inst.Omega(u)
+			inArc := geom.InCCWArc(th, geom.NormalizeAngle(a[0]), geom.NormalizeAngle(a[1]))
+			// Allow disagreement only within a hair of the endpoints.
+			nearEndpoint := angDistTo(th, a[0]) < 0.02 || angDistTo(th, a[1]) < 0.02
+			if inCell != inArc && !nearEndpoint {
+				t.Fatalf("candidate %d: membership mismatch at θ=%v (cell=%v arc=%v, arc=[%v,%v])",
+					id, th, inCell, inArc, a[0], a[1])
+			}
+		}
+	}
+}
+
+func angDistTo(a, b float64) float64 {
+	d := math.Abs(geom.NormalizeAngle(a) - geom.NormalizeAngle(b))
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestMinCircularArcCoverUnits(t *testing.T) {
+	// Three thirds of the circle with slight overlap: optimal 3.
+	third := 2 * math.Pi / 3
+	arcs := []arc{
+		{start: 0, end: third + 0.1, id: 0},
+		{start: third, end: 2*third + 0.1, id: 1},
+		{start: 2 * third, end: 2*math.Pi + 0.1, id: 2},
+		{start: 0.2, end: 0.4, id: 3}, // useless small arc
+	}
+	sol := minCircularArcCover(arcs)
+	if len(sol) != 3 {
+		t.Fatalf("cover = %v want 3 arcs", sol)
+	}
+	// Gap → infeasible.
+	gap := []arc{
+		{start: 0, end: 1, id: 0},
+		{start: 2, end: 3, id: 1},
+	}
+	if sol := minCircularArcCover(gap); sol != nil {
+		t.Fatalf("gapped arcs covered?! %v", sol)
+	}
+	if sol := minCircularArcCover(nil); sol != nil {
+		t.Fatal("empty arc set covered")
+	}
+}
+
+func TestMinCircularArcCoverRandomAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 150; trial++ {
+		m := 3 + rng.Intn(9)
+		arcs := make([]arc, m)
+		for i := range arcs {
+			s := rng.Float64() * 2 * math.Pi
+			arcs[i] = arc{start: s, end: s + 0.2 + rng.Float64()*2.8, id: i}
+		}
+		sol := minCircularArcCover(arcs)
+		want := bruteArcCover(arcs)
+		switch {
+		case want == 0 && sol != nil:
+			t.Fatalf("trial %d: brute says infeasible, greedy found %v", trial, sol)
+		case want > 0 && sol == nil:
+			t.Fatalf("trial %d: brute found %d, greedy failed", trial, want)
+		case want > 0 && len(sol) != want:
+			t.Fatalf("trial %d: greedy %d vs brute %d", trial, len(sol), want)
+		}
+	}
+}
+
+// bruteArcCover finds the optimal circular cover size by subset
+// enumeration (0 = infeasible).
+func bruteArcCover(arcs []arc) int {
+	m := len(arcs)
+	best := 0
+	for mask := 1; mask < 1<<m; mask++ {
+		cnt := 0
+		var chosen []arc
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) != 0 {
+				cnt++
+				chosen = append(chosen, arcs[i])
+			}
+		}
+		if best > 0 && cnt >= best {
+			continue
+		}
+		if coversCircle(chosen) {
+			best = cnt
+		}
+	}
+	return best
+}
+
+func coversCircle(arcs []arc) bool {
+	// Probe densely plus endpoints.
+	for k := 0; k < 2000; k++ {
+		th := 2 * math.Pi * float64(k) / 2000
+		ok := false
+		for _, a := range arcs {
+			if geom.InCCWArc(th, geom.NormalizeAngle(a.start), geom.NormalizeAngle(a.end)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mincore/internal/geom"
+)
+
+func BenchmarkDGBuild4D(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]geom.Vector, 5000)
+	for i := range pts {
+		pts[i] = geom.NewVector(4)
+		for j := range pts[i] {
+			pts[i][j] = rng.NormFloat64()
+		}
+	}
+	inst, err := NewInstance(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ipdg := inst.BuildIPDG(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.BuildDominanceGraph(ipdg)
+	}
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mincore/internal/geom"
+	"mincore/internal/lp"
+	"mincore/internal/setcover"
+	"mincore/internal/sphere"
+	"mincore/internal/voronoi"
+)
+
+// geomDotCos returns the cosine similarity of two vectors (0 for a zero
+// vector).
+func geomDotCos(a, b geom.Vector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return geom.Dot(a, b) / (na * nb)
+}
+
+// DSMC: the dominating-set approximation of Section 6.1.
+//
+// Algorithm 2 builds the dominance graph H: a directed edge (t_i → t_j)
+// with weight ε_ij exists iff the ε_ij-approximate Voronoi cell of t_i
+// fully contains the exact cell of t_j, where ε_ij is the optimum of the
+// LP of Eq. 2 — the largest loss of t_i over R(t_j):
+//
+//	ε_ij = max 1 − ⟨t_i,u⟩   s.t.  (t_j − t)·u ≥ 0 ∀t ∈ N(t_j),  ⟨t_j,u⟩ = 1.
+//
+// (The paper's Eq. 2 prints the normalization as t_i·u = 1; the
+// accompanying text — "scales the vector u so that the inner product of
+// t_j is 1" — fixes the typo, and only t_j·u = 1 makes 1 − t_i·u equal
+// the loss of t_i w.r.t. t_j.)
+//
+// Algorithm 3 then solves MC for a given ε as a greedy minimum dominating
+// set of the subgraph with edge weights ≤ ε.
+//
+// With an approximate IPDG (d > 3), missing neighbor constraints enlarge
+// the LP's feasible region, so computed weights only grow and the
+// solution stays a valid ε-coreset, merely possibly larger — the behavior
+// the paper reports in high dimensions.
+
+// DominanceGraph is the weighted digraph H of Algorithm 2 over the ξ
+// extreme points of an instance.
+type DominanceGraph struct {
+	Xi    int
+	edges [][]domEdge // edges[j] lists incoming (i → j) dominations sorted by weight
+	// BuildStats for Table 1 / Figure 9 reporting.
+	NumLPs    int
+	NumEdges  int
+	IPDGEdges int
+}
+
+type domEdge struct {
+	from   int
+	weight float64
+}
+
+// BuildIPDG constructs the IPDG for the instance: exact ring adjacency in
+// 2D, exact hull edges in 3D (falling back to sampling on degenerate
+// inputs), and the direction-sampled approximation for d > 3 (samples ≤ 0
+// picks a default proportional to ξ).
+func (inst *Instance) BuildIPDG(samples int, seed int64) *voronoi.IPDG {
+	switch inst.D {
+	case 2:
+		return voronoi.Exact2D(inst.ExtPts)
+	case 3:
+		if g, err := voronoi.Exact3D(inst.ExtPts); err == nil {
+			return g
+		}
+		return voronoi.Approx(inst.ExtPts, samples, seed)
+	default:
+		return voronoi.Approx(inst.ExtPts, samples, seed)
+	}
+}
+
+// BuildDominanceGraph runs Algorithm 2: one LP per ordered pair of
+// extreme points. The IPDG supplies the neighbor sets N(t_j) defining
+// each cell's feasible region.
+//
+// When the IPDG is approximate (d > 3), each neighbor set is augmented
+// with the extreme points most aligned with t_j (largest cosine
+// similarity). Extra constraints are harmless — they are redundant when
+// the pair are not true Voronoi neighbors of t_j's cell and tighten the
+// over-approximated region when the sampler missed a real neighbor;
+// without this, cells whose sampled neighbor sets leave the LP section
+// unbounded receive no incoming dominance edges at all and inflate the
+// solution (the failure mode the paper attributes to missing edges).
+func (inst *Instance) BuildDominanceGraph(ipdg *voronoi.IPDG) *DominanceGraph {
+	xi := inst.Xi()
+	dg := &DominanceGraph{Xi: xi, edges: make([][]domEdge, xi), IPDGEdges: ipdg.NumEdges()}
+	d := inst.D
+	// Witness prefilter: sampled directions owned by each cell give sound
+	// lower bounds on ε_ij (any u ∈ R(t_j) has loss ≤ the LP optimum), so
+	// a pair whose witness already shows ⟨t_i,u⟩ ≤ 0 — loss ≥ 1 — can
+	// skip its LP. This removes the far side of the hull from every
+	// cell's pair loop.
+	witnesses := inst.cellWitnesses(16*xi, 8)
+	for j := 0; j < xi; j++ {
+		nbrs := ipdg.Neighbors(j)
+		if d > 3 {
+			nbrs = inst.augmentNeighbors(j, nbrs, 3*d+2)
+		}
+		tj := inst.ExtPts[j]
+		// Constraint rows are shared across all i for this j.
+		rows := make([][]float64, 0, len(nbrs))
+		for _, t := range nbrs {
+			row := make([]float64, d)
+			for k := 0; k < d; k++ {
+				row[k] = tj[k] - inst.ExtPts[t][k]
+			}
+			rows = append(rows, row)
+		}
+	pairs:
+		for i := 0; i < xi; i++ {
+			if i == j {
+				continue
+			}
+			ti := inst.ExtPts[i]
+			for _, u := range witnesses[j] {
+				if geom.Dot(ti, u) <= 0 {
+					continue pairs // loss ≥ 1 somewhere in R(t_j): no edge
+				}
+			}
+			dg.NumLPs++
+			w, ok := inst.eq2LP(i, j, rows)
+			if !ok || w >= 1 {
+				continue
+			}
+			if w < 0 {
+				w = 0
+			}
+			dg.edges[j] = append(dg.edges[j], domEdge{from: i, weight: w})
+			dg.NumEdges++
+		}
+		sort.Slice(dg.edges[j], func(a, b int) bool {
+			return dg.edges[j][a].weight < dg.edges[j][b].weight
+		})
+	}
+	return dg
+}
+
+// cellWitnesses samples directions on the sphere and records, for each
+// extreme point, up to maxPer directions it owns (directions inside its
+// exact Voronoi cell).
+func (inst *Instance) cellWitnesses(samples, maxPer int) [][]geom.Vector {
+	out := make([][]geom.Vector, inst.Xi())
+	dirs := sphere.RandomDirections(samples, inst.D, 97)
+	for _, u := range dirs {
+		j, _ := inst.extTree.MaxDot(u)
+		if len(out[j]) < maxPer {
+			out[j] = append(out[j], u)
+		}
+	}
+	return out
+}
+
+// augmentNeighbors extends a sampled neighbor list with the k extreme
+// points of largest cosine similarity to t_j (excluding j itself and
+// points already listed).
+func (inst *Instance) augmentNeighbors(j int, nbrs []int, k int) []int {
+	have := make(map[int]bool, len(nbrs)+1)
+	have[j] = true
+	for _, t := range nbrs {
+		have[t] = true
+	}
+	tj := inst.ExtPts[j]
+	type cand struct {
+		id  int
+		sim float64
+	}
+	cands := make([]cand, 0, inst.Xi()-1)
+	for t := 0; t < inst.Xi(); t++ {
+		if have[t] {
+			continue
+		}
+		p := inst.ExtPts[t]
+		sim := geomDotCos(tj, p)
+		cands = append(cands, cand{t, sim})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].sim > cands[b].sim })
+	out := append([]int(nil), nbrs...)
+	for i := 0; i < k && i < len(cands); i++ {
+		out = append(out, cands[i].id)
+	}
+	return out
+}
+
+// eq2LP solves the Eq. 2 LP for the pair (t_i, t_j) with the given
+// neighbor constraint rows (rows[k] = t_j − t_k). Returns ε_ij and
+// ok=false when the primal is unbounded (the cell section is unbounded,
+// so the loss is too) or the solver fails.
+//
+// As with the loss LP, the primal — min ⟨t_i,u⟩ s.t. rows·u ≥ 0,
+// ⟨t_j,u⟩ = 1, u free — has many rows and d variables, so the LP dual is
+// solved instead (d rows, |N(t_j)|+1 variables):
+//
+//	max v   s.t.  Σ_k w_k·(t_j − t_k) + v·t_j = t_i,  w ≥ 0, v free.
+//
+// ε_ij = 1 − v*; an infeasible dual means an unbounded primal.
+func (inst *Instance) eq2LP(i, j int, rows [][]float64) (float64, bool) {
+	d := inst.D
+	nr := len(rows)
+	prob := lp.NewProblem(nr + 1) // vars: w_k ≥ 0, v free
+	for k := 0; k < nr; k++ {
+		prob.SetNonNegative(k)
+	}
+	obj := make([]float64, nr+1)
+	obj[nr] = 1
+	prob.SetObjective(obj, true)
+	tj := inst.ExtPts[j]
+	ti := inst.ExtPts[i]
+	crow := make([]float64, nr+1)
+	for dim := 0; dim < d; dim++ {
+		for k := 0; k < nr; k++ {
+			crow[k] = rows[k][dim]
+		}
+		crow[nr] = tj[dim]
+		prob.AddEQ(append([]float64(nil), crow...), ti[dim])
+	}
+	sol := prob.Solve()
+	switch sol.Status {
+	case lp.Optimal:
+		return 1 - sol.Value, true
+	default:
+		// Infeasible dual ⇒ unbounded primal ⇒ no edge. An unbounded
+		// dual ⇒ infeasible primal, impossible for t_j ≠ 0.
+		return 0, false
+	}
+}
+
+// Weight returns ε_ij for the ordered pair (i → j) in extreme-point
+// indexing, or ok=false when no edge exists.
+func (dg *DominanceGraph) Weight(i, j int) (float64, bool) {
+	for _, e := range dg.edges[j] {
+		if e.from == i {
+			return e.weight, true
+		}
+	}
+	return 0, false
+}
+
+// DSMC runs Algorithm 3 on a prebuilt dominance graph: greedy minimum
+// dominating set of the ε-subgraph. Returns indices into inst.Pts. The
+// result is always a valid ε-coreset (Theorem 6.1).
+func (inst *Instance) DSMC(dg *DominanceGraph, eps float64) ([]int, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("core: DSMC requires ε ∈ (0,1), got %g", eps)
+	}
+	sel := inst.dsmcGreedy(dg, eps)
+	out := make([]int, len(sel))
+	for k, v := range sel {
+		out[k] = inst.X[v]
+	}
+	return out, nil
+}
+
+// dsmcGreedy returns the chosen extreme-point indices for threshold eps.
+func (inst *Instance) dsmcGreedy(dg *DominanceGraph, eps float64) []int {
+	xi := dg.Xi
+	// Dom(t_i) = {t_i} ∪ {t_j : (t_i→t_j) ∈ E, ε_ij ≤ ε}.
+	dom := make([][]int, xi)
+	for i := 0; i < xi; i++ {
+		dom[i] = []int{i}
+	}
+	for j := 0; j < xi; j++ {
+		for _, e := range dg.edges[j] {
+			if e.weight <= eps {
+				dom[e.from] = append(dom[e.from], j)
+			} else {
+				break // edges sorted by weight
+			}
+		}
+	}
+	return setcover.GreedyDominatingSet(dom)
+}
+
+// DSMCRefined implements the remark after Theorem 6.3: since DSMC is
+// conservative, running Algorithm 3 with a larger ε′ ∈ [ε, 3ε] can yield
+// a smaller coreset that still satisfies l(Q) ≤ ε. The candidate ε′
+// values are swept from largest to smallest over `tries` evenly spaced
+// steps; each solution is validated with the exact loss and the smallest
+// valid coreset is returned (DSMC at ε itself is the guaranteed-valid
+// fallback).
+func (inst *Instance) DSMCRefined(dg *DominanceGraph, eps float64, tries int) ([]int, error) {
+	base, err := inst.DSMC(dg, eps)
+	if err != nil {
+		return nil, err
+	}
+	if tries < 1 {
+		return base, nil
+	}
+	best := base
+	for k := tries; k >= 1; k-- {
+		epsPrime := eps + 2*eps*float64(k)/float64(tries) // up to 3ε
+		if epsPrime >= 1 {
+			continue
+		}
+		sel := inst.dsmcGreedy(dg, epsPrime)
+		if len(sel) >= len(best) {
+			continue // cannot improve; skip the loss check
+		}
+		q := make([]int, len(sel))
+		for i, v := range sel {
+			q[i] = inst.X[v]
+		}
+		// Cheap sampled lower bound first; the exact evaluator only runs
+		// on candidates that survive it.
+		if inst.MaxLossSampled(q, 2048, 31+int64(k)) > eps {
+			continue
+		}
+		if inst.Loss(q) <= eps {
+			best = q
+			break // ε′ swept downward: the first (largest) valid one wins
+		}
+	}
+	return best, nil
+}

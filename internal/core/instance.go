@@ -1,0 +1,123 @@
+// Package core implements the paper's contribution: algorithms for the
+// Minimum ε-Coreset (MC) problem for maxima representation.
+//
+//   - OptMC (Algorithm 1): the optimal polynomial-time algorithm in R²,
+//     via candidate selection, an overlap graph, and shortest directed
+//     cycle.
+//   - DSMC (Algorithms 2–3): the dominance-graph approximation in any
+//     fixed dimension, with LP edge weights (Eq. 2) and greedy dominating
+//     set.
+//   - SCMC (Algorithm 4): the δ-net set-cover approximation with the
+//     iterative sample-doubling strategy of Appendix A.
+//   - ANNKernel: the ε-kernel baseline of Yu et al. [45] ("ANN" in the
+//     paper's experiments), in internal/kernel, glued here for loss
+//     validation.
+//
+// All algorithms assume the instance is α-fat in [−1,1]^d (Section 2);
+// use internal/transform.Fatten on raw data first. The package also
+// provides exact and sampled evaluation of the loss l(Q,P) and the dual
+// (size-budgeted) problem via binary search.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mincore/internal/geom"
+	"mincore/internal/hull"
+	"mincore/internal/mips"
+	"mincore/internal/transform"
+	"mincore/internal/voronoi"
+)
+
+// Instance is a preprocessed MC problem instance: the (α-fat) point set
+// together with its extreme points and derived structures shared by all
+// algorithms. Build once with NewInstance and reuse across ε values, as
+// the paper's experiments do.
+type Instance struct {
+	Pts []geom.Vector // the full point set P (assumed α-fat in [−1,1]^d)
+	D   int           // dimensionality
+
+	X      []int         // extreme point indices into Pts (CCW order for d=2)
+	ExtPts []geom.Vector // Pts[X[i]]
+
+	Alpha float64 // empirical fatness (transform.EmpiricalFatness)
+
+	// 2D-only caches (nil in higher dimensions).
+	BoundaryVecs []geom.Vector // u*_i between consecutive extreme points
+
+	tree    *mips.KDTree // over Pts
+	extTree *mips.KDTree // over ExtPts
+}
+
+// NewInstance preprocesses pts: extracts extreme points (Clarkson / hulls),
+// measures fatness, and builds search structures. pts must already be
+// α-fat in [−1,1]^d; it is retained, not copied.
+func NewInstance(pts []geom.Vector, opts ...hull.Option) (*Instance, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("core: empty point set")
+	}
+	d := pts[0].Dim()
+	inst := &Instance{Pts: pts, D: d}
+
+	inst.X = hull.ExtremePoints(pts, opts...)
+	if d == 2 {
+		// Hull2D yields CCW order starting from the lexicographic minimum;
+		// re-sort by polar angle as Algorithm 1 expects (valid because the
+		// set is fat, i.e. the origin is interior).
+		inst.X = hull.SortCCWByAngle(pts, inst.X)
+	}
+	inst.ExtPts = make([]geom.Vector, len(inst.X))
+	for i, id := range inst.X {
+		inst.ExtPts[i] = pts[id]
+	}
+	inst.Alpha = transform.EmpiricalFatness(inst.ExtPts, 1024, 1)
+	if inst.Alpha <= 0 {
+		return nil, fmt.Errorf("core: point set is not fat (α=%g ≤ 0); apply transform.Fatten first", inst.Alpha)
+	}
+	if d == 2 {
+		bv, err := voronoi.BoundaryVectors2D(inst.ExtPts)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		inst.BoundaryVecs = bv
+	}
+	inst.tree = mips.NewKDTree(pts)
+	inst.extTree = mips.NewKDTree(inst.ExtPts)
+	return inst, nil
+}
+
+// N returns |P|.
+func (inst *Instance) N() int { return len(inst.Pts) }
+
+// Xi returns ξ = |X|, the number of extreme points.
+func (inst *Instance) Xi() int { return len(inst.X) }
+
+// Omega returns ω(P,u) = max_{p∈P} ⟨p,u⟩, evaluated over the extreme
+// points (which realize every directional maximum).
+func (inst *Instance) Omega(u geom.Vector) float64 {
+	_, w := inst.extTree.MaxDot(u)
+	return w
+}
+
+// ExtremeAt returns the index (into Pts) of the extreme point for u.
+func (inst *Instance) ExtremeAt(u geom.Vector) int {
+	i, _ := inst.extTree.MaxDot(u)
+	return inst.X[i]
+}
+
+// Tree exposes the kd-tree over all points (used by SCMC's range queries).
+func (inst *Instance) Tree() *mips.KDTree { return inst.tree }
+
+// ExtTree exposes the kd-tree over the extreme points.
+func (inst *Instance) ExtTree() *mips.KDTree { return inst.extTree }
+
+// sortedByAngle returns the given point indices sorted CCW by polar angle
+// (2D helper).
+func (inst *Instance) sortedByAngle(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Slice(out, func(a, b int) bool {
+		return geom.Theta(inst.Pts[out[a]]) < geom.Theta(inst.Pts[out[b]])
+	})
+	return out
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math"
+
+	"mincore/internal/geom"
+	"mincore/internal/hull"
+	"mincore/internal/lp"
+	"mincore/internal/mips"
+	"mincore/internal/sphere"
+	"mincore/internal/voronoi"
+)
+
+// Loss evaluation: l(Q,P) = max_{u∈S^{d-1}} 1 − ω(Q,u)/ω(P,u)
+// (Definition 2.2). Three evaluators:
+//
+//   - LossExact2D: exact in R² by enumerating the critical directions —
+//     the Voronoi boundary vectors of X and of the hull of Q, where the
+//     piecewise-monotone loss attains its maxima.
+//   - LossExactLP: exact in any dimension via one LP per extreme point,
+//     the linear program of Nanongkai et al. [35] cited in the hardness
+//     proof (Section 3).
+//   - LossSampled: per-direction losses over a direction sample, used for
+//     the loss-distribution experiments (Appendix B) and quick validation.
+//
+// All evaluators require a fat instance (ω(P,u) > 0 everywhere) and
+// report losses clamped to [0,1]: a loss of 1 means some direction's
+// maximum is entirely unrepresented (ω(Q,u) ≤ 0).
+
+// LossExact2D returns the exact maximum loss of Q (indices into inst.Pts)
+// in two dimensions.
+func (inst *Instance) LossExact2D(q []int) float64 {
+	if inst.D != 2 {
+		panic("core: LossExact2D on non-2D instance")
+	}
+	if len(q) == 0 {
+		return 1
+	}
+	qpts := make([]geom.Vector, len(q))
+	for i, id := range q {
+		qpts[i] = inst.Pts[id]
+	}
+	// Upper envelope of Q is realized by the hull of Q; its boundary
+	// vectors are the argmax breakpoints.
+	qh := hull.Hull2D(qpts)
+	qExt := make([]geom.Vector, len(qh))
+	for i, id := range qh {
+		qExt[i] = qpts[id]
+	}
+	qExtSorted := hull.SortCCWByAngle(qExt, identity(len(qExt)))
+	ordered := make([]geom.Vector, len(qExtSorted))
+	for i, id := range qExtSorted {
+		ordered[i] = qExt[id]
+	}
+
+	candidates := append([]geom.Vector(nil), inst.BoundaryVecs...)
+	if len(ordered) >= 2 {
+		if bv, err := voronoi.BoundaryVectors2D(ordered); err == nil {
+			candidates = append(candidates, bv...)
+		}
+	}
+	// Guard directions: perpendiculars to each coreset point (where its
+	// own contribution crosses zero) catch the loss-=1 coverage gaps.
+	for _, p := range ordered {
+		th := geom.Theta(p)
+		candidates = append(candidates,
+			geom.UnitFromTheta(th+math.Pi/2), geom.UnitFromTheta(th-math.Pi/2))
+	}
+
+	qTree := mips.NewKDTree(ordered)
+	worst := 0.0
+	for _, u := range candidates {
+		_, wq := qTree.MaxDot(u)
+		wp := inst.Omega(u)
+		if wp <= 0 {
+			continue // cannot happen on a fat instance
+		}
+		if l := 1 - wq/wp; l > worst {
+			worst = l
+		}
+	}
+	return clampLoss(worst)
+}
+
+// LossExactLP returns the exact maximum loss of Q in any dimension: for
+// each extreme point t, solve
+//
+//	max x  s.t.  ⟨q,u⟩ ≤ 1−x ∀q∈Q,  ⟨t,u⟩ = 1,
+//
+// whose optimum lower-bounds the loss everywhere and matches it at the
+// true worst direction's owner; the maximum over t ∈ X is l(Q,P).
+// Unbounded LPs mean the coreset misses a whole direction cone (loss 1).
+func (inst *Instance) LossExactLP(q []int) float64 {
+	if len(q) == 0 {
+		return 1
+	}
+	d := inst.D
+	qpts := make([]geom.Vector, len(q))
+	for i, id := range q {
+		qpts[i] = inst.Pts[id]
+	}
+	// Restrict to the hull of Q: interior points never realize ω(Q,u).
+	qh := hull.ExtremePoints(qpts)
+	qx := make([]geom.Vector, len(qh))
+	for i, id := range qh {
+		qx[i] = qpts[id]
+	}
+
+	inQ := make(map[string]bool, len(qx))
+	for _, qp := range qx {
+		inQ[coordKey(qp)] = true
+	}
+	worst := 0.0
+	for _, t := range inst.ExtPts {
+		// Owners that are themselves in Q contribute nothing: the
+		// constraint ⟨t,u⟩ ≤ 1−x with ⟨t,u⟩ = 1 forces x ≤ 0.
+		if inQ[coordKey(t)] {
+			continue
+		}
+		val, ok := lossLPForOwner(t, qx, d)
+		if !ok {
+			return 1
+		}
+		if val > worst {
+			worst = val
+		}
+		if worst >= 1 {
+			return 1
+		}
+	}
+	return clampLoss(worst)
+}
+
+// lossLPForOwner solves the per-owner loss LP. ok=false signals an
+// unbounded primal (loss 1).
+//
+// The primal — max x s.t. ⟨q,u⟩ + x ≤ 1 ∀q, ⟨t,u⟩ = 1 over free (u,x) —
+// has |Q|+1 rows and d+1 variables; a tableau simplex pays per-row for
+// the basis, so we solve the LP dual instead, which has only d+1 rows:
+//
+//	min Σ_q y_q + z   s.t.  Σ_q y_q·q + z·t = 0,  Σ_q y_q = 1,
+//	                        y ≥ 0, z free.
+//
+// By strong duality the optimum equals the primal maximum; an infeasible
+// dual means an unbounded primal (the coreset leaves a whole direction
+// cone uncovered).
+func lossLPForOwner(t geom.Vector, qx []geom.Vector, d int) (float64, bool) {
+	nq := len(qx)
+	prob := lp.NewProblem(nq + 1) // vars: y_q ≥ 0, z free
+	for j := 0; j < nq; j++ {
+		prob.SetNonNegative(j)
+	}
+	obj := make([]float64, nq+1)
+	for j := range obj {
+		obj[j] = 1
+	}
+	prob.SetObjective(obj, false)
+	row := make([]float64, nq+1)
+	for i := 0; i < d; i++ {
+		for j, qp := range qx {
+			row[j] = qp[i]
+		}
+		row[nq] = t[i]
+		prob.AddEQ(append([]float64(nil), row...), 0)
+	}
+	ones := make([]float64, nq+1)
+	for j := 0; j < nq; j++ {
+		ones[j] = 1
+	}
+	prob.AddEQ(ones, 1)
+	sol := prob.Solve()
+	switch sol.Status {
+	case lp.Optimal:
+		return sol.Value, true
+	case lp.Infeasible:
+		return 0, false // primal unbounded: loss ≥ 1
+	default:
+		// Dual unbounded would mean a primal with no feasible u, i.e.
+		// t = 0, impossible on a fat instance; report no contribution.
+		return 0, true
+	}
+}
+
+// LossSampled returns the per-direction losses of Q over the given
+// directions, each clamped to [0,1].
+func (inst *Instance) LossSampled(q []int, dirs []geom.Vector) []float64 {
+	qpts := make([]geom.Vector, len(q))
+	for i, id := range q {
+		qpts[i] = inst.Pts[id]
+	}
+	qTree := mips.NewKDTree(qpts)
+	out := make([]float64, len(dirs))
+	for k, u := range dirs {
+		wp := inst.Omega(u)
+		if wp <= 0 {
+			out[k] = 0
+			continue
+		}
+		if len(qpts) == 0 {
+			out[k] = 1
+			continue
+		}
+		_, wq := qTree.MaxDot(u)
+		out[k] = clampLoss(1 - wq/wp)
+	}
+	return out
+}
+
+// MaxLossSampled is the maximum of LossSampled — a lower bound on the
+// true loss that converges as the sample densifies.
+func (inst *Instance) MaxLossSampled(q []int, samples int, seed int64) float64 {
+	dirs := sphere.RandomDirections(samples, inst.D, seed)
+	worst := 0.0
+	for _, l := range inst.LossSampled(q, dirs) {
+		if l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// Loss picks the exact evaluator for the instance dimension: the critical
+// direction sweep in 2D, the LP elsewhere.
+func (inst *Instance) Loss(q []int) float64 {
+	if inst.D == 2 {
+		return inst.LossExact2D(q)
+	}
+	return inst.LossExactLP(q)
+}
+
+func clampLoss(l float64) float64 {
+	if l < 0 {
+		return 0
+	}
+	if l > 1 {
+		return 1
+	}
+	return l
+}
+
+func coordKey(v geom.Vector) string {
+	b := make([]byte, 0, 8*len(v))
+	for _, c := range v {
+		u := math.Float64bits(c)
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(u>>(8*i)))
+		}
+	}
+	return string(b)
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mincore/internal/geom"
+)
+
+func TestMC1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Vector, 100)
+	for i := range pts {
+		pts[i] = geom.Vector{rng.NormFloat64()}
+	}
+	inst, err := NewInstance(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := inst.MC1D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 2 {
+		t.Fatalf("|Q| = %d want 2", len(q))
+	}
+	// The two members are the coordinate extremes.
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p[0]
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	got := []float64{pts[q[0]][0], pts[q[1]][0]}
+	sort.Float64s(got)
+	if got[0] != sorted[0] || got[1] != sorted[len(sorted)-1] {
+		t.Fatalf("extremes %v want [%v %v]", got, sorted[0], sorted[len(sorted)-1])
+	}
+	// Zero loss by construction: for u=±1 the maxima are exact.
+	for _, u := range []geom.Vector{{1}, {-1}} {
+		_, wq := geom.MaxDot([]geom.Vector{pts[q[0]], pts[q[1]]}, u)
+		_, wp := geom.MaxDot(pts, u)
+		if wq != wp {
+			t.Fatal("1D solution does not realize the maxima")
+		}
+	}
+}
+
+func TestMC1DWrongDim(t *testing.T) {
+	inst := fatRandom2D(t, 50, 2)
+	if _, err := inst.MC1D(); err == nil {
+		t.Fatal("2D instance should be rejected")
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mincore/internal/geom"
+	"mincore/internal/sphere"
+)
+
+// fatRandom2D returns a fat 2D instance of n Gaussian points.
+func fatRandom2D(t testing.TB, n int, seed int64) *Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Vector, n)
+	for i := range pts {
+		pts[i] = geom.Vector{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	inst, err := NewInstance(pts)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return inst
+}
+
+func TestOptMCReturnsValidCoreset(t *testing.T) {
+	for _, eps := range []float64{0.05, 0.1, 0.25} {
+		inst := fatRandom2D(t, 300, 7)
+		q, err := inst.OptMC(eps)
+		if err != nil {
+			t.Fatalf("ε=%v: %v", eps, err)
+		}
+		if len(q) == 0 {
+			t.Fatalf("ε=%v: empty solution", eps)
+		}
+		if l := inst.LossExact2D(q); l > eps+1e-9 {
+			t.Fatalf("ε=%v: loss %v exceeds ε (|Q|=%d)", eps, l, len(q))
+		}
+		// Also validate against dense sampling (independent evaluator).
+		if l := inst.MaxLossSampled(q, 20000, 3); l > eps+1e-6 {
+			t.Fatalf("ε=%v: sampled loss %v exceeds ε", eps, l)
+		}
+	}
+}
+
+func TestOptMCMonotoneInEps(t *testing.T) {
+	inst := fatRandom2D(t, 500, 11)
+	prev := math.MaxInt32
+	for _, eps := range []float64{0.02, 0.05, 0.1, 0.2, 0.3} {
+		q, err := inst.OptMC(eps)
+		if err != nil {
+			t.Fatalf("ε=%v: %v", eps, err)
+		}
+		if len(q) > prev {
+			t.Fatalf("coreset size grew with ε: %d > %d at ε=%v", len(q), prev, eps)
+		}
+		prev = len(q)
+	}
+}
+
+func TestOptMCAtLeastDPlusOne(t *testing.T) {
+	// Theorem 6.2: any coreset with loss < 1 has ≥ d+1 = 3 points in R².
+	inst := fatRandom2D(t, 200, 13)
+	q, err := inst.OptMC(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) < 3 {
+		t.Fatalf("coreset of size %d < 3 cannot have loss < 1", len(q))
+	}
+}
+
+// bruteMinCoreset finds the true minimum ε-coreset size by exhaustive
+// subset search over the candidate set (points with non-empty
+// ε-approximate cells — anything else never helps).
+func bruteMinCoreset(inst *Instance, eps float64) int {
+	cand := inst.optMCCandidates(eps)
+	n := len(cand)
+	for size := 1; size <= n; size++ {
+		idx := make([]int, size)
+		var rec func(start, k int) bool
+		rec = func(start, k int) bool {
+			if k == size {
+				q := make([]int, size)
+				for i, c := range idx {
+					q[i] = cand[c]
+				}
+				return inst.LossExact2D(q) <= eps
+			}
+			for i := start; i < n; i++ {
+				idx[k] = i
+				if rec(i+1, k+1) {
+					return true
+				}
+			}
+			return false
+		}
+		if rec(0, 0) {
+			return size
+		}
+	}
+	return n + 1
+}
+
+func TestOptMCOptimalAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + rng.Intn(10)
+		pts := make([]geom.Vector, n)
+		for i := range pts {
+			pts[i] = geom.Vector{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		inst, err := NewInstance(pts)
+		if err != nil {
+			continue // degenerate draw
+		}
+		eps := 0.05 + 0.4*rng.Float64()
+		q, err := inst.OptMC(eps)
+		want := bruteMinCoreset(inst, eps)
+		if err != nil {
+			if want <= len(inst.Pts) {
+				t.Fatalf("trial %d: OptMC failed (%v) but brute force found size %d", trial, err, want)
+			}
+			continue
+		}
+		if inst.LossExact2D(q) > eps+1e-9 {
+			t.Fatalf("trial %d: invalid solution (loss %v > ε=%v)", trial, inst.LossExact2D(q), eps)
+		}
+		if len(q) != want {
+			t.Fatalf("trial %d (ε=%v): OptMC size %d vs brute-force optimum %d",
+				trial, eps, len(q), want)
+		}
+	}
+}
+
+func TestOptMCRejectsBadInputs(t *testing.T) {
+	inst := fatRandom2D(t, 50, 5)
+	if _, err := inst.OptMC(0); err == nil {
+		t.Fatal("ε=0 should error")
+	}
+	if _, err := inst.OptMC(1); err == nil {
+		t.Fatal("ε=1 should error")
+	}
+	// 3D instance.
+	rng := rand.New(rand.NewSource(6))
+	pts := make([]geom.Vector, 50)
+	for i := range pts {
+		pts[i] = geom.Vector{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	inst3, err := NewInstance(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst3.OptMC(0.1); err == nil {
+		t.Fatal("3D OptMC should error")
+	}
+}
+
+func TestOptMCCandidatesExactlyNonEmptyCells(t *testing.T) {
+	// Lemma 5.1: p ∈ S iff R_ε(p) ≠ ∅. Cross-check candidacy against a
+	// dense direction sweep.
+	inst := fatRandom2D(t, 150, 17)
+	eps := 0.15
+	cand := inst.optMCCandidates(eps)
+	inCand := map[int]bool{}
+	for _, id := range cand {
+		inCand[id] = true
+	}
+	dirs := sphere.Circle(7200)
+	for id, p := range inst.Pts {
+		nonEmpty := false
+		for _, u := range dirs {
+			if geom.Dot(p, u) >= (1-eps)*inst.Omega(u) {
+				nonEmpty = true
+				break
+			}
+		}
+		if nonEmpty && !inCand[id] {
+			t.Fatalf("point %d has non-empty cell but was pruned", id)
+		}
+		// The converse (candidate → non-empty) may fail only within the
+		// sweep resolution; check with a small slack.
+		if !nonEmpty && inCand[id] {
+			ok := false
+			for _, u := range dirs {
+				if geom.Dot(p, u) >= (1-eps-1e-6)*inst.Omega(u) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("point %d is a candidate but its cell is empty", id)
+			}
+		}
+	}
+}
+
+func TestLossExact2DAgainstSampling(t *testing.T) {
+	inst := fatRandom2D(t, 200, 19)
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 20; trial++ {
+		// Random subsets of varying size.
+		k := 3 + rng.Intn(6)
+		q := make([]int, k)
+		for i := range q {
+			q[i] = rng.Intn(len(inst.Pts))
+		}
+		exact := inst.LossExact2D(q)
+		sampled := inst.MaxLossSampled(q, 50000, int64(trial))
+		if sampled > exact+1e-9 {
+			t.Fatalf("trial %d: sampled loss %v exceeds exact %v", trial, sampled, exact)
+		}
+		if exact-sampled > 0.01 && exact < 1 {
+			t.Fatalf("trial %d: exact %v far above dense sample %v — critical directions wrong?",
+				trial, exact, sampled)
+		}
+	}
+}
+
+func TestLossExactLPMatches2DEvaluator(t *testing.T) {
+	inst := fatRandom2D(t, 150, 23)
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 20; trial++ {
+		k := 3 + rng.Intn(5)
+		q := make([]int, k)
+		for i := range q {
+			q[i] = rng.Intn(len(inst.Pts))
+		}
+		a := inst.LossExact2D(q)
+		b := inst.LossExactLP(q)
+		if math.Abs(a-b) > 1e-6 {
+			t.Fatalf("trial %d: LossExact2D %v vs LossExactLP %v (Q=%v)", trial, a, b, q)
+		}
+	}
+}
+
+func TestLossEmptyCoreset(t *testing.T) {
+	inst := fatRandom2D(t, 50, 29)
+	if l := inst.LossExact2D(nil); l != 1 {
+		t.Fatalf("empty coreset loss = %v want 1", l)
+	}
+	if l := inst.LossExactLP(nil); l != 1 {
+		t.Fatalf("empty coreset LP loss = %v want 1", l)
+	}
+}
+
+func TestLossFullSetIsZero(t *testing.T) {
+	inst := fatRandom2D(t, 100, 31)
+	all := identity(len(inst.Pts))
+	if l := inst.LossExact2D(all); l > 1e-9 {
+		t.Fatalf("full set loss = %v want 0", l)
+	}
+	if l := inst.LossExactLP(all); l > 1e-6 {
+		t.Fatalf("full set LP loss = %v want 0", l)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mincore/internal/geom"
+	"mincore/internal/setcover"
+	"mincore/internal/sphere"
+)
+
+// SCMC: the set-cover approximation of Appendix A. Voronoi cells are
+// discretized by a set N of directions; the set system has universe N and
+// one set per point p — the sampled vectors lying in p's γ-approximate
+// cell, S_p = {u ∈ N : ⟨p,u⟩ ≥ (1−γ)·ω(P,u)} — and a greedy set cover is
+// a feasible MC solution (Lemma A.1 with 2δ + γ ≤ ε).
+//
+// Two variants are provided:
+//
+//   - SCMCNet follows Algorithm 4 literally with a deterministic
+//     (αδ/d)-net, practical only in low dimensions where the net size
+//     O(1/δ^{d-1}) is manageable.
+//   - SCMC (the default) uses the iterative doubling strategy of the
+//     Appendix A remark: sample m random directions, solve, validate
+//     l(Q) ≤ ε exactly, and double m until valid. This is the variant
+//     whose running time the paper benchmarks.
+
+// SCMCOptions tunes the algorithm. Zero values select the paper's
+// defaults.
+type SCMCOptions struct {
+	Gamma       float64 // cell approximation; default ε/2
+	InitSamples int     // initial m for the doubling variant; default 4·(d+1)·8
+	MaxSamples  int     // doubling cap; default 1<<20
+	Seed        int64
+}
+
+func (o *SCMCOptions) defaults(eps float64, d int) {
+	if o.Gamma == 0 {
+		o.Gamma = eps / 2
+	}
+	if o.InitSamples == 0 {
+		o.InitSamples = 32 * (d + 1)
+	}
+	if o.MaxSamples == 0 {
+		o.MaxSamples = 1 << 20
+	}
+}
+
+// SCMC computes an ε-coreset by iterative sample doubling. Returns the
+// coreset (indices into inst.Pts) and the number of sampled directions of
+// the final, successful stage.
+func (inst *Instance) SCMC(eps float64, opts SCMCOptions) ([]int, int, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, 0, fmt.Errorf("core: SCMC requires ε ∈ (0,1), got %g", eps)
+	}
+	opts.defaults(eps, inst.D)
+	m := opts.InitSamples
+	seed := opts.Seed
+	for {
+		dirs := sphere.RandomDirections(m, inst.D, seed+int64(m))
+		q := inst.scmcSolve(dirs, opts.Gamma)
+		// Sampled lower bound screens out clearly-invalid stages before
+		// paying for the exact loss.
+		if len(q) > 0 && inst.MaxLossSampled(q, 2048, seed+int64(m)+5) <= eps &&
+			inst.Loss(q) <= eps {
+			return q, m, nil
+		}
+		if m >= opts.MaxSamples {
+			// Give up on sampling: X itself is a 0-coreset and always
+			// valid; the paper's implementation cannot reach this point
+			// on fat instances, but degenerate inputs deserve an answer.
+			return append([]int(nil), inst.X...), m, nil
+		}
+		m *= 2
+	}
+}
+
+// SCMCNet runs Algorithm 4 with the deterministic (αδ/d)-net, δ = ε/4,
+// γ = ε/2 (or the provided overrides via opts.Gamma and delta ≤ 0 for the
+// default). Practical for d ≤ 3; the net size grows as O(1/δ^{d-1}).
+func (inst *Instance) SCMCNet(eps, delta float64, opts SCMCOptions) ([]int, int, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, 0, fmt.Errorf("core: SCMCNet requires ε ∈ (0,1), got %g", eps)
+	}
+	opts.defaults(eps, inst.D)
+	if delta <= 0 {
+		delta = eps / 4
+	}
+	radius := inst.Alpha * delta / float64(inst.D)
+	net := sphere.Net(inst.D, radius)
+	q := inst.scmcSolve(net, opts.Gamma)
+	return q, len(net), nil
+}
+
+// scmcSolve builds the set system over the given directions and returns
+// the greedy cover's points (Lines 1–11 of Algorithm 4). Directions whose
+// maximum is nonpositive (impossible on fat instances) are skipped.
+func (inst *Instance) scmcSolve(dirs []geom.Vector, gamma float64) []int {
+	// For each direction, collect the points within the γ-approximation
+	// of the maximum, then invert into per-point sets.
+	perPoint := make(map[int][]int)
+	var buf []int
+	kept := 0
+	for _, u := range dirs {
+		w := inst.Omega(u)
+		if w <= 0 {
+			continue
+		}
+		buf = inst.tree.AboveThreshold(u, (1-gamma)*w, buf[:0])
+		for _, pid := range buf {
+			perPoint[pid] = append(perPoint[pid], kept)
+		}
+		kept++
+	}
+	if kept == 0 {
+		return nil
+	}
+	sets := make([][]int, 0, len(perPoint))
+	owners := make([]int, 0, len(perPoint))
+	for pid, elems := range perPoint {
+		sets = append(sets, elems)
+		owners = append(owners, pid)
+	}
+	chosen, uncovered := setcover.Greedy(kept, sets)
+	if uncovered > 0 {
+		// Cannot happen: every direction's exact maximizer is within any
+		// γ-approximation of itself. Defensive empty return.
+		return nil
+	}
+	out := make([]int, len(chosen))
+	for i, s := range chosen {
+		out[i] = owners[s]
+	}
+	return out
+}
+
+// SCMCAdaptive is the data-dependent sampling improvement sketched at the
+// end of Appendix B: after each stage, new samples are drawn near the
+// "corner" directions where the current solution's loss is largest,
+// rather than uniformly, so fewer total samples are needed to pin down
+// the hard regions. Returns the coreset and total directions used.
+func (inst *Instance) SCMCAdaptive(eps float64, opts SCMCOptions) ([]int, int, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, 0, fmt.Errorf("core: SCMCAdaptive requires ε ∈ (0,1), got %g", eps)
+	}
+	opts.defaults(eps, inst.D)
+	dirs := sphere.RandomDirections(opts.InitSamples, inst.D, opts.Seed)
+	total := len(dirs)
+	for round := 0; ; round++ {
+		q := inst.scmcSolve(dirs, opts.Gamma)
+		if len(q) > 0 && inst.Loss(q) <= eps {
+			return q, total, nil
+		}
+		if total >= opts.MaxSamples {
+			return append([]int(nil), inst.X...), total, nil
+		}
+		// Probe for high-loss corners and densify around them.
+		probe := sphere.RandomDirections(4096, inst.D, opts.Seed+int64(1000+round))
+		losses := inst.LossSampled(q, probe)
+		var corners []geom.Vector
+		for i, l := range losses {
+			if l > eps {
+				corners = append(corners, probe[i])
+			}
+		}
+		grow := len(dirs) / 2
+		if grow < 64 {
+			grow = 64
+		}
+		if len(corners) == 0 {
+			dirs = append(dirs, sphere.RandomDirections(grow, inst.D, opts.Seed+int64(2000+round))...)
+		} else {
+			jrng := sphere.RandomDirections(grow, inst.D, opts.Seed+int64(3000+round))
+			for i := 0; i < grow; i++ {
+				c := corners[i%len(corners)]
+				// Jitter around the corner direction.
+				v := geom.Add(c, jrng[i].Scale(0.15))
+				u, ok := v.Normalize()
+				if !ok {
+					u = c
+				}
+				dirs = append(dirs, u)
+			}
+		}
+		total = len(dirs)
+	}
+}
+
+// SCMCExpectedSamples reports the δ-net size Algorithm 4 would need
+// (O(1/δ^{d-1}) with δ = ε/4 and radius αδ/d) — the quantity that makes
+// the literal algorithm impractical in high dimensions and motivates the
+// doubling strategy.
+func (inst *Instance) SCMCExpectedSamples(eps float64) int {
+	radius := inst.Alpha * (eps / 4) / float64(inst.D)
+	return sphere.NetSize(inst.D, math.Max(radius, 1e-9))
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSCMCValidAcrossDims(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 6} {
+		inst := fatRandom(t, 400, d, int64(d)*31)
+		for _, eps := range []float64{0.1, 0.2} {
+			q, m, err := inst.SCMC(eps, SCMCOptions{})
+			if err != nil {
+				t.Fatalf("d=%d ε=%v: %v", d, eps, err)
+			}
+			if m <= 0 || len(q) == 0 {
+				t.Fatalf("d=%d ε=%v: degenerate result |Q|=%d m=%d", d, eps, len(q), m)
+			}
+			if l := inst.Loss(q); l > eps+1e-9 {
+				t.Fatalf("d=%d ε=%v: SCMC loss %v exceeds ε (|Q|=%d)", d, eps, l, len(q))
+			}
+		}
+	}
+}
+
+func TestSCMCSmallerThanXi(t *testing.T) {
+	inst := fatRandom(t, 1000, 3, 17)
+	q, _, err := inst.SCMC(0.1, SCMCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) >= inst.Xi() {
+		t.Fatalf("SCMC |Q|=%d not smaller than ξ=%d at ε=0.1", len(q), inst.Xi())
+	}
+}
+
+func TestSCMCNet2D(t *testing.T) {
+	inst := fatRandom(t, 300, 2, 19)
+	eps := 0.15
+	q, netSize, err := inst.SCMCNet(eps, 0, SCMCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netSize <= 0 || len(q) == 0 {
+		t.Fatalf("net=%d |Q|=%d", netSize, len(q))
+	}
+	// Lemma A.1: with the full deterministic net, the result satisfies
+	// l(Q) ≤ 2δ + γ = ε by construction.
+	if l := inst.LossExact2D(q); l > eps+1e-9 {
+		t.Fatalf("SCMCNet loss %v exceeds ε=%v", l, eps)
+	}
+}
+
+func TestSCMCRejectsBadEps(t *testing.T) {
+	inst := fatRandom(t, 100, 2, 23)
+	if _, _, err := inst.SCMC(0, SCMCOptions{}); err == nil {
+		t.Fatal("ε=0 should error")
+	}
+	if _, _, err := inst.SCMC(1, SCMCOptions{}); err == nil {
+		t.Fatal("ε=1 should error")
+	}
+	if _, _, err := inst.SCMCNet(-0.1, 0, SCMCOptions{}); err == nil {
+		t.Fatal("negative ε should error")
+	}
+	if _, _, err := inst.SCMCAdaptive(2, SCMCOptions{}); err == nil {
+		t.Fatal("ε=2 should error")
+	}
+}
+
+func TestSCMCGammaTradeoff(t *testing.T) {
+	// Larger γ (closer to ε) admits smaller coresets at the cost of more
+	// samples; both settings must stay valid (Appendix A remark).
+	inst := fatRandom(t, 600, 3, 29)
+	eps := 0.1
+	qSmallGamma, _, err := inst.SCMC(eps, SCMCOptions{Gamma: eps / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qBigGamma, _, err := inst.SCMC(eps, SCMCOptions{Gamma: eps * 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][]int{qSmallGamma, qBigGamma} {
+		if l := inst.LossExactLP(q); l > eps+1e-9 {
+			t.Fatalf("γ-variant invalid: loss %v", l)
+		}
+	}
+}
+
+func TestSCMCAdaptiveValidAndNoLarger(t *testing.T) {
+	inst := fatRandom(t, 500, 4, 37)
+	eps := 0.1
+	q, total, err := inst.SCMCAdaptive(eps, SCMCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := inst.LossExactLP(q); l > eps+1e-9 {
+		t.Fatalf("adaptive loss %v exceeds ε", l)
+	}
+	if total <= 0 {
+		t.Fatal("no samples recorded")
+	}
+}
+
+func TestSCMCExpectedSamplesGrowth(t *testing.T) {
+	inst2 := fatRandom(t, 200, 2, 41)
+	inst5 := fatRandom(t, 200, 5, 43)
+	if inst2.SCMCExpectedSamples(0.1) <= 0 {
+		t.Fatal("2D net size must be positive")
+	}
+	// Exponential growth with d: the d=5 net dwarfs the d=2 net.
+	if inst5.SCMCExpectedSamples(0.1) < 100*inst2.SCMCExpectedSamples(0.1) {
+		t.Fatalf("net size growth too small: d2=%d d5=%d",
+			inst2.SCMCExpectedSamples(0.1), inst5.SCMCExpectedSamples(0.1))
+	}
+}
+
+func TestDualSolveOptMC(t *testing.T) {
+	inst := fatRandom2D(t, 400, 47)
+	for _, r := range []int{3, 5, 8} {
+		q, eps, err := DualSolve(r, func(e float64) ([]int, error) { return inst.OptMC(e) }, 25)
+		if err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		}
+		if len(q) > r {
+			t.Fatalf("r=%d: |Q|=%d exceeds budget", r, len(q))
+		}
+		if l := inst.LossExact2D(q); l > eps+1e-9 {
+			t.Fatalf("r=%d: returned coreset has loss %v above its ε=%v", r, l, eps)
+		}
+	}
+}
+
+func TestDualSolveMonotoneBudget(t *testing.T) {
+	// Larger budgets admit smaller ε.
+	inst := fatRandom2D(t, 400, 53)
+	_, eps3, err := DualSolve(3, func(e float64) ([]int, error) { return inst.OptMC(e) }, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, eps8, err := DualSolve(8, func(e float64) ([]int, error) { return inst.OptMC(e) }, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps8 > eps3+1e-9 {
+		t.Fatalf("ε(r=8)=%v > ε(r=3)=%v", eps8, eps3)
+	}
+}
+
+func TestDualSolveBadBudget(t *testing.T) {
+	inst := fatRandom2D(t, 100, 59)
+	if _, _, err := DualSolve(0, func(e float64) ([]int, error) { return inst.OptMC(e) }, 10); err == nil {
+		t.Fatal("r=0 should error")
+	}
+	// r below the d+1 floor: no ε works.
+	if _, _, err := DualSolve(2, func(e float64) ([]int, error) { return inst.OptMC(e) }, 10); err == nil {
+		t.Fatal("r=2 in 2D should be infeasible")
+	}
+}

@@ -1,0 +1,149 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"mincore/internal/geom"
+	"mincore/internal/hull"
+)
+
+func checkNormalized(t *testing.T, ds Dataset) {
+	t.Helper()
+	lo := make([]float64, ds.D)
+	hi := make([]float64, ds.D)
+	for j := range lo {
+		lo[j], hi[j] = math.Inf(1), math.Inf(-1)
+	}
+	for _, p := range ds.Points {
+		if len(p) != ds.D {
+			t.Fatalf("%s: dimension mismatch", ds.Name)
+		}
+		for j, v := range p {
+			if v < -1-1e-12 || v > 1+1e-12 {
+				t.Fatalf("%s: coordinate %v outside [-1,1]", ds.Name, v)
+			}
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	// Min-max normalization touches both ends of every dimension.
+	for j := range lo {
+		if lo[j] > -0.999 || hi[j] < 0.999 {
+			t.Fatalf("%s: dim %d range [%v,%v] not normalized", ds.Name, j, lo[j], hi[j])
+		}
+	}
+}
+
+func TestSyntheticGenerators(t *testing.T) {
+	n := Normal(5000, 4, 1)
+	if len(n.Points) != 5000 || n.D != 4 {
+		t.Fatalf("normal: %d points d=%d", len(n.Points), n.D)
+	}
+	checkNormalized(t, n)
+	u := Uniform(5000, 3, 2)
+	if len(u.Points) != 5000 || u.D != 3 {
+		t.Fatal("uniform size")
+	}
+	for _, p := range u.Points {
+		for _, v := range p {
+			if v < -1 || v > 1 {
+				t.Fatalf("uniform out of range: %v", v)
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Normal(100, 3, 7)
+	b := Normal(100, 3, 7)
+	for i := range a.Points {
+		if !geom.Equal(a.Points[i], b.Points[i]) {
+			t.Fatal("Normal not deterministic")
+		}
+	}
+	c := Normal(100, 3, 8)
+	same := true
+	for i := range a.Points {
+		if !geom.Equal(a.Points[i], c.Points[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestRealStandIns(t *testing.T) {
+	// Scaled-down versions for speed; check shape, normalization, and
+	// that the hull profile is in the right regime (small for 2D city
+	// data, larger in higher dimensions).
+	for _, name := range RealNames() {
+		ds, err := ByName(name, 8000, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ds.Points) != 8000 {
+			t.Fatalf("%s: n = %d", name, len(ds.Points))
+		}
+		checkNormalized(t, ds)
+		if ds.PaperN == 0 || ds.PaperXi == 0 {
+			t.Fatalf("%s: missing paper stats", name)
+		}
+	}
+}
+
+func TestFourSquareHullProfile(t *testing.T) {
+	ds := FourSquare("NYC", 37000, 1)
+	h := hull.Hull2D(ds.Points)
+	// Paper: ξ = 50. City-model stand-in should land in the same regime.
+	if len(h) < 15 || len(h) > 150 {
+		t.Fatalf("FourSquare hull size %d outside the paper regime (≈50)", len(h))
+	}
+}
+
+func TestByNameSynthetic(t *testing.T) {
+	ds, err := ByName("normal-6d", 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.D != 6 || len(ds.Points) != 1000 {
+		t.Fatalf("normal-6d: %+v", ds.D)
+	}
+	ds, err = ByName("uniform-2d", 500, 3)
+	if err != nil || ds.D != 2 {
+		t.Fatalf("uniform-2d: %v", err)
+	}
+	if _, err := ByName("nope", 10, 1); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestPaperDefaultSizes(t *testing.T) {
+	// n ≤ 0 uses Table 1 sizes; just verify wiring via the smallest one.
+	ds, err := ByName("foursquare-nyc", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Points) != 37000 {
+		t.Fatalf("default n = %d want 37000", len(ds.Points))
+	}
+}
+
+func TestNormalizeDegenerateDim(t *testing.T) {
+	pts := []geom.Vector{{1, 5}, {2, 5}, {3, 5}}
+	normalize(pts)
+	for _, p := range pts {
+		if p[1] != 0 {
+			t.Fatalf("constant dim should map to 0, got %v", p[1])
+		}
+		if p[0] < -1 || p[0] > 1 {
+			t.Fatalf("dim 0 out of range: %v", p[0])
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package data
+
+import (
+	"fmt"
+	"testing"
+
+	"mincore/internal/hull"
+)
+
+// TestXiProfiles reports the extreme-point fraction of the stand-ins at a
+// probe size, guarding against generators whose hulls leave the paper's
+// regime (which drives every DSMC experiment).
+func TestXiProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hull profiling")
+	}
+	cases := []struct {
+		name  string
+		n     int
+		maxXi int
+	}{
+		{"colors", 6000, 3000},
+		{"airquality", 8000, 800},
+		{"climate", 8000, 500},
+	}
+	for _, c := range cases {
+		ds, err := ByName(c.name, c.n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := hull.ExtremePoints(ds.Points)
+		fmt.Printf("%s n=%d d=%d xi=%d (paper: %d at n=%d)\n",
+			ds.Name, c.n, ds.D, len(x), ds.PaperXi, ds.PaperN)
+		if len(x) > c.maxXi {
+			t.Errorf("%s: xi=%d exceeds regime cap %d", c.name, len(x), c.maxXi)
+		}
+	}
+}

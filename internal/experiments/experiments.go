@@ -1,0 +1,175 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 7 and Appendix B). Each Run* function prints the
+// same rows/series the paper reports; cmd/mcbench exposes them on the
+// command line and bench_test.go wraps them in testing.B benchmarks.
+//
+// Hardware differs from the authors' testbed, so absolute numbers are not
+// the target; EXPERIMENTS.md records the shape comparisons (who wins, by
+// roughly what factor, where crossovers fall). Dataset sizes default to a
+// scaled-down profile that completes on a laptop-class, single-core box;
+// Config.Full selects the paper's sizes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"mincore"
+	"mincore/internal/data"
+)
+
+// Config tunes experiment scale.
+type Config struct {
+	// Full runs the paper's dataset sizes (hours of CPU); the default
+	// scaled profile caps real datasets at 40k points and synthetic
+	// sweeps at 10^6.
+	Full bool
+	// Tiny shrinks everything further (for the testing.B wrappers in
+	// bench_test.go, where each benchmark re-runs a whole experiment).
+	Tiny bool
+	// Seed drives all generators.
+	Seed int64
+	// MaxEpsSteps trims ε sweeps (0 = full sweep).
+	MaxEpsSteps int
+}
+
+// realN returns the dataset size to generate for a Table 1 dataset. The
+// default profile caps sizes by dimensionality: ξ — and with it the ξ²
+// LPs of dominance-graph construction — grows quickly with d, so the
+// high-dimensional datasets get smaller caps to keep the whole suite in
+// laptop range (the paper itself reports 343 s for the 9-dimensional
+// Colors dataset on its server).
+func (c Config) realN(paperN, d int) int {
+	if c.Full {
+		return paperN
+	}
+	cap := 40000
+	switch {
+	case d >= 8:
+		cap = 6000
+	case d >= 5:
+		cap = 20000
+	}
+	if c.Tiny {
+		cap /= 4
+	}
+	if paperN > cap {
+		return cap
+	}
+	return paperN
+}
+
+// sweepN returns the n values for the dataset-size sweeps (Figures 5/8).
+func (c Config) sweepN() []int {
+	if c.Full {
+		return []int{1e3, 1e4, 1e5, 1e6, 1e7}
+	}
+	if c.Tiny {
+		return []int{1e3, 1e4}
+	}
+	return []int{1e3, 1e4, 1e5}
+}
+
+// synthN returns the default synthetic dataset size (paper: 10^5),
+// dimension-capped in the default profile for the same ξ²-LP reason as
+// realN.
+func (c Config) synthN(d int) int {
+	if c.Full {
+		return 100000
+	}
+	n := 20000
+	switch {
+	case d >= 8:
+		n = 4000
+	case d >= 5:
+		n = 10000
+	}
+	if c.Tiny {
+		n /= 4
+	}
+	return n
+}
+
+func (c Config) epsSweep(full []float64) []float64 {
+	if c.MaxEpsSteps > 0 && len(full) > c.MaxEpsSteps {
+		return full[len(full)-c.MaxEpsSteps:]
+	}
+	return full
+}
+
+// result is one algorithm run.
+type result struct {
+	algo mincore.Algorithm
+	size int
+	loss float64
+	dur  time.Duration
+}
+
+// runAlgo times one coreset construction.
+func runAlgo(cs *mincore.Coreseter, eps float64, algo mincore.Algorithm) (result, error) {
+	start := time.Now()
+	q, err := cs.Coreset(eps, algo)
+	if err != nil {
+		return result{algo: algo}, err
+	}
+	return result{algo: algo, size: q.Size(), loss: q.Loss, dur: time.Since(start)}, nil
+}
+
+// prep builds a Coreseter from a generated dataset (full pipeline:
+// dedup, fatten, perturb, extreme points).
+func prep(ds data.Dataset, seed int64) (*mincore.Coreseter, error) {
+	pts := make([]mincore.Point, len(ds.Points))
+	for i, p := range ds.Points {
+		pts[i] = mincore.Point(p)
+	}
+	return mincore.New(pts, mincore.Options{Seed: seed})
+}
+
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000)
+}
+
+// Experiments lists the regenerable experiment names in paper order.
+func Experiments() []string {
+	return []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12"}
+}
+
+// Run dispatches an experiment by name.
+func Run(name string, w io.Writer, cfg Config) error {
+	switch name {
+	case "table1":
+		return Table1(w, cfg)
+	case "fig4":
+		return Fig4(w, cfg)
+	case "fig5":
+		return Fig5(w, cfg)
+	case "fig6":
+		return Fig6(w, cfg)
+	case "fig7":
+		return Fig7(w, cfg)
+	case "fig8":
+		return Fig8(w, cfg)
+	case "fig9":
+		return Fig9(w, cfg)
+	case "fig11":
+		return Fig11(w, cfg)
+	case "fig12":
+		return Fig12(w, cfg)
+	case "all":
+		for _, e := range Experiments() {
+			if err := Run(e, w, cfg); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Experiments())
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mincore"
+	"mincore/internal/data"
+)
+
+// Tiny-scale smoke tests: every experiment runner must produce its table
+// without error. Scales here are far below even the default profile; the
+// goal is exercising the full code path of each figure, not timing.
+
+func tinyRun(t *testing.T, name string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := Config{Seed: 1, MaxEpsSteps: 1}
+	// Shrink everything via a monkeypatch-free route: use the smallest
+	// knobs the Config offers plus small datasets below.
+	if err := Run(name, &buf, cfg); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return buf.String()
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", &buf, Config{}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestExperimentNamesStable(t *testing.T) {
+	want := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("experiments = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("experiments = %v", got)
+		}
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	var c Config
+	if c.realN(1000000, 2) != 40000 {
+		t.Fatalf("realN default = %d", c.realN(1000000, 2))
+	}
+	if c.realN(100, 2) != 100 {
+		t.Fatal("small datasets must not be inflated")
+	}
+	c.Full = true
+	if c.realN(1000000, 9) != 1000000 {
+		t.Fatal("full profile must use paper sizes")
+	}
+	if len(Config{}.sweepN()) >= len(Config{Full: true}.sweepN()) {
+		t.Fatal("full sweep must be longer")
+	}
+	sw := Config{MaxEpsSteps: 2}.epsSweep([]float64{1, 2, 3, 4})
+	if len(sw) != 2 || sw[0] != 3 || sw[1] != 4 {
+		t.Fatalf("epsSweep trim = %v", sw)
+	}
+}
+
+func TestRunAlgoAndPrep(t *testing.T) {
+	ds := data.Normal(500, 2, 3)
+	cs, err := prep(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := runAlgo(cs, 0.2, mincore.OptMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.size == 0 || r.loss > 0.2+1e-9 || r.dur <= 0 {
+		t.Fatalf("result %+v", r)
+	}
+}
+
+// TestFig5TinyProfile runs the cheapest full experiment end to end and
+// sanity-checks its output shape.
+func TestFig5TinyProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs algorithms at n up to 1e5")
+	}
+	out := tinyRun(t, "fig5")
+	if !strings.Contains(out, "Figure 5") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	for _, algo := range []string{"optmc", "dsmc", "scmc", "ann"} {
+		if !strings.Contains(out, algo) {
+			t.Fatalf("missing algorithm %s:\n%s", algo, out)
+		}
+	}
+}

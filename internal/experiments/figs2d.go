@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mincore"
+	"mincore/internal/data"
+)
+
+var algos2D = []mincore.Algorithm{mincore.OptMC, mincore.DSMC, mincore.SCMC, mincore.ANN}
+
+// Fig4 reproduces Figure 4: coreset size and running time on the
+// two-dimensional datasets (FourSquare-NYC, FourSquare-TKY, NORMAL-2D)
+// with ε swept over 0.001…0.25, for OptMC, DSMC, SCMC, and ANN.
+func Fig4(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "== Figure 4: 2D datasets, coreset size and time vs ε ==")
+	epsSweep := cfg.epsSweep([]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25})
+	datasets := []struct {
+		name string
+		n    int
+	}{
+		{"foursquare-nyc", cfg.realN(37000, 2)},
+		{"foursquare-tky", cfg.realN(59955, 2)},
+		{"normal-2d", cfg.synthN(2)},
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "dataset\tε\talgo\tsize\tloss\ttime(ms)")
+	for _, d := range datasets {
+		ds, err := data.ByName(d.name, d.n, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		cs, err := prep(ds, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		for _, eps := range epsSweep {
+			for _, algo := range algos2D {
+				r, err := runAlgo(cs, eps, algo)
+				if err != nil {
+					return fmt.Errorf("%s ε=%g %s: %w", ds.Name, eps, algo, err)
+				}
+				fmt.Fprintf(tw, "%s\t%g\t%s\t%d\t%.4f\t%s\n",
+					ds.Name, eps, r.algo, r.size, r.loss, ms(r.dur))
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig5 reproduces Figure 5: scalability on NORMAL-2D at ε = 0.1 with n
+// swept over 10³…10⁷ (10⁵ scaled profile; Config.Full for the paper's
+// range).
+func Fig5(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "== Figure 5: NORMAL (2D), ε = 0.1, size and time vs n ==")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "n\talgo\tsize\tloss\ttime(ms)")
+	for _, n := range cfg.sweepN() {
+		ds := data.Normal(n, 2, cfg.Seed)
+		cs, err := prep(ds, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		for _, algo := range algos2D {
+			r, err := runAlgo(cs, 0.1, algo)
+			if err != nil {
+				return fmt.Errorf("n=%d %s: %w", n, algo, err)
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%.4f\t%s\n", n, r.algo, r.size, r.loss, ms(r.dur))
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig11 reproduces Figure 11 (Appendix B): loss distributions of
+// size-5 coresets on the two-dimensional datasets, as percentile curves
+// over a large direction sample, for each algorithm.
+func Fig11(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "== Figure 11: loss distributions, 2D, r = 5 ==")
+	samples := 100000
+	if cfg.Full {
+		samples = 1000000
+	}
+	datasets := []struct {
+		name string
+		n    int
+	}{
+		{"foursquare-nyc", cfg.realN(37000, 2)},
+		{"foursquare-tky", cfg.realN(59955, 2)},
+	}
+	return lossDistribution(w, cfg, datasets, 5, samples, algos2D)
+}

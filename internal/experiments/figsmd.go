@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mincore"
+	"mincore/internal/data"
+)
+
+var algosMD = []mincore.Algorithm{mincore.DSMC, mincore.SCMC, mincore.ANN}
+
+// Fig6 reproduces Figure 6: coreset size and running time on the
+// multidimensional real datasets (RoadNetwork 3D, Climate 4D, AirQuality
+// 6D, Colors 9D) with ε swept over 0.01…0.25, for DSMC, SCMC, and ANN.
+// DSMC's dominance graph is precomputed (as in the paper) and its
+// construction time excluded from the per-ε solution times.
+func Fig6(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "== Figure 6: multidimensional datasets, size and time vs ε ==")
+	epsSweep := cfg.epsSweep([]float64{0.01, 0.025, 0.05, 0.1, 0.25})
+	names := []string{"roadnetwork", "climate", "airquality", "colors"}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "dataset\tε\talgo\tsize\tloss\ttime(ms)")
+	for _, name := range names {
+		ds, err := data.ByName(name, 0, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		if n := cfg.realN(ds.PaperN, ds.D); n < len(ds.Points) {
+			ds.Points = ds.Points[:n]
+		}
+		cs, err := prep(ds, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		cs.DominanceGraphStats() // precompute DG, as the paper does
+		for _, eps := range epsSweep {
+			for _, algo := range algosMD {
+				r, err := runAlgo(cs, eps, algo)
+				if err != nil {
+					return fmt.Errorf("%s ε=%g %s: %w", ds.Name, eps, algo, err)
+				}
+				fmt.Fprintf(tw, "%s\t%g\t%s\t%d\t%.4f\t%s\n",
+					ds.Name, eps, r.algo, r.size, r.loss, ms(r.dur))
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig7 reproduces Figure 7: size and time vs dimensionality d ∈ 2…10 on
+// NORMAL and UNIFORM (n = 10⁵, ε = 0.1).
+func Fig7(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "== Figure 7: synthetic datasets, size and time vs d (ε = 0.1) ==")
+	dims := []int{2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if !cfg.Full {
+		dims = []int{2, 3, 4, 6, 8, 10}
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "dataset\td\talgo\tsize\tloss\ttime(ms)")
+	for _, gen := range []string{"normal", "uniform"} {
+		for _, d := range dims {
+			var ds data.Dataset
+			if gen == "normal" {
+				ds = data.Normal(cfg.synthN(d), d, cfg.Seed)
+			} else {
+				ds = data.Uniform(cfg.synthN(d), d, cfg.Seed)
+			}
+			cs, err := prep(ds, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			cs.DominanceGraphStats()
+			for _, algo := range algosMD {
+				r, err := runAlgo(cs, 0.1, algo)
+				if err != nil {
+					return fmt.Errorf("%s d=%d %s: %w", ds.Name, d, algo, err)
+				}
+				fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%.4f\t%s\n",
+					ds.Name, d, r.algo, r.size, r.loss, ms(r.dur))
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig8 reproduces Figure 8: size and time vs n (d = 6, ε = 0.1) on
+// NORMAL and UNIFORM.
+func Fig8(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "== Figure 8: synthetic datasets (d = 6), size and time vs n (ε = 0.1) ==")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "dataset\tn\talgo\tsize\tloss\ttime(ms)")
+	for _, gen := range []string{"normal", "uniform"} {
+		for _, n := range cfg.sweepN() {
+			var ds data.Dataset
+			if gen == "normal" {
+				ds = data.Normal(n, 6, cfg.Seed)
+			} else {
+				ds = data.Uniform(n, 6, cfg.Seed)
+			}
+			cs, err := prep(ds, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			cs.DominanceGraphStats()
+			for _, algo := range algosMD {
+				r, err := runAlgo(cs, 0.1, algo)
+				if err != nil {
+					return fmt.Errorf("%s n=%d %s: %w", ds.Name, n, algo, err)
+				}
+				fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%.4f\t%s\n",
+					ds.Name, n, r.algo, r.size, r.loss, ms(r.dur))
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig9 reproduces Figure 9: dominance-graph construction time vs d and
+// vs n on the synthetic datasets.
+func Fig9(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "== Figure 9: dominance-graph construction time vs d and n ==")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "dataset\td\tn\tξ\tIPDG edges\tDG edges\tDG time(s)")
+	dims := []int{2, 3, 4, 6, 8, 10}
+	for _, gen := range []string{"normal", "uniform"} {
+		for _, d := range dims {
+			var ds data.Dataset
+			if gen == "normal" {
+				ds = data.Normal(cfg.synthN(d), d, cfg.Seed)
+			} else {
+				ds = data.Uniform(cfg.synthN(d), d, cfg.Seed)
+			}
+			if err := fig9Row(tw, ds, d, cfg); err != nil {
+				return err
+			}
+		}
+	}
+	for _, n := range cfg.sweepN() {
+		ds := data.Normal(n, 6, cfg.Seed)
+		if err := fig9Row(tw, ds, 6, cfg); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+func fig9Row(tw io.Writer, ds data.Dataset, d int, cfg Config) error {
+	cs, err := prep(ds, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	_, edges, ipdgEdges := cs.DominanceGraphStats()
+	dur := time.Since(start)
+	fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.3f\n",
+		ds.Name, d, cs.N(), cs.NumExtreme(), ipdgEdges, edges, dur.Seconds())
+	return nil
+}
+
+// Fig12 reproduces Figure 12 (Appendix B): loss distributions of
+// fixed-size coresets on the multidimensional datasets.
+func Fig12(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "== Figure 12: loss distributions, multidimensional, fixed r ==")
+	samples := 100000
+	if cfg.Full {
+		samples = 1000000
+	}
+	datasets := []struct {
+		name string
+		n    int
+	}{
+		{"roadnetwork", cfg.realN(434874, 3)},
+		{"climate", cfg.realN(566262, 4)},
+		{"airquality", cfg.realN(383980, 6)},
+		{"colors", cfg.realN(68040, 9)},
+	}
+	return lossDistribution(w, cfg, datasets, 40, samples, algosMD)
+}

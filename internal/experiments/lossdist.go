@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mincore"
+	"mincore/internal/data"
+	"mincore/internal/stats"
+)
+
+// lossDistribution implements the Appendix B protocol shared by Figures
+// 11 and 12: for each dataset and algorithm, find the smallest ε whose
+// coreset has at most r points (the dual problem), then evaluate the
+// loss at a large direction sample and print the percentile curve (solid
+// lines) plus the maximum loss (dashed lines).
+func lossDistribution(w io.Writer, cfg Config, datasets []struct {
+	name string
+	n    int
+}, r, samples int, algos []mincore.Algorithm) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "dataset\talgo\tr\tε found\tP50\tP90\tP99\tP99.9\tmax\tmean")
+	for _, d := range datasets {
+		ds, err := data.ByName(d.name, d.n, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		cs, err := prep(ds, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		for _, algo := range algos {
+			q, err := cs.FixedSize(r, algo)
+			if err != nil {
+				fmt.Fprintf(tw, "%s\t%s\t%d\t(infeasible: %v)\n", ds.Name, algo, r, err)
+				continue
+			}
+			losses := cs.LossProfile(q.Indices, samples)
+			s := stats.Summarize(losses)
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+				ds.Name, algo, q.Size(), q.Eps, s.P50, s.P90, s.P99, s.P999, s.Max, s.Mean)
+		}
+	}
+	return tw.Flush()
+}

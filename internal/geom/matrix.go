@@ -1,0 +1,180 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix used for the affine transforms of the
+// α-fat normalization (internal/transform) and for orthonormal bases.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns m[i,j].
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a Vector view (not a copy).
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec returns m·v.
+func (m *Matrix) MulVec(v Vector) Vector {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("geom: MulVec dimension mismatch %d vs %d", m.Cols, len(v)))
+	}
+	out := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), v)
+	}
+	return out
+}
+
+// Mul returns m·n.
+func (m *Matrix) Mul(n *Matrix) *Matrix {
+	if m.Cols != n.Rows {
+		panic("geom: Mul dimension mismatch")
+	}
+	out := NewMatrix(m.Rows, n.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < n.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * n.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Invert returns m⁻¹ computed by Gauss–Jordan elimination with partial
+// pivoting, or ok=false if m is (numerically) singular.
+func (m *Matrix) Invert() (*Matrix, bool) {
+	if m.Rows != m.Cols {
+		panic("geom: Invert of non-square matrix")
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, pivAbs := -1, 0.0
+		for r := col; r < n; r++ {
+			if ab := math.Abs(a.At(r, col)); ab > pivAbs {
+				piv, pivAbs = r, ab
+			}
+		}
+		if piv < 0 || pivAbs < 1e-14 {
+			return nil, false
+		}
+		if piv != col {
+			swapRows(a, piv, col)
+			swapRows(inv, piv, col)
+		}
+		d := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)/d)
+			inv.Set(col, j, inv.At(col, j)/d)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+				inv.Set(r, j, inv.At(r, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, true
+}
+
+func swapRows(m *Matrix, i, j int) {
+	for c := 0; c < m.Cols; c++ {
+		m.Data[i*m.Cols+c], m.Data[j*m.Cols+c] = m.Data[j*m.Cols+c], m.Data[i*m.Cols+c]
+	}
+}
+
+// GramSchmidt orthonormalizes the given vectors in order, returning an
+// orthonormal basis of their span. Vectors (numerically) dependent on the
+// previous ones are dropped.
+func GramSchmidt(vs []Vector) []Vector {
+	var basis []Vector
+	for _, v := range vs {
+		w := v.Clone()
+		for _, b := range basis {
+			w = Sub(w, b.Scale(Dot(w, b)))
+		}
+		// Re-orthogonalize once for numerical stability (classical GS is
+		// unstable; one extra pass suffices at these dimensions).
+		for _, b := range basis {
+			w = Sub(w, b.Scale(Dot(w, b)))
+		}
+		if n := w.Norm(); n > 1e-10 {
+			basis = append(basis, w.Scale(1/n))
+		}
+	}
+	return basis
+}
+
+// CompleteBasis extends the given orthonormal vectors to a full orthonormal
+// basis of R^d by Gram–Schmidt against the standard basis.
+func CompleteBasis(d int, vs []Vector) []Vector {
+	basis := append([]Vector(nil), vs...)
+	for i := 0; i < d && len(basis) < d; i++ {
+		e := AxisVector(d, i, 1)
+		w := e
+		for _, b := range basis {
+			w = Sub(w, b.Scale(Dot(w, b)))
+		}
+		for _, b := range basis {
+			w = Sub(w, b.Scale(Dot(w, b)))
+		}
+		if n := w.Norm(); n > 1e-10 {
+			basis = append(basis, w.Scale(1/n))
+		}
+	}
+	return basis
+}

@@ -1,0 +1,86 @@
+package geom
+
+import "math"
+
+// Planar helpers for the 2D case of the MC problem. OptMC (Section 5 of
+// the paper) reasons about points and directions via their polar angles
+// θ ∈ [0,2π); these functions implement that bookkeeping.
+
+// Theta returns the polar angle of the 2D vector v in [0,2π). It panics on
+// non-2D input and returns 0 for the zero vector.
+func Theta(v Vector) float64 {
+	if len(v) != 2 {
+		panic("geom: Theta requires a 2D vector")
+	}
+	t := math.Atan2(v[1], v[0])
+	if t < 0 {
+		t += 2 * math.Pi
+	}
+	return t
+}
+
+// UnitFromTheta returns the unit vector (cos θ, sin θ).
+func UnitFromTheta(theta float64) Vector {
+	return Vector{math.Cos(theta), math.Sin(theta)}
+}
+
+// NormalizeAngle maps an arbitrary angle to [0,2π).
+func NormalizeAngle(t float64) float64 {
+	t = math.Mod(t, 2*math.Pi)
+	if t < 0 {
+		t += 2 * math.Pi
+	}
+	return t
+}
+
+// CCWAngleDist returns the counterclockwise angular distance from a to b,
+// in [0,2π).
+func CCWAngleDist(a, b float64) float64 {
+	return NormalizeAngle(b - a)
+}
+
+// Cross2D returns the z-component of the cross product of 2D vectors,
+// v.x*w.y − v.y*w.x. Positive iff w is counterclockwise of v.
+func Cross2D(v, w Vector) float64 {
+	return v[0]*w[1] - v[1]*w[0]
+}
+
+// Orient2D returns the signed doubled area of triangle (a,b,c): positive
+// for a counterclockwise turn, negative for clockwise, zero for collinear.
+func Orient2D(a, b, c Vector) float64 {
+	return (b[0]-a[0])*(c[1]-a[1]) - (b[1]-a[1])*(c[0]-a[0])
+}
+
+// EqualInnerProductDirection returns the unit vector u ∈ S¹ at which
+// ⟨p,u⟩ = ⟨q,u⟩ with ⟨p,u⟩ ≥ 0, for distinct 2D points p and q. This is
+// the boundary vector u* used in Lines 1 and 10 of Algorithm 1 (OptMC).
+//
+// ⟨p−q, u⟩ = 0 means u ⊥ (p−q); of the two perpendicular unit vectors the
+// one with nonnegative inner product with p is returned. ok is false when
+// p = q (every direction has equal inner products) or when both
+// perpendicular candidates give a negative inner product is impossible,
+// so ok=false only for p=q.
+func EqualInnerProductDirection(p, q Vector) (Vector, bool) {
+	dp := Sub(p, q)
+	n := dp.Norm()
+	if n == 0 {
+		return nil, false
+	}
+	// Perpendicular to p−q, one of two choices.
+	u := Vector{-dp[1] / n, dp[0] / n}
+	if Dot(p, u) < 0 {
+		u = u.Neg()
+	}
+	return u, true
+}
+
+// InCCWArc reports whether angle t lies in the counterclockwise arc from a
+// to b (inclusive at both ends). Arcs may wrap around 2π. When a == b the
+// arc is the single point a.
+func InCCWArc(t, a, b float64) bool {
+	t, a, b = NormalizeAngle(t), NormalizeAngle(a), NormalizeAngle(b)
+	if a <= b {
+		return t >= a && t <= b
+	}
+	return t >= a || t <= b
+}

@@ -1,0 +1,122 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTheta(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want float64
+	}{
+		{Vector{1, 0}, 0},
+		{Vector{0, 1}, math.Pi / 2},
+		{Vector{-1, 0}, math.Pi},
+		{Vector{0, -1}, 3 * math.Pi / 2},
+		{Vector{1, 1}, math.Pi / 4},
+	}
+	for _, c := range cases {
+		if got := Theta(c.v); !almostEq(got, c.want, 1e-12) {
+			t.Fatalf("Theta(%v) = %v want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestThetaUnitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		th := rng.Float64() * 2 * math.Pi
+		u := UnitFromTheta(th)
+		if !almostEq(u.Norm(), 1, 1e-12) {
+			t.Fatalf("not unit: %v", u)
+		}
+		if got := Theta(u); !almostEq(got, NormalizeAngle(th), 1e-9) {
+			t.Fatalf("round-trip %v -> %v", th, got)
+		}
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	if got := NormalizeAngle(-math.Pi / 2); !almostEq(got, 3*math.Pi/2, 1e-12) {
+		t.Fatalf("NormalizeAngle = %v", got)
+	}
+	if got := NormalizeAngle(5 * math.Pi); !almostEq(got, math.Pi, 1e-12) {
+		t.Fatalf("NormalizeAngle = %v", got)
+	}
+}
+
+func TestCCWAngleDist(t *testing.T) {
+	if got := CCWAngleDist(3*math.Pi/2, math.Pi/2); !almostEq(got, math.Pi, 1e-12) {
+		t.Fatalf("CCWAngleDist = %v", got)
+	}
+	if got := CCWAngleDist(0.1, 0.1); got != 0 {
+		t.Fatalf("CCWAngleDist same = %v", got)
+	}
+}
+
+func TestCrossOrient(t *testing.T) {
+	if Cross2D(Vector{1, 0}, Vector{0, 1}) <= 0 {
+		t.Fatal("CCW cross should be positive")
+	}
+	if Orient2D(Vector{0, 0}, Vector{1, 0}, Vector{0, 1}) <= 0 {
+		t.Fatal("CCW orientation should be positive")
+	}
+	if Orient2D(Vector{0, 0}, Vector{1, 1}, Vector{2, 2}) != 0 {
+		t.Fatal("collinear should be zero")
+	}
+}
+
+func TestEqualInnerProductDirection(t *testing.T) {
+	p, q := Vector{2, 0}, Vector{0, 2}
+	u, ok := EqualInnerProductDirection(p, q)
+	if !ok {
+		t.Fatal("expected ok")
+	}
+	if !almostEq(Dot(p, u), Dot(q, u), 1e-12) {
+		t.Fatalf("inner products differ: %v vs %v", Dot(p, u), Dot(q, u))
+	}
+	if Dot(p, u) < 0 {
+		t.Fatal("inner product should be nonnegative")
+	}
+	if _, ok := EqualInnerProductDirection(p, p); ok {
+		t.Fatal("equal points should fail")
+	}
+}
+
+func TestEqualInnerProductDirectionRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		p := Vector{rng.NormFloat64(), rng.NormFloat64()}
+		q := Vector{rng.NormFloat64(), rng.NormFloat64()}
+		if Equal(p, q) {
+			continue
+		}
+		u, ok := EqualInnerProductDirection(p, q)
+		if !ok {
+			t.Fatal("expected ok")
+		}
+		if !almostEq(u.Norm(), 1, 1e-9) {
+			t.Fatal("not unit")
+		}
+		if !almostEq(Dot(p, u), Dot(q, u), 1e-9) {
+			t.Fatal("inner products differ")
+		}
+	}
+}
+
+func TestInCCWArc(t *testing.T) {
+	// Simple arc [1, 2].
+	if !InCCWArc(1.5, 1, 2) || InCCWArc(0.5, 1, 2) || InCCWArc(2.5, 1, 2) {
+		t.Fatal("simple arc membership wrong")
+	}
+	// Wrapping arc [5.5, 0.5].
+	if !InCCWArc(6, 5.5, 0.5) || !InCCWArc(0.2, 5.5, 0.5) || InCCWArc(3, 5.5, 0.5) {
+		t.Fatal("wrapping arc membership wrong")
+	}
+	// Endpoints inclusive.
+	if !InCCWArc(1, 1, 2) || !InCCWArc(2, 1, 2) {
+		t.Fatal("endpoints should be included")
+	}
+}

@@ -1,0 +1,191 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDotBasic(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, -5, 6}
+	if got := Dot(v, w); got != 1*4+2*-5+3*6 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Dot(Vector{1}, Vector{1, 2})
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	if v.Norm() != 5 {
+		t.Fatalf("Norm = %v", v.Norm())
+	}
+	u, ok := v.Normalize()
+	if !ok || !almostEq(u.Norm(), 1, 1e-12) {
+		t.Fatalf("Normalize = %v ok=%v", u, ok)
+	}
+	if _, ok := (Vector{0, 0}).Normalize(); ok {
+		t.Fatal("zero vector should not normalize")
+	}
+}
+
+func TestMustNormalizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vector{0, 0, 0}.MustNormalize()
+}
+
+func TestAddSubScaleNeg(t *testing.T) {
+	v := Vector{1, 2}
+	w := Vector{3, 5}
+	if !Equal(Add(v, w), Vector{4, 7}) {
+		t.Fatal("Add")
+	}
+	if !Equal(Sub(w, v), Vector{2, 3}) {
+		t.Fatal("Sub")
+	}
+	if !Equal(v.Scale(3), Vector{3, 6}) {
+		t.Fatal("Scale")
+	}
+	if !Equal(v.Neg(), Vector{-1, -2}) {
+		t.Fatal("Neg")
+	}
+	// Originals untouched.
+	if !Equal(v, Vector{1, 2}) || !Equal(w, Vector{3, 5}) {
+		t.Fatal("inputs mutated")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone aliases input")
+	}
+}
+
+func TestAngle(t *testing.T) {
+	if a := Angle(Vector{1, 0}, Vector{0, 1}); !almostEq(a, math.Pi/2, 1e-12) {
+		t.Fatalf("Angle = %v", a)
+	}
+	if a := Angle(Vector{1, 0}, Vector{-1, 0}); !almostEq(a, math.Pi, 1e-12) {
+		t.Fatalf("Angle = %v", a)
+	}
+	// Numerically parallel vectors must not NaN.
+	if a := Angle(Vector{1e-8, 1}, Vector{2e-8, 2}); math.IsNaN(a) {
+		t.Fatal("Angle NaN for parallel vectors")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	v, w := Vector{0, 0}, Vector{2, 4}
+	if !Equal(Lerp(v, w, 0.5), Vector{1, 2}) {
+		t.Fatal("Lerp midpoint")
+	}
+	if !Equal(Lerp(v, w, 0), v) || !Equal(Lerp(v, w, 1), w) {
+		t.Fatal("Lerp endpoints")
+	}
+}
+
+func TestAxisVector(t *testing.T) {
+	v := AxisVector(3, 1, -1)
+	if !Equal(v, Vector{0, -1, 0}) {
+		t.Fatalf("AxisVector = %v", v)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	c := Centroid([]Vector{{0, 0}, {2, 0}, {0, 2}, {2, 2}})
+	if !ApproxEqual(c, Vector{1, 1}, 1e-12) {
+		t.Fatalf("Centroid = %v", c)
+	}
+}
+
+func TestMaxMinDot(t *testing.T) {
+	pts := []Vector{{0, 0}, {1, 0}, {0, 1}, {-1, -1}}
+	i, v := MaxDot(pts, Vector{1, 0})
+	if i != 1 || v != 1 {
+		t.Fatalf("MaxDot = %d,%v", i, v)
+	}
+	i, v = MinDot(pts, Vector{1, 0})
+	if i != 3 || v != -1 {
+		t.Fatalf("MinDot = %d,%v", i, v)
+	}
+	if w := DirectionalWidth(pts, Vector{1, 0}); w != 2 {
+		t.Fatalf("DirectionalWidth = %v", w)
+	}
+}
+
+func TestMaxDotTieKeepsFirst(t *testing.T) {
+	pts := []Vector{{1, 0}, {1, 5}}
+	i, _ := MaxDot(pts, Vector{1, 0})
+	if i != 0 {
+		t.Fatalf("tie should keep first index, got %d", i)
+	}
+}
+
+// Property: Cauchy–Schwarz and triangle inequality hold.
+func TestVectorInequalitiesProperty(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		v, w := Vector(a[:]), Vector(b[:])
+		if math.Abs(Dot(v, w)) > v.Norm()*w.Norm()+1e-9 {
+			return false
+		}
+		return Add(v, w).Norm() <= v.Norm()+w.Norm()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: normalized vectors have unit norm.
+func TestNormalizeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		d := 1 + rng.Intn(9)
+		v := NewVector(d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		if u, ok := v.Normalize(); ok && !almostEq(u.Norm(), 1, 1e-12) {
+			t.Fatalf("‖u‖ = %v", u.Norm())
+		}
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	v, w := Vector{1, 2, 3}, Vector{-1, 0, 4}
+	if Dist(v, w) != Dist(w, v) {
+		t.Fatal("Dist not symmetric")
+	}
+	if Dist(v, v) != 0 {
+		t.Fatal("Dist(v,v) != 0")
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(Vector{1, 1}, Vector{1 + 1e-10, 1}, 1e-9) {
+		t.Fatal("should be approx equal")
+	}
+	if ApproxEqual(Vector{1, 1}, Vector{1.1, 1}, 1e-9) {
+		t.Fatal("should not be approx equal")
+	}
+	if ApproxEqual(Vector{1}, Vector{1, 1}, 1) {
+		t.Fatal("dimension mismatch should be unequal")
+	}
+}

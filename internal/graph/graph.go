@@ -1,0 +1,68 @@
+// Package graph provides the directed-graph algorithms used by OptMC
+// (shortest directed cycle, Section 5 of the paper) and assorted analyses:
+// Dijkstra single-source shortest paths, BFS, shortest directed cycle in
+// unweighted and weighted digraphs, and Tarjan's strongly connected
+// components.
+package graph
+
+import "sort"
+
+// Digraph is a directed graph on vertices 0..N−1 with adjacency lists.
+// Edges may carry weights; unweighted algorithms ignore them.
+type Digraph struct {
+	n   int
+	adj [][]Edge
+}
+
+// Edge is a directed edge to To with weight W.
+type Edge struct {
+	To int
+	W  float64
+}
+
+// NewDigraph returns an empty digraph on n vertices.
+func NewDigraph(n int) *Digraph {
+	return &Digraph{n: n, adj: make([][]Edge, n)}
+}
+
+// N returns the number of vertices.
+func (g *Digraph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Digraph) M() int {
+	m := 0
+	for _, es := range g.adj {
+		m += len(es)
+	}
+	return m
+}
+
+// AddEdge appends the edge u→v with weight 1.
+func (g *Digraph) AddEdge(u, v int) { g.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge appends the edge u→v with weight w. Negative weights are
+// not supported by the shortest-path routines.
+func (g *Digraph) AddWeightedEdge(u, v int, w float64) {
+	g.adj[u] = append(g.adj[u], Edge{To: v, W: w})
+}
+
+// Neighbors returns the adjacency list of u (shared, not a copy).
+func (g *Digraph) Neighbors(u int) []Edge { return g.adj[u] }
+
+// HasEdge reports whether an edge u→v exists.
+func (g *Digraph) HasEdge(u, v int) bool {
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// SortEdges orders every adjacency list by target vertex; useful for
+// deterministic traversal in tests.
+func (g *Digraph) SortEdges() {
+	for _, es := range g.adj {
+		sort.Slice(es, func(i, j int) bool { return es[i].To < es[j].To })
+	}
+}

@@ -1,0 +1,249 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Inf is the distance reported for unreachable vertices.
+var Inf = math.Inf(1)
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	v    int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra returns shortest-path distances from src and a predecessor
+// array (−1 for src/unreachable). All edge weights must be nonnegative.
+func (g *Digraph) Dijkstra(src int) (dist []float64, pred []int) {
+	dist = make([]float64, g.n)
+	pred = make([]int, g.n)
+	for i := range dist {
+		dist[i] = Inf
+		pred[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{v: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.dist > dist[it.v] {
+			continue // stale entry
+		}
+		for _, e := range g.adj[it.v] {
+			if nd := it.dist + e.W; nd < dist[e.To] {
+				dist[e.To] = nd
+				pred[e.To] = it.v
+				heap.Push(q, pqItem{v: e.To, dist: nd})
+			}
+		}
+	}
+	return dist, pred
+}
+
+// BFS returns hop-count distances from src (−1 for unreachable) and a
+// predecessor array.
+func (g *Digraph) BFS(src int) (dist []int, pred []int) {
+	dist = make([]int, g.n)
+	pred = make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+		pred[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if dist[e.To] < 0 {
+				dist[e.To] = dist[u] + 1
+				pred[e.To] = u
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist, pred
+}
+
+// ShortestCycle returns the directed cycle with the fewest vertices, as a
+// vertex list in order (no repeated first vertex), or nil if the graph is
+// acyclic. Self-loops count as cycles of length 1.
+//
+// OptMC (Algorithm 1) minimizes the number of points in the solution, so
+// cycle length is measured in hops; the search runs one BFS per vertex,
+// O(V·(V+E)) total, the approach the paper attributes to per-source
+// shortest paths [23, 26].
+func (g *Digraph) ShortestCycle() []int {
+	// Self-loops are cycles of length 1 and cannot be beaten.
+	for s := 0; s < g.n; s++ {
+		for _, e := range g.adj[s] {
+			if e.To == s {
+				return []int{s}
+			}
+		}
+	}
+	best := -1
+	var bestCycle []int
+	for s := 0; s < g.n; s++ {
+		dist, pred := g.BFS(s)
+		// The shortest cycle through s is min over edges u→s of
+		// dist(s→u) + 1.
+		for u := 0; u < g.n; u++ {
+			if dist[u] < 0 || u == s {
+				continue
+			}
+			if best >= 0 && dist[u]+1 >= best {
+				continue
+			}
+			for _, e := range g.adj[u] {
+				if e.To == s {
+					cyc := pathTo(pred, s, u)
+					best = dist[u] + 1
+					bestCycle = cyc
+					break
+				}
+			}
+		}
+		if best == 2 {
+			break // only a self-loop beats a 2-cycle, and none exists
+		}
+	}
+	return bestCycle
+}
+
+// ShortestWeightedCycle returns the minimum-total-weight directed cycle
+// (vertex list) and its weight, or nil and +Inf if acyclic. It runs
+// Dijkstra from every vertex; weights must be nonnegative.
+func (g *Digraph) ShortestWeightedCycle() ([]int, float64) {
+	bestW := Inf
+	var bestCycle []int
+	for s := 0; s < g.n; s++ {
+		dist, pred := g.Dijkstra(s)
+		for u := 0; u < g.n; u++ {
+			if math.IsInf(dist[u], 1) {
+				continue
+			}
+			for _, e := range g.adj[u] {
+				if e.To != s {
+					continue
+				}
+				if w := dist[u] + e.W; w < bestW {
+					if u == s && e.W == 0 {
+						continue // zero-weight self-loop is degenerate
+					}
+					bestW = w
+					if u == s {
+						bestCycle = []int{s}
+					} else {
+						bestCycle = pathTo(pred, s, u)
+					}
+				}
+			}
+		}
+	}
+	return bestCycle, bestW
+}
+
+// pathTo reconstructs the path s..u from a predecessor array.
+func pathTo(pred []int, s, u int) []int {
+	var rev []int
+	for v := u; v != -1; v = pred[v] {
+		rev = append(rev, v)
+		if v == s {
+			break
+		}
+	}
+	out := make([]int, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}
+
+// SCC returns the strongly connected components of g (Tarjan), each as a
+// vertex list; components are in reverse topological order.
+func (g *Digraph) SCC() [][]int {
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	counter := 0
+
+	// Iterative Tarjan to avoid deep recursion on large graphs.
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < g.n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		callStack := []frame{{v: root}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.ei < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.ei].To
+				f.ei++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// Done with v.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}

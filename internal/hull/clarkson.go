@@ -1,0 +1,286 @@
+package hull
+
+import (
+	"math/rand"
+
+	"mincore/internal/geom"
+	"mincore/internal/lp"
+	"mincore/internal/sphere"
+)
+
+// Clarkson's output-sensitive extreme-point algorithm: maintain a set S of
+// confirmed hull vertices; for each point p test p ∈ conv(S). If inside, p
+// is not a vertex. If outside, a separating direction u is produced and
+// the support point argmax_{q∈P}⟨q,u⟩ — a guaranteed vertex — is added to
+// S; the test for p repeats. Total work is O(n) containment tests plus ξ
+// support scans, where ξ is the number of extreme points.
+//
+// Containment tests run through three tiers: a barycentric interior-simplex
+// filter (O(d²)), Gilbert's algorithm against S, and finally the exact
+// containment LP, whose Farkas certificate supplies the separating
+// direction.
+
+// options for ExtremePoints.
+type options struct {
+	warmDirections int
+	seed           int64
+	tol            float64
+}
+
+// Option configures ExtremePoints.
+type Option func(*options)
+
+// WithWarmDirections sets the number of random support directions used to
+// seed the confirmed-vertex set (default 128; more helps high dimensions).
+func WithWarmDirections(k int) Option { return func(o *options) { o.warmDirections = k } }
+
+// WithSeed sets the seed for the warm-start direction sample.
+func WithSeed(s int64) Option { return func(o *options) { o.seed = s } }
+
+// WithTolerance sets the geometric tolerance under which a point counts as
+// inside the hull (default 1e-9). Points within tol of the hull boundary
+// may be classified either way.
+func WithTolerance(t float64) Option { return func(o *options) { o.tol = t } }
+
+// ExtremePoints returns the indices of the vertices of conv(pts), i.e. the
+// set X of extreme points of Section 4 of the paper: points p for which
+// the Voronoi cell R(p) is non-empty. The result is unordered for d ≥ 3
+// and in counterclockwise hull order for d = 2.
+//
+// The input should be in general position (use geom.Perturb on degenerate
+// data); exact duplicates are handled, but collinear/coplanar boundary
+// points may be classified arbitrarily within tolerance.
+func ExtremePoints(pts []geom.Vector, opts ...Option) []int {
+	if len(pts) == 0 {
+		return nil
+	}
+	d := pts[0].Dim()
+	switch {
+	case d == 1:
+		return extreme1D(pts)
+	case d == 2:
+		return Hull2D(pts)
+	default:
+		return clarkson(pts, opts...)
+	}
+}
+
+func extreme1D(pts []geom.Vector) []int {
+	lo, _ := geom.MinDot(pts, geom.Vector{1})
+	hi, _ := geom.MaxDot(pts, geom.Vector{1})
+	if lo == hi {
+		return []int{lo}
+	}
+	return []int{lo, hi}
+}
+
+func clarkson(pts []geom.Vector, opts ...Option) []int {
+	o := options{warmDirections: 128, seed: 1, tol: 1e-9}
+	for _, f := range opts {
+		f(&o)
+	}
+	d := pts[0].Dim()
+
+	inS := make(map[int]bool)
+	var sIdx []int
+	var sPts []geom.Vector
+	add := func(i int) {
+		if !inS[i] {
+			inS[i] = true
+			sIdx = append(sIdx, i)
+			sPts = append(sPts, pts[i])
+		}
+	}
+
+	// Warm start: support points of the axis directions and a random
+	// direction sample are vertices (ties broken by scan order are still
+	// vertices under general position).
+	for i := 0; i < d; i++ {
+		for _, sg := range []float64{1, -1} {
+			j, _ := geom.MaxDot(pts, geom.AxisVector(d, i, sg))
+			add(j)
+		}
+	}
+	rng := rand.New(rand.NewSource(o.seed))
+	for k := 0; k < o.warmDirections; k++ {
+		j, _ := geom.MaxDot(pts, sphere.RandomDirection(rng, d))
+		add(j)
+	}
+
+	// Interior-simplex filter: d+1 spread vertices. Build from the first
+	// axis maxima plus the point farthest from their centroid.
+	st := buildInteriorSimplex(pts, sPts)
+
+	for i := range pts {
+		if inS[i] {
+			continue
+		}
+		p := pts[i]
+		if st != nil && st.contains(p, -1e-9) {
+			continue // strictly inside an inscribed simplex → not a vertex
+		}
+		for {
+			res, u := containmentTest(p, sPts, o.tol)
+			if res == gilbertInside {
+				break
+			}
+			// Outside: the support point in direction u is a vertex.
+			j, supv := geom.MaxDot(pts, u)
+			if j == i || supv <= geom.Dot(p, u)+o.tol {
+				// p itself is (tied for) the support point → p is extreme.
+				add(i)
+				break
+			}
+			if inS[j] {
+				// The support point is already confirmed, yet the test
+				// said "outside": p is within tolerance of the boundary.
+				// Classify as non-extreme and move on.
+				break
+			}
+			add(j)
+		}
+	}
+	return sIdx
+}
+
+// buildInteriorSimplex picks d+1 affinely independent confirmed vertices
+// and returns a tester for their simplex, or nil if none could be built.
+func buildInteriorSimplex(pts []geom.Vector, s []geom.Vector) *simplexTester {
+	if len(s) == 0 {
+		return nil
+	}
+	d := s[0].Dim()
+	if len(s) < d+1 {
+		return nil
+	}
+	// Greedy: start from the first vertex, repeatedly take the vertex
+	// maximizing distance from the affine span of those chosen so far.
+	chosen := []geom.Vector{s[0]}
+	var basis []geom.Vector
+	for len(chosen) < d+1 {
+		bestJ, bestD := -1, 0.0
+		for j, cand := range s {
+			w := geom.Sub(cand, chosen[0])
+			for _, b := range basis {
+				w = geom.Sub(w, b.Scale(geom.Dot(w, b)))
+			}
+			if dist := w.Norm(); dist > bestD {
+				bestD, bestJ = dist, j
+			}
+		}
+		if bestJ < 0 || bestD < 1e-9 {
+			return nil // points are not full-dimensional
+		}
+		w := geom.Sub(s[bestJ], chosen[0])
+		for _, b := range basis {
+			w = geom.Sub(w, b.Scale(geom.Dot(w, b)))
+		}
+		basis = append(basis, w.Scale(1/w.Norm()))
+		chosen = append(chosen, s[bestJ])
+	}
+	st := newSimplexTester(chosen)
+	if !st.ok {
+		return nil
+	}
+	return st
+}
+
+// containmentTest decides p vs conv(s) and returns gilbertInside, or
+// gilbertOutside with a separating direction verified against all of s.
+//
+// The test escalates through prefix tiers of s. The insertion order of s
+// puts spread support points first, so small prefixes are already good
+// hull approximations: p ∈ conv(prefix) certifies p ∈ conv(s) cheaply.
+// Gilbert's algorithm serves only as a fast *outside* detector (its
+// Frank–Wolfe iteration detects a separating gap in a handful of steps
+// for clearly-outside points, but converges too slowly to certify inside
+// at tight tolerance); inside certification uses the containment LP whose
+// cost scales with the tier size.
+func containmentTest(p geom.Vector, s []geom.Vector, tol float64) (gilbertResult, geom.Vector) {
+	for _, tier := range []int{64, 512, len(s)} {
+		if tier > len(s) {
+			tier = len(s)
+		}
+		sub := s[:tier]
+		// Quick outside check.
+		if res, u := gilbert(p, sub, tol, 24); res == gilbertOutside {
+			// The certificate is verified within sub; confirm against s.
+			if tier == len(s) {
+				return gilbertOutside, u
+			}
+			if _, smax := geom.MaxDot(s, u); geom.Dot(p, u) > smax+tol {
+				return gilbertOutside, u
+			}
+			// Separates from the prefix only; escalate.
+		}
+		res, u := lpContainment(p, sub, tol)
+		if res == gilbertInside {
+			if tier == len(s) {
+				return gilbertInside, nil
+			}
+			return gilbertInside, nil // conv(sub) ⊆ conv(s)
+		}
+		if res == gilbertOutside && tier == len(s) {
+			return gilbertOutside, u
+		}
+		if res == gilbertOutside {
+			if _, smax := geom.MaxDot(s, u); geom.Dot(p, u) > smax+tol {
+				return gilbertOutside, u
+			}
+		}
+		if tier == len(s) {
+			// Exhausted all tiers without a decision: boundary-grade point;
+			// classify as inside (bounded by tol, see package comment).
+			return gilbertInside, nil
+		}
+	}
+	return gilbertInside, nil
+}
+
+// lpContainment solves the exact containment LP: find λ ≥ 0 with
+// Σλ_j s_j = p and Σλ_j = 1. Infeasibility yields a Farkas certificate
+// whose first d components separate p from conv(s).
+func lpContainment(p geom.Vector, s []geom.Vector, tol float64) (gilbertResult, geom.Vector) {
+	d := p.Dim()
+	prob := lp.NewProblem(len(s))
+	for j := range s {
+		prob.SetNonNegative(j)
+	}
+	row := make([]float64, len(s))
+	for dim := 0; dim < d; dim++ {
+		for j, q := range s {
+			row[j] = q[dim]
+		}
+		prob.AddEQ(row, p[dim])
+	}
+	ones := make([]float64, len(s))
+	for j := range ones {
+		ones[j] = 1
+	}
+	prob.AddEQ(ones, 1)
+	sol := prob.Solve()
+	switch sol.Status {
+	case lp.Optimal:
+		return gilbertInside, nil
+	case lp.Infeasible:
+		u := geom.Vector(sol.Farkas[:d]).Clone()
+		if n := u.Norm(); n > 0 {
+			u = u.Scale(1 / n)
+		} else {
+			// Degenerate certificate; fall back to the direct direction.
+			u, _ = geom.Sub(p, geom.Centroid(s)).Normalize()
+		}
+		// Confirm the separation exactly; if it does not hold within
+		// tolerance, p is boundary-grade and treated as inside.
+		_, smax := geom.MaxDot(s, u)
+		if geom.Dot(p, u) > smax+tol {
+			return gilbertOutside, u
+		}
+		return gilbertInside, nil
+	default:
+		// Solver distress on a tiny LP: conservative "inside" would drop a
+		// potential vertex; conservative "outside" could loop. Treat as
+		// inside (the validation loss checks downstream catch real misses).
+		return gilbertInside, nil
+	}
+}

@@ -1,0 +1,196 @@
+package hull
+
+import (
+	"fmt"
+	"sort"
+
+	"mincore/internal/geom"
+)
+
+// Hull3D computes the convex hull of a 3D point set by incremental
+// insertion: for each point, visible facets are found by orientation
+// tests, removed, and the horizon is re-triangulated. No conflict lists
+// are kept, so insertion is O(F) per point — quadratic overall — which is
+// exactly right for its role here: building exact IPDG edges on the small
+// extreme-point sets (ξ ≤ a few thousand) produced by Clarkson's
+// algorithm, the 3D analogue of reading edges off Qhull's output.
+//
+// Points must be in general position (use geom.Perturb); Hull3D returns an
+// error for degenerate (coplanar) inputs.
+
+// Facet is an oriented triangle of a 3D hull; vertex indices reference the
+// input slice and wind counterclockwise seen from outside.
+type Facet struct {
+	V [3]int
+}
+
+// Mesh3D is the result of Hull3D.
+type Mesh3D struct {
+	Vertices []int   // indices of hull vertices (sorted)
+	Facets   []Facet // outward-oriented triangles
+	Edges    [][2]int
+}
+
+// Hull3D computes the convex hull of pts (dimension 3, ≥ 4 points in
+// general position).
+func Hull3D(pts []geom.Vector) (*Mesh3D, error) {
+	n := len(pts)
+	if n < 4 {
+		return nil, fmt.Errorf("hull: Hull3D needs ≥ 4 points, got %d", n)
+	}
+	if pts[0].Dim() != 3 {
+		return nil, fmt.Errorf("hull: Hull3D needs 3D points, got dim %d", pts[0].Dim())
+	}
+	const eps = 1e-12
+
+	// Initial tetrahedron: first point; farthest from it; farthest from
+	// the line; farthest from the plane.
+	i0 := 0
+	i1, best := -1, 0.0
+	for i := 1; i < n; i++ {
+		if d := geom.Dist(pts[i], pts[i0]); d > best {
+			i1, best = i, d
+		}
+	}
+	if i1 < 0 || best < eps {
+		return nil, fmt.Errorf("hull: all points coincide")
+	}
+	dir := geom.Sub(pts[i1], pts[i0]).MustNormalize()
+	i2, best := -1, 0.0
+	for i := 0; i < n; i++ {
+		w := geom.Sub(pts[i], pts[i0])
+		w = geom.Sub(w, dir.Scale(geom.Dot(w, dir)))
+		if d := w.Norm(); d > best {
+			i2, best = i, d
+		}
+	}
+	if i2 < 0 || best < eps {
+		return nil, fmt.Errorf("hull: points are collinear")
+	}
+	nrm := cross3(geom.Sub(pts[i1], pts[i0]), geom.Sub(pts[i2], pts[i0]))
+	i3, best := -1, 0.0
+	for i := 0; i < n; i++ {
+		if d := abs(geom.Dot(geom.Sub(pts[i], pts[i0]), nrm)); d > best {
+			i3, best = i, d
+		}
+	}
+	if i3 < 0 || best < eps*nrm.Norm() {
+		return nil, fmt.Errorf("hull: points are coplanar")
+	}
+
+	type facet struct {
+		v     [3]int
+		alive bool
+	}
+	var facets []facet
+	// Interior reference: centroid of the tetrahedron. Used to orient the
+	// initial four facets outward; later facets inherit orientation from
+	// horizon edges.
+	center := geom.Centroid([]geom.Vector{pts[i0], pts[i1], pts[i2], pts[i3]})
+	addFacetC := func(a, b, c int) {
+		if orient3D(pts[a], pts[b], pts[c], center) > 0 {
+			b, c = c, b
+		}
+		facets = append(facets, facet{v: [3]int{a, b, c}, alive: true})
+	}
+	addFacetC(i0, i1, i2)
+	addFacetC(i0, i1, i3)
+	addFacetC(i0, i2, i3)
+	addFacetC(i1, i2, i3)
+
+	used := map[int]bool{i0: true, i1: true, i2: true, i3: true}
+	for p := 0; p < n; p++ {
+		if used[p] {
+			continue
+		}
+		// Visible facets.
+		var visible []int
+		for fi := range facets {
+			if !facets[fi].alive {
+				continue
+			}
+			f := facets[fi].v
+			if orient3D(pts[f[0]], pts[f[1]], pts[f[2]], pts[p]) > eps {
+				visible = append(visible, fi)
+			}
+		}
+		if len(visible) == 0 {
+			continue // p is inside the current hull
+		}
+		// Horizon: edges of visible facets (directed consistently) whose
+		// reverse is not an edge of another visible facet.
+		edgeCount := map[[2]int]int{}
+		for _, fi := range visible {
+			f := facets[fi].v
+			for k := 0; k < 3; k++ {
+				e := [2]int{f[k], f[(k+1)%3]}
+				edgeCount[e]++
+			}
+			facets[fi].alive = false
+		}
+		for e := range edgeCount {
+			if edgeCount[[2]int{e[1], e[0]}] > 0 {
+				continue // interior edge of the visible region
+			}
+			// New facet keeps the horizon edge direction, apex p; this
+			// preserves outward orientation.
+			facets = append(facets, facet{v: [3]int{e[0], e[1], p}, alive: true})
+		}
+	}
+
+	mesh := &Mesh3D{}
+	vset := map[int]bool{}
+	eset := map[[2]int]bool{}
+	for _, f := range facets {
+		if !f.alive {
+			continue
+		}
+		mesh.Facets = append(mesh.Facets, Facet{V: f.v})
+		for k := 0; k < 3; k++ {
+			a, b := f.v[k], f.v[(k+1)%3]
+			vset[a] = true
+			if a > b {
+				a, b = b, a
+			}
+			eset[[2]int{a, b}] = true
+		}
+	}
+	for v := range vset {
+		mesh.Vertices = append(mesh.Vertices, v)
+	}
+	sort.Ints(mesh.Vertices)
+	for e := range eset {
+		mesh.Edges = append(mesh.Edges, e)
+	}
+	sort.Slice(mesh.Edges, func(i, j int) bool {
+		if mesh.Edges[i][0] != mesh.Edges[j][0] {
+			return mesh.Edges[i][0] < mesh.Edges[j][0]
+		}
+		return mesh.Edges[i][1] < mesh.Edges[j][1]
+	})
+	return mesh, nil
+}
+
+// orient3D returns the signed volume of the tetrahedron (a,b,c,d):
+// positive if d is on the positive side of plane (a,b,c).
+func orient3D(a, b, c, d geom.Vector) float64 {
+	ab := geom.Sub(b, a)
+	ac := geom.Sub(c, a)
+	ad := geom.Sub(d, a)
+	return geom.Dot(cross3(ab, ac), ad)
+}
+
+func cross3(v, w geom.Vector) geom.Vector {
+	return geom.Vector{
+		v[1]*w[2] - v[2]*w[1],
+		v[2]*w[0] - v[0]*w[2],
+		v[0]*w[1] - v[1]*w[0],
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,227 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Randomized cross-check: solve random bounded LPs with the simplex and
+// with brute-force vertex enumeration (every d-subset of tight
+// constraints), which is exact for small instances.
+
+// bruteForceMax maximizes c·x over {x ≥ 0, Ax ≤ b} by enumerating basic
+// feasible points. Assumes the region is bounded (callers add box rows).
+func bruteForceMax(c []float64, a [][]float64, b []float64) (float64, bool) {
+	d := len(c)
+	// Constraint set: rows of a plus the d nonnegativity planes x_i = 0.
+	var planes [][]float64
+	var rhs []float64
+	for i := range a {
+		planes = append(planes, a[i])
+		rhs = append(rhs, b[i])
+	}
+	for i := 0; i < d; i++ {
+		row := make([]float64, d)
+		row[i] = -1 // −x_i ≤ 0 tight means x_i = 0
+		planes = append(planes, row)
+		rhs = append(rhs, 0)
+	}
+	best := math.Inf(-1)
+	found := false
+	idx := make([]int, d)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == d {
+			x, ok := solveSquare(planes, rhs, idx)
+			if !ok {
+				return
+			}
+			// Check feasibility.
+			for i := range a {
+				s := 0.0
+				for j := 0; j < d; j++ {
+					s += a[i][j] * x[j]
+				}
+				if s > b[i]+1e-7 {
+					return
+				}
+			}
+			for j := 0; j < d; j++ {
+				if x[j] < -1e-7 {
+					return
+				}
+			}
+			v := 0.0
+			for j := 0; j < d; j++ {
+				v += c[j] * x[j]
+			}
+			if v > best {
+				best = v
+			}
+			found = true
+			return
+		}
+		for i := start; i < len(planes); i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+// solveSquare solves the d×d system planes[idx]·x = rhs[idx] by Gaussian
+// elimination; ok=false if singular.
+func solveSquare(planes [][]float64, rhs []float64, idx []int) ([]float64, bool) {
+	d := len(idx)
+	m := make([][]float64, d)
+	for i, r := range idx {
+		m[i] = append(append([]float64(nil), planes[r]...), rhs[r])
+	}
+	for col := 0; col < d; col++ {
+		piv, pv := -1, 1e-9
+		for r := col; r < d; r++ {
+			if ab := math.Abs(m[r][col]); ab > pv {
+				piv, pv = r, ab
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		m[piv], m[col] = m[col], m[piv]
+		f := m[col][col]
+		for j := col; j <= d; j++ {
+			m[col][j] /= f
+		}
+		for r := 0; r < d; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			g := m[r][col]
+			for j := col; j <= d; j++ {
+				m[r][j] -= g * m[col][j]
+			}
+		}
+	}
+	x := make([]float64, d)
+	for i := 0; i < d; i++ {
+		x[i] = m[i][d]
+	}
+	return x, true
+}
+
+func TestSimplexAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		d := 2 + rng.Intn(2) // 2 or 3 variables
+		nc := 2 + rng.Intn(4)
+		c := make([]float64, d)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+		}
+		var a [][]float64
+		var b []float64
+		for i := 0; i < nc; i++ {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			a = append(a, row)
+			b = append(b, rng.Float64()*4) // rhs ≥ 0 so x=0 is feasible
+		}
+		// Box rows guarantee boundedness.
+		for j := 0; j < d; j++ {
+			row := make([]float64, d)
+			row[j] = 1
+			a = append(a, row)
+			b = append(b, 10)
+		}
+
+		want, ok := bruteForceMax(c, a, b)
+		if !ok {
+			continue
+		}
+		p := NewProblem(d)
+		for j := 0; j < d; j++ {
+			p.SetNonNegative(j)
+		}
+		p.SetObjective(c, true)
+		for i := range a {
+			p.AddLE(a[i], b[i])
+		}
+		s := p.Solve()
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v (brute force found optimum %v)", trial, s.Status, want)
+		}
+		if math.Abs(s.Value-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: simplex %v vs brute force %v", trial, s.Value, want)
+		}
+	}
+}
+
+func TestSimplexFeasibilityOfSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		d := 2 + rng.Intn(3)
+		nc := 1 + rng.Intn(5)
+		p := NewProblem(d)
+		c := make([]float64, d)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+		}
+		p.SetObjective(c, rng.Intn(2) == 0)
+		type con struct {
+			row   []float64
+			sense Sense
+			rhs   float64
+		}
+		var cons []con
+		for i := 0; i < nc; i++ {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			sense := Sense(rng.Intn(3))
+			rhs := rng.NormFloat64()
+			cons = append(cons, con{row, sense, rhs})
+			p.AddConstraint(row, sense, rhs)
+		}
+		// Box to keep things bounded.
+		for j := 0; j < d; j++ {
+			row := make([]float64, d)
+			row[j] = 1
+			p.AddLE(row, 5)
+			p.AddGE(row, -5)
+			cons = append(cons, con{append([]float64(nil), row...), LE, 5})
+			cons = append(cons, con{append([]float64(nil), row...), GE, -5})
+		}
+		s := p.Solve()
+		if s.Status == Infeasible {
+			continue
+		}
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: unexpected status %v", trial, s.Status)
+		}
+		for ci, cc := range cons {
+			v := 0.0
+			for j := 0; j < d; j++ {
+				v += cc.row[j] * s.X[j]
+			}
+			switch cc.sense {
+			case LE:
+				if v > cc.rhs+1e-6 {
+					t.Fatalf("trial %d: LE constraint %d violated: %v > %v", trial, ci, v, cc.rhs)
+				}
+			case GE:
+				if v < cc.rhs-1e-6 {
+					t.Fatalf("trial %d: GE constraint %d violated: %v < %v", trial, ci, v, cc.rhs)
+				}
+			case EQ:
+				if math.Abs(v-cc.rhs) > 1e-6 {
+					t.Fatalf("trial %d: EQ constraint %d violated: %v != %v", trial, ci, v, cc.rhs)
+				}
+			}
+		}
+	}
+}

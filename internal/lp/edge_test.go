@@ -1,0 +1,142 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		Optimal:    "optimal",
+		Infeasible: "infeasible",
+		Unbounded:  "unbounded",
+		IterLimit:  "iteration-limit",
+		Status(99): "status(99)",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestMalformedInputsPanic(t *testing.T) {
+	p := NewProblem(2)
+	for _, f := range []func(){
+		func() { p.SetObjective([]float64{1}, true) },
+		func() { p.AddLE([]float64{1, 2, 3}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNoConstraintsZeroObjective(t *testing.T) {
+	p := NewProblem(2)
+	s := p.Solve()
+	if s.Status != Optimal || s.Value != 0 {
+		t.Fatalf("unconstrained zero objective: %+v", s)
+	}
+}
+
+func TestNoConstraintsNonzeroObjective(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective([]float64{1}, true)
+	if s := p.Solve(); s.Status != Unbounded {
+		t.Fatalf("status = %v want unbounded", s.Status)
+	}
+}
+
+// Classic Beale cycling example: without anti-cycling rules the simplex
+// loops forever; Bland's rule must terminate it.
+func TestBealeCycling(t *testing.T) {
+	// max 0.75x1 − 150x2 + 0.02x3 − 6x4
+	// s.t. 0.25x1 − 60x2 − 0.04x3 + 9x4 ≤ 0
+	//      0.5x1 − 90x2 − 0.02x3 + 3x4 ≤ 0
+	//      x3 ≤ 1, x ≥ 0. Optimum 0.05.
+	p := NewProblem(4)
+	for i := 0; i < 4; i++ {
+		p.SetNonNegative(i)
+	}
+	p.SetObjective([]float64{0.75, -150, 0.02, -6}, true)
+	p.AddLE([]float64{0.25, -60, -0.04, 9}, 0)
+	p.AddLE([]float64{0.5, -90, -0.02, 3}, 0)
+	p.AddLE([]float64{0, 0, 1, 0}, 1)
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Value-0.05) > 1e-9 {
+		t.Fatalf("value = %v want 0.05", s.Value)
+	}
+}
+
+func TestEqualityOnlySystem(t *testing.T) {
+	// x + y = 3, x − y = 1 → (2,1); objective irrelevant but finite.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1}, true)
+	p.AddEQ([]float64{1, 1}, 3)
+	p.AddEQ([]float64{1, -1}, 1)
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if math.Abs(s.X[0]-2) > 1e-9 || math.Abs(s.X[1]-1) > 1e-9 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestContradictoryEqualities(t *testing.T) {
+	p := NewProblem(2)
+	p.AddEQ([]float64{1, 1}, 3)
+	p.AddEQ([]float64{1, 1}, 4)
+	if s := p.Solve(); s.Status != Infeasible {
+		t.Fatalf("status %v want infeasible", s.Status)
+	}
+}
+
+func TestManyColumnsFewRows(t *testing.T) {
+	// The dualized-loss-LP shape: 4 rows, 500 nonnegative columns.
+	n := 500
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.SetNonNegative(j)
+	}
+	obj := make([]float64, n)
+	for j := range obj {
+		obj[j] = 1 + float64(j%7)
+	}
+	p.SetObjective(obj, false)
+	row := make([]float64, n)
+	for j := range row {
+		row[j] = float64(j%13) - 6
+	}
+	p.AddEQ(row, 0)
+	ones := make([]float64, n)
+	for j := range ones {
+		ones[j] = 1
+	}
+	p.AddEQ(ones, 1)
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	// Verify feasibility.
+	var sum, dot float64
+	for j := 0; j < n; j++ {
+		if s.X[j] < -1e-9 {
+			t.Fatalf("x[%d] = %v < 0", j, s.X[j])
+		}
+		sum += s.X[j]
+		dot += row[j] * s.X[j]
+	}
+	if math.Abs(sum-1) > 1e-7 || math.Abs(dot) > 1e-7 {
+		t.Fatalf("constraints violated: sum=%v dot=%v", sum, dot)
+	}
+}

@@ -1,0 +1,170 @@
+// Package lp implements a dense two-phase primal simplex solver for the
+// small linear programs that arise in mincore: the dominance-graph edge
+// weights of Eq. 2 in the paper, the exact maximum-loss computation of
+// Nanongkai et al. used in the NP-hardness reduction, and the vertex tests
+// of Clarkson's output-sensitive extreme-point algorithm.
+//
+// All of these LPs have O(d) variables (d ≤ 10 in every experiment) and at
+// most a few thousand constraints, so a dense tableau solver is exact
+// (within floating-point tolerance) and fast; it replaces the GLPK solver
+// used by the paper's C++ implementation.
+//
+// Variables are free (unbounded in sign) by default, matching the LPs in
+// the paper where the direction vector u ranges over R^d; callers may mark
+// individual variables as nonnegative.
+package lp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means a finite optimum was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies all constraints.
+	Infeasible
+	// Unbounded means the objective is unbounded over the feasible region.
+	Unbounded
+	// IterLimit means the solver hit its iteration cap (should not happen
+	// with Bland's rule; treated as an internal error by callers).
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// ErrBadProblem is returned for malformed inputs (dimension mismatches,
+// no variables).
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+const (
+	// LE is aᵀx ≤ b.
+	LE Sense = iota
+	// GE is aᵀx ≥ b.
+	GE
+	// EQ is aᵀx = b.
+	EQ
+)
+
+type constraint struct {
+	coeffs []float64
+	sense  Sense
+	rhs    float64
+}
+
+// Problem is a linear program: maximize Objective·x subject to the added
+// constraints. Construct with NewProblem, add constraints, then Solve.
+type Problem struct {
+	numVars     int
+	objective   []float64
+	maximize    bool
+	constraints []constraint
+	nonneg      []bool
+}
+
+// NewProblem returns an empty problem over numVars free variables with a
+// zero objective (a pure feasibility problem until SetObjective is called).
+func NewProblem(numVars int) *Problem {
+	return &Problem{
+		numVars:   numVars,
+		objective: make([]float64, numVars),
+		maximize:  true,
+		nonneg:    make([]bool, numVars),
+	}
+}
+
+// NumVars returns the number of decision variables.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.constraints) }
+
+// SetObjective sets the objective coefficients; maximize selects the
+// optimization direction.
+func (p *Problem) SetObjective(coeffs []float64, maximize bool) {
+	if len(coeffs) != p.numVars {
+		panic(ErrBadProblem)
+	}
+	p.objective = append([]float64(nil), coeffs...)
+	p.maximize = maximize
+}
+
+// SetNonNegative constrains variable i to x_i ≥ 0.
+func (p *Problem) SetNonNegative(i int) { p.nonneg[i] = true }
+
+// AddConstraint appends the constraint coeffs·x (sense) rhs.
+func (p *Problem) AddConstraint(coeffs []float64, sense Sense, rhs float64) {
+	if len(coeffs) != p.numVars {
+		panic(ErrBadProblem)
+	}
+	p.constraints = append(p.constraints, constraint{
+		coeffs: append([]float64(nil), coeffs...),
+		sense:  sense,
+		rhs:    rhs,
+	})
+}
+
+// AddLE appends coeffs·x ≤ rhs.
+func (p *Problem) AddLE(coeffs []float64, rhs float64) { p.AddConstraint(coeffs, LE, rhs) }
+
+// AddGE appends coeffs·x ≥ rhs.
+func (p *Problem) AddGE(coeffs []float64, rhs float64) { p.AddConstraint(coeffs, GE, rhs) }
+
+// AddEQ appends coeffs·x = rhs.
+func (p *Problem) AddEQ(coeffs []float64, rhs float64) { p.AddConstraint(coeffs, EQ, rhs) }
+
+// Solution holds the result of Solve. X and Value are meaningful only when
+// Status == Optimal.
+//
+// Farkas is set when Status == Infeasible: it is a vector z, one entry per
+// constraint in insertion order, certifying infeasibility. For a problem
+// whose constraints are all equalities Ax = b over nonnegative variables
+// (the containment LPs of Clarkson's algorithm), z satisfies zᵀA ≤ 0
+// componentwise and zᵀb > 0 up to solver tolerance.
+type Solution struct {
+	Status Status
+	X      []float64
+	Value  float64
+	Farkas []float64
+}
+
+// Solve runs the two-phase simplex method and returns the solution.
+func (p *Problem) Solve() Solution {
+	if p.numVars == 0 {
+		return Solution{Status: Optimal, X: nil, Value: 0}
+	}
+	t := newTableau(p)
+	st := t.solve()
+	if st == Infeasible {
+		return Solution{Status: st, Farkas: t.farkas}
+	}
+	if st != Optimal {
+		return Solution{Status: st}
+	}
+	x := t.extract()
+	// Report the objective in the caller's orientation.
+	var v float64
+	for i, c := range p.objective {
+		v += c * x[i]
+	}
+	return Solution{Status: Optimal, X: x, Value: v}
+}

@@ -1,0 +1,246 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func solveOrDie(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("expected optimal, got %v", s.Status)
+	}
+	return s
+}
+
+func TestTrivialEmpty(t *testing.T) {
+	p := NewProblem(0)
+	s := p.Solve()
+	if s.Status != Optimal || s.Value != 0 {
+		t.Fatalf("empty problem: %+v", s)
+	}
+}
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x + 2y s.t. x+y ≤ 4, x+3y ≤ 6, x,y ≥ 0 → (4,0), value 12.
+	p := NewProblem(2)
+	p.SetNonNegative(0)
+	p.SetNonNegative(1)
+	p.SetObjective([]float64{3, 2}, true)
+	p.AddLE([]float64{1, 1}, 4)
+	p.AddLE([]float64{1, 3}, 6)
+	s := solveOrDie(t, p)
+	if math.Abs(s.Value-12) > 1e-9 {
+		t.Fatalf("value = %v want 12", s.Value)
+	}
+	if math.Abs(s.X[0]-4) > 1e-9 || math.Abs(s.X[1]) > 1e-9 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestSimpleMinimize(t *testing.T) {
+	// min x + y s.t. x + 2y ≥ 4, 3x + y ≥ 6, x,y ≥ 0. Optimum at the
+	// intersection (8/5, 6/5), value 14/5.
+	p := NewProblem(2)
+	p.SetNonNegative(0)
+	p.SetNonNegative(1)
+	p.SetObjective([]float64{1, 1}, false)
+	p.AddGE([]float64{1, 2}, 4)
+	p.AddGE([]float64{3, 1}, 6)
+	s := solveOrDie(t, p)
+	if math.Abs(s.Value-14.0/5) > 1e-8 {
+		t.Fatalf("value = %v want 2.8", s.Value)
+	}
+}
+
+func TestFreeVariables(t *testing.T) {
+	// max x s.t. x ≤ −3 with x free → −3.
+	p := NewProblem(1)
+	p.SetObjective([]float64{1}, true)
+	p.AddLE([]float64{1}, -3)
+	s := solveOrDie(t, p)
+	if math.Abs(s.X[0]+3) > 1e-9 {
+		t.Fatalf("x = %v want -3", s.X[0])
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x + y s.t. x + y = 5, x − y ≤ 1, free vars → value 5.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1}, true)
+	p.AddEQ([]float64{1, 1}, 5)
+	p.AddLE([]float64{1, -1}, 1)
+	s := solveOrDie(t, p)
+	if math.Abs(s.Value-5) > 1e-9 {
+		t.Fatalf("value = %v", s.Value)
+	}
+	if math.Abs(s.X[0]+s.X[1]-5) > 1e-9 {
+		t.Fatalf("constraint violated: %v", s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetNonNegative(0)
+	p.SetObjective([]float64{1}, true)
+	p.AddLE([]float64{1}, 1)
+	p.AddGE([]float64{1}, 2)
+	s := p.Solve()
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.SetNonNegative(0)
+	p.SetNonNegative(1)
+	p.SetObjective([]float64{1, 1}, true)
+	p.AddGE([]float64{1, 0}, 1)
+	s := p.Solve()
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v want unbounded", s.Status)
+	}
+}
+
+func TestUnboundedFreeVariable(t *testing.T) {
+	// max x, x free, only constraint y ≤ 1.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 0}, true)
+	p.AddLE([]float64{0, 1}, 1)
+	s := p.Solve()
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// max −x s.t. −x ≤ −2, x ≥ 0 → x = 2, value −2.
+	p := NewProblem(1)
+	p.SetNonNegative(0)
+	p.SetObjective([]float64{-1}, true)
+	p.AddLE([]float64{-1}, -2)
+	s := solveOrDie(t, p)
+	if math.Abs(s.X[0]-2) > 1e-9 {
+		t.Fatalf("x = %v want 2", s.X[0])
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A degenerate vertex (three constraints through one point in 2D).
+	p := NewProblem(2)
+	p.SetNonNegative(0)
+	p.SetNonNegative(1)
+	p.SetObjective([]float64{1, 1}, true)
+	p.AddLE([]float64{1, 0}, 1)
+	p.AddLE([]float64{0, 1}, 1)
+	p.AddLE([]float64{1, 1}, 2)
+	p.AddLE([]float64{2, 1}, 3)
+	s := solveOrDie(t, p)
+	if math.Abs(s.Value-2) > 1e-9 {
+		t.Fatalf("value = %v want 2", s.Value)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicate equality rows: solver must not report infeasible.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 0}, true)
+	p.AddEQ([]float64{1, 1}, 2)
+	p.AddEQ([]float64{1, 1}, 2)
+	p.AddLE([]float64{1, 0}, 1.5)
+	s := solveOrDie(t, p)
+	if math.Abs(s.X[0]-1.5) > 1e-8 || math.Abs(s.X[1]-0.5) > 1e-8 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestFarkasCertificate(t *testing.T) {
+	// Infeasible containment system: is (2,0) in conv{(0,0),(1,0),(0,1)}?
+	// λ₁(0,0)+λ₂(1,0)+λ₃(0,1) = (2,0), Σλ = 1, λ ≥ 0 — infeasible.
+	pts := [][]float64{{0, 0}, {1, 0}, {0, 1}}
+	target := []float64{2, 0}
+	p := NewProblem(3)
+	for i := 0; i < 3; i++ {
+		p.SetNonNegative(i)
+	}
+	for dim := 0; dim < 2; dim++ {
+		row := make([]float64, 3)
+		for j, pt := range pts {
+			row[j] = pt[dim]
+		}
+		p.AddEQ(row, target[dim])
+	}
+	p.AddEQ([]float64{1, 1, 1}, 1)
+	s := p.Solve()
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v want infeasible", s.Status)
+	}
+	if len(s.Farkas) != 3 {
+		t.Fatalf("Farkas len = %d", len(s.Farkas))
+	}
+	z := s.Farkas
+	// zᵀA ≤ 0 componentwise over the λ columns.
+	for j, pt := range pts {
+		v := z[0]*pt[0] + z[1]*pt[1] + z[2]
+		if v > 1e-7 {
+			t.Fatalf("Farkas column %d: %v > 0", j, v)
+		}
+	}
+	// zᵀb > 0.
+	if zb := z[0]*target[0] + z[1]*target[1] + z[2]; zb <= 1e-9 {
+		t.Fatalf("zᵀb = %v, want > 0", zb)
+	}
+	// The first two components give a separating direction u with
+	// ⟨u,p⟩ > max_s ⟨u,s⟩.
+	u := z[:2]
+	up := u[0]*target[0] + u[1]*target[1]
+	for _, pt := range pts {
+		if up <= u[0]*pt[0]+u[1]*pt[1]+1e-9 {
+			t.Fatalf("u does not separate: ⟨u,p⟩=%v vs point %v", up, pt)
+		}
+	}
+}
+
+func TestEq2StyleLP(t *testing.T) {
+	// The Eq. 2 LP shape from the paper in 2D. Extreme points of the unit
+	// square's hull: t_j = (1,1); neighbors (1,-1) and (-1,1). Cell of t_j
+	// is the cone of directions where (1,1) beats both neighbors:
+	// u₁ ≥ 0 ∧ u₂ ≥ 0 (normalized by ⟨t_j,u⟩ = 1).
+	// For t_i = (1,-1): max 1 − ⟨t_i,u⟩ over that region.
+	// Constraints: (t_j−t)·u ≥ 0 for both neighbors; t_j·u = 1.
+	tj := []float64{1, 1}
+	ti := []float64{1, -1}
+	nbrs := [][]float64{{1, -1}, {-1, 1}}
+	p := NewProblem(2)
+	p.SetObjective(ti, false) // max 1 − ⟨t_i,u⟩ = 1 − min ⟨t_i,u⟩
+	for _, nb := range nbrs {
+		p.AddGE([]float64{tj[0] - nb[0], tj[1] - nb[1]}, 0)
+	}
+	p.AddEQ(tj, 1)
+	s := solveOrDie(t, p)
+	// Worst direction for t_i in the cone is u = (0,1) (normalized:
+	// ⟨t_j,u⟩=1 → u=(0,1)); ⟨t_i,u⟩ = −1 → loss 2. (Losses > 1 are
+	// clamped by callers; the LP itself reports 2.)
+	loss := 1 - s.Value
+	if math.Abs(loss-2) > 1e-8 {
+		t.Fatalf("loss = %v want 2", loss)
+	}
+}
+
+func TestObjectiveValueMatchesX(t *testing.T) {
+	p := NewProblem(3)
+	p.SetObjective([]float64{2, -1, 0.5}, true)
+	p.AddLE([]float64{1, 1, 1}, 10)
+	p.AddGE([]float64{1, 0, 0}, -5)
+	p.AddLE([]float64{0, -1, 0}, 3)
+	p.AddLE([]float64{0, 0, 1}, 7)
+	p.AddGE([]float64{0, 0, 1}, -7) // bound z below so x is bounded above
+	p.AddGE([]float64{0, 1, 0}, -4) // bound y below so optimum is finite
+	s := solveOrDie(t, p)
+	v := 2*s.X[0] - s.X[1] + 0.5*s.X[2]
+	if math.Abs(v-s.Value) > 1e-8 {
+		t.Fatalf("Value %v != c·x %v", s.Value, v)
+	}
+}

@@ -1,0 +1,362 @@
+package lp
+
+import "math"
+
+// Dense two-phase primal simplex over the tableau
+//
+//	minimize  cᵀy   subject to  Ay = b, y ≥ 0, b ≥ 0
+//
+// Free variables of the public Problem are split y = y⁺ − y⁻; LE/GE rows
+// receive slack/surplus columns; GE/EQ rows receive phase-1 artificials.
+// Pivoting uses Dantzig's rule with a switch to Bland's rule after a fixed
+// number of iterations, which guarantees termination on degenerate
+// problems.
+
+const (
+	pivotTol   = 1e-9  // entries below this are treated as zero pivots
+	feasTol    = 1e-7  // phase-1 objective below this means feasible
+	reducedTol = 1e-9  // reduced costs above −reducedTol are optimal
+	blandAfter = 5000  // switch from Dantzig to Bland after this many pivots
+	iterFactor = 200   // iteration cap = iterFactor · (m + n) + 10000
+)
+
+type tableau struct {
+	m, n  int         // constraint rows, structural+slack columns (no artificials)
+	a     [][]float64 // m rows × nTotal cols
+	b     []float64   // rhs, kept ≥ 0
+	c     []float64   // phase-2 cost over nTotal columns (zero on artificials)
+	basis []int       // basis[i] = column basic in row i
+
+	nTotal  int // n + number of artificials
+	nArt    int
+	varMap  [][2]int // varMap[i] = {plusCol, minusCol}; minusCol = -1 for nonneg vars
+	numVars int
+
+	rowSign []float64 // +1, or −1 if the row was negated to make rhs ≥ 0
+	idCol   []int     // per row, a column that was e_r in the original matrix
+	farkas  []float64 // infeasibility certificate in original row order
+
+	inBasis []bool // column membership in the basis, kept in sync with basis
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.constraints)
+	// Column layout: for each variable, one column (nonneg) or two (free:
+	// plus then minus); then one slack/surplus column per LE/GE row; then
+	// artificials.
+	varMap := make([][2]int, p.numVars)
+	col := 0
+	for i := 0; i < p.numVars; i++ {
+		if p.nonneg[i] {
+			varMap[i] = [2]int{col, -1}
+			col++
+		} else {
+			varMap[i] = [2]int{col, col + 1}
+			col += 2
+		}
+	}
+	nStruct := col
+	nSlack := 0
+	for _, con := range p.constraints {
+		if con.sense != EQ {
+			nSlack++
+		}
+	}
+	n := nStruct + nSlack
+
+	// Count artificials: a row needs one unless its slack can serve as the
+	// initial basic variable (LE row with rhs ≥ 0 after sign fix → slack
+	// coefficient +1).
+	t := &tableau{m: m, n: n, numVars: p.numVars, varMap: varMap}
+	rows := make([][]float64, m)
+	rhs := make([]float64, m)
+	basis := make([]int, m)
+	type rowInfo struct {
+		needArt  bool
+		slackCol int
+	}
+	infos := make([]rowInfo, m)
+	t.rowSign = make([]float64, m)
+	slackCol := nStruct
+	for r, con := range p.constraints {
+		row := make([]float64, n)
+		for i, cf := range con.coeffs {
+			pc, mc := varMap[i][0], varMap[i][1]
+			row[pc] += cf
+			if mc >= 0 {
+				row[mc] -= cf
+			}
+		}
+		bv := con.rhs
+		sense := con.sense
+		t.rowSign[r] = 1
+		// Normalize rhs ≥ 0.
+		if bv < 0 {
+			t.rowSign[r] = -1
+			for j := range row {
+				row[j] = -row[j]
+			}
+			bv = -bv
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		sc := -1
+		switch sense {
+		case LE:
+			sc = slackCol
+			row[sc] = 1
+			slackCol++
+			infos[r] = rowInfo{needArt: false, slackCol: sc}
+		case GE:
+			sc = slackCol
+			row[sc] = -1
+			slackCol++
+			infos[r] = rowInfo{needArt: true, slackCol: sc}
+		case EQ:
+			infos[r] = rowInfo{needArt: true}
+		}
+		rows[r] = row
+		rhs[r] = bv
+	}
+
+	nArt := 0
+	for _, inf := range infos {
+		if inf.needArt {
+			nArt++
+		}
+	}
+	nTotal := n + nArt
+	t.nArt = nArt
+	t.nTotal = nTotal
+	t.a = make([][]float64, m)
+	t.idCol = make([]int, m)
+	artCol := n
+	for r := range rows {
+		full := make([]float64, nTotal)
+		copy(full, rows[r])
+		if infos[r].needArt {
+			full[artCol] = 1
+			basis[r] = artCol
+			t.idCol[r] = artCol
+			artCol++
+		} else {
+			basis[r] = infos[r].slackCol
+			t.idCol[r] = infos[r].slackCol
+		}
+		t.a[r] = full
+	}
+	t.b = rhs
+	t.basis = basis
+	t.inBasis = make([]bool, nTotal)
+	for _, j := range basis {
+		t.inBasis[j] = true
+	}
+
+	// Phase-2 cost vector: minimize −objective if maximizing.
+	cost := make([]float64, nTotal)
+	sign := 1.0
+	if p.maximize {
+		sign = -1.0
+	}
+	for i, cf := range p.objective {
+		pc, mc := varMap[i][0], varMap[i][1]
+		cost[pc] += sign * cf
+		if mc >= 0 {
+			cost[mc] -= sign * cf
+		}
+	}
+	t.c = cost
+	return t
+}
+
+// solve runs phase 1 (if artificials exist) then phase 2.
+func (t *tableau) solve() Status {
+	if t.nArt > 0 {
+		// Phase-1 cost: sum of artificials.
+		c1 := make([]float64, t.nTotal)
+		for j := t.n; j < t.nTotal; j++ {
+			c1[j] = 1
+		}
+		st, obj := t.runSimplex(c1, t.nTotal)
+		if st != Optimal {
+			return st // unbounded phase 1 cannot happen; IterLimit propagates
+		}
+		if obj > feasTol {
+			t.computeFarkas(c1)
+			return Infeasible
+		}
+		// Drive any remaining artificial basics out of the basis.
+		for r := 0; r < t.m; r++ {
+			if t.basis[r] < t.n {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < t.n; j++ {
+				if math.Abs(t.a[r][j]) > pivotTol {
+					t.pivot(r, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is all zeros over structural columns: redundant
+				// constraint; the artificial stays basic at value 0, which
+				// is harmless as long as it never re-enters. We exclude
+				// artificial columns from phase 2 below.
+				_ = pivoted
+			}
+		}
+	}
+	st, _ := t.runSimplex(t.c, t.n) // phase 2: artificial columns frozen
+	return st
+}
+
+// runSimplex minimizes cost over the current tableau, allowing entering
+// columns only in [0, nCols). Returns status and the final objective value.
+func (t *tableau) runSimplex(cost []float64, nCols int) (Status, float64) {
+	maxIter := iterFactor*(t.m+t.nTotal) + 10000
+	// Reduced costs are computed from scratch each iteration: for our
+	// problem sizes (m ≤ few·10³, n ≤ ~30) this is cheap and avoids
+	// maintaining a running objective row.
+	y := make([]float64, t.m) // simplex multipliers via basis costs
+	rc := make([]float64, nCols)
+	for iter := 0; iter < maxIter; iter++ {
+		// y_r = cost of basic variable in row r; reduced costs
+		// rc = cost − yᵀA computed row-major for cache friendliness.
+		for r := 0; r < t.m; r++ {
+			y[r] = cost[t.basis[r]]
+		}
+		copy(rc, cost[:nCols])
+		for r := 0; r < t.m; r++ {
+			yr := y[r]
+			if yr == 0 {
+				continue
+			}
+			ar := t.a[r]
+			for j := 0; j < nCols; j++ {
+				rc[j] -= yr * ar[j]
+			}
+		}
+		// Find entering column.
+		enter := -1
+		if iter < blandAfter {
+			best := -reducedTol
+			for j := 0; j < nCols; j++ {
+				if rc[j] < best && !t.isBasic(j) {
+					best = rc[j]
+					enter = j
+				}
+			}
+		} else {
+			// Bland: smallest index with negative reduced cost.
+			for j := 0; j < nCols; j++ {
+				if rc[j] < -reducedTol && !t.isBasic(j) {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal, t.objective(cost)
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for r := 0; r < t.m; r++ {
+			arj := t.a[r][enter]
+			if arj > pivotTol {
+				ratio := t.b[r] / arj
+				if ratio < bestRatio-1e-12 ||
+					(ratio < bestRatio+1e-12 && (leave < 0 || t.basis[r] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = r
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded, 0
+		}
+		t.pivot(leave, enter)
+	}
+	return IterLimit, 0
+}
+
+func (t *tableau) isBasic(j int) bool { return t.inBasis[j] }
+
+func (t *tableau) objective(cost []float64) float64 {
+	var v float64
+	for r := 0; r < t.m; r++ {
+		v += cost[t.basis[r]] * t.b[r]
+	}
+	return v
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	piv := t.a[leave][enter]
+	inv := 1 / piv
+	row := t.a[leave]
+	for j := range row {
+		row[j] *= inv
+	}
+	t.b[leave] *= inv
+	for r := 0; r < t.m; r++ {
+		if r == leave {
+			continue
+		}
+		f := t.a[r][enter]
+		if f == 0 {
+			continue
+		}
+		ar := t.a[r]
+		for j := range ar {
+			ar[j] -= f * row[j]
+		}
+		t.b[r] -= f * t.b[leave]
+		if math.Abs(t.b[r]) < 1e-12 {
+			t.b[r] = 0
+		}
+	}
+	t.inBasis[t.basis[leave]] = false
+	t.inBasis[enter] = true
+	t.basis[leave] = enter
+}
+
+// computeFarkas derives the phase-1 infeasibility certificate. For each
+// original row r there is a column that was the identity vector e_r in the
+// original tableau (the slack of an LE row or the artificial of a GE/EQ
+// row); the current entries of that column are the r-th column of B⁻¹, so
+// the simplex multipliers are y = c_Bᵀ·B⁻¹ recovered columnwise. The
+// certificate is reported against the caller's original row orientation.
+func (t *tableau) computeFarkas(cost []float64) {
+	y := make([]float64, t.m)
+	for r := 0; r < t.m; r++ {
+		var v float64
+		for i := 0; i < t.m; i++ {
+			v += cost[t.basis[i]] * t.a[i][t.idCol[r]]
+		}
+		y[r] = v * t.rowSign[r]
+	}
+	t.farkas = y
+}
+
+// extract maps the basic solution back to the original variables.
+func (t *tableau) extract() []float64 {
+	yv := make([]float64, t.nTotal)
+	for r, j := range t.basis {
+		yv[j] = t.b[r]
+	}
+	x := make([]float64, t.numVars)
+	for i := 0; i < t.numVars; i++ {
+		pc, mc := t.varMap[i][0], t.varMap[i][1]
+		x[i] = yv[pc]
+		if mc >= 0 {
+			x[i] -= yv[mc]
+		}
+	}
+	return x
+}

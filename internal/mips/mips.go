@@ -1,0 +1,60 @@
+package mips
+
+import "mincore/internal/geom"
+
+// The ANN-based extreme-point query of Yu et al. [45]: maximum inner
+// product search is reduced to nearest-neighbor search by querying a point
+// far along the direction u. For a query point ρ·u with ρ much larger than
+// every ‖p‖,
+//
+//	‖ρu − p‖² = ρ² − 2ρ⟨p,u⟩ + ‖p‖²,
+//
+// so the nearest neighbor maximizes ⟨p,u⟩ − ‖p‖²/(2ρ); as ρ → ∞ this is
+// the exact extreme point, and for finite ρ it is an additive
+// ‖p‖²_max/(2ρ)-approximation. Combined with a (1+eps) approximate NN
+// query, this reproduces the approximate extreme-point primitive of the
+// ANN ε-kernel baseline.
+
+// Index wraps a KDTree with the MIPS↔NN reduction.
+type Index struct {
+	Tree *KDTree
+	rho  float64
+}
+
+// NewIndex builds a MIPS index over pts. rho is the query radius of the
+// reduction; it must exceed the largest point norm (NewIndex raises it to
+// 64× the largest norm if the given value is smaller, including zero).
+func NewIndex(pts []geom.Vector, rho float64) *Index {
+	maxN := 0.0
+	for _, p := range pts {
+		if n := p.Norm(); n > maxN {
+			maxN = n
+		}
+	}
+	if rho < 64*maxN {
+		rho = 64 * maxN
+	}
+	if rho == 0 {
+		rho = 1
+	}
+	return &Index{Tree: NewKDTree(pts), rho: rho}
+}
+
+// ApproxExtreme returns the index of an approximately extreme point in
+// direction u via the NN reduction with approximation parameter eps.
+// u need not be normalized.
+func (ix *Index) ApproxExtreme(u geom.Vector, eps float64) int {
+	un, ok := u.Normalize()
+	if !ok {
+		un = geom.AxisVector(u.Dim(), 0, 1)
+	}
+	q := un.Scale(ix.rho)
+	i, _ := ix.Tree.NearestNeighbor(q, eps)
+	return i
+}
+
+// Extreme returns the exact extreme point index and maximum ω(P,u) via
+// branch-and-bound MIPS.
+func (ix *Index) Extreme(u geom.Vector) (int, float64) {
+	return ix.Tree.MaxDot(u)
+}

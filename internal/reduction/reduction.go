@@ -1,0 +1,170 @@
+// Package reduction implements the NP-hardness construction of Section 3:
+// the polynomial-time reduction from the Regret Minimizing Set (RMS)
+// problem in R³₊ — NP-hard by Cao et al. [17] — to the Minimum ε-Coreset
+// (MC) problem in R³.
+//
+// Given an RMS instance (P₀ ⊂ [0,1]³, r₀) and ε, the reduction adds three
+// gadget points
+//
+//	b_x = (1−η, 1, 1),  b_y = (1, 1−η, 1),  b_z = (1, 1, 1−η)
+//
+// with η > 3 large enough, yielding P₁ = P₀ ∪ B. The theorem: P₀ has an
+// RMS solution of size r₀ with loss ≤ ε iff P₁ has an ε-coreset of size
+// r₀ + 3. The gadget points own every direction outside the positive
+// orthant (so they must appear in any solution) while being useless
+// inside it (η pushes their inner products below (1−ε)·ω for the critical
+// positive directions).
+//
+// The package also provides the RMS loss itself (the linear program of
+// Nanongkai et al. [35] restricted to nonnegative vectors) and exhaustive
+// optimal solvers for both problems, used to verify the iff property on
+// small instances.
+package reduction
+
+import (
+	"fmt"
+
+	"mincore/internal/geom"
+	"mincore/internal/lp"
+)
+
+// GadgetCount is the number of points the reduction adds.
+const GadgetCount = 3
+
+// Reduce builds the MC instance P₁ = P₀ ∪ {b_x,b_y,b_z} for the given η.
+// P₀ must lie in [0,1]³. The gadget points occupy the last three slots.
+func Reduce(p0 []geom.Vector, eta float64) ([]geom.Vector, error) {
+	if eta <= 3 {
+		return nil, fmt.Errorf("reduction: η must exceed 3, got %g", eta)
+	}
+	for i, p := range p0 {
+		if p.Dim() != 3 {
+			return nil, fmt.Errorf("reduction: point %d is not 3D", i)
+		}
+		for _, c := range p {
+			if c < 0 || c > 1 {
+				return nil, fmt.Errorf("reduction: point %d outside [0,1]³: %v", i, p)
+			}
+		}
+	}
+	out := make([]geom.Vector, 0, len(p0)+GadgetCount)
+	for _, p := range p0 {
+		out = append(out, p.Clone())
+	}
+	out = append(out,
+		geom.Vector{1 - eta, 1, 1},
+		geom.Vector{1, 1 - eta, 1},
+		geom.Vector{1, 1, 1 - eta},
+	)
+	return out, nil
+}
+
+// EtaFor returns an η sufficient for the reduction at the given ε: the
+// proof of claim (b) requires η > (3 − (1−ε)·⟨p′,u′⟩)/u′_min for the
+// witness pair of the worst loss; bounding ⟨p′,u′⟩ ≥ 0 and taking the
+// witness floor uMin on the smallest useful coordinate of u′ gives a
+// uniform bound η = 3/uMin + 4. Callers verifying exact equivalence on
+// known instances may pass their own uMin (the smallest positive
+// coordinate among critical directions); 0 selects a conservative 0.05.
+func EtaFor(uMin float64) float64 {
+	if uMin <= 0 {
+		uMin = 0.05
+	}
+	return 3/uMin + 4
+}
+
+// RMSLoss returns the regret ratio l′(Q, P₀) = max_{u∈S²₊} 1 −
+// ω(Q,u)/ω(P₀,u), computed exactly as max over p ∈ P₀ of the LP
+//
+//	max x  s.t.  ⟨q,u⟩ ≤ 1−x ∀q∈Q,  ⟨p,u⟩ = 1,  u ≥ 0,
+//
+// clamped to [0,1]. An empty Q has loss 1.
+func RMSLoss(p0 []geom.Vector, q []int) float64 {
+	if len(q) == 0 {
+		return 1
+	}
+	qpts := make([]geom.Vector, len(q))
+	for i, id := range q {
+		qpts[i] = p0[id]
+	}
+	worst := 0.0
+	for _, p := range p0 {
+		v, ok := rmsLossLP(p, qpts)
+		if !ok {
+			return 1
+		}
+		if v > worst {
+			worst = v
+		}
+		if worst >= 1 {
+			return 1
+		}
+	}
+	if worst < 0 {
+		return 0
+	}
+	return worst
+}
+
+func rmsLossLP(p geom.Vector, q []geom.Vector) (float64, bool) {
+	prob := lp.NewProblem(4) // u1,u2,u3 ≥ 0; x free
+	for i := 0; i < 3; i++ {
+		prob.SetNonNegative(i)
+	}
+	prob.SetObjective([]float64{0, 0, 0, 1}, true)
+	for _, qp := range q {
+		prob.AddLE([]float64{qp[0], qp[1], qp[2], 1}, 1)
+	}
+	prob.AddEQ([]float64{p[0], p[1], p[2], 0}, 1)
+	sol := prob.Solve()
+	switch sol.Status {
+	case lp.Optimal:
+		return sol.Value, true
+	case lp.Infeasible:
+		// ⟨p,u⟩ = 1 unreachable with u ≥ 0 (p ≈ 0): contributes nothing.
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// OptimalRMS finds the minimum RMS solution size with loss ≤ eps by
+// exhaustive subset search (exponential; verification only).
+func OptimalRMS(p0 []geom.Vector, eps float64) int {
+	return smallestSubset(len(p0), func(q []int) bool {
+		return RMSLoss(p0, q) <= eps
+	})
+}
+
+// OptimalMC finds the minimum ε-coreset size of pts by exhaustive subset
+// search using the provided loss oracle (exponential; verification only).
+func OptimalMC(n int, eps float64, loss func(q []int) float64) int {
+	return smallestSubset(n, func(q []int) bool {
+		return loss(q) <= eps
+	})
+}
+
+// smallestSubset returns the size of the smallest subset of {0..n−1}
+// accepted by feasible, or n+1 if none.
+func smallestSubset(n int, feasible func([]int) bool) int {
+	for size := 1; size <= n; size++ {
+		idx := make([]int, size)
+		var rec func(start, k int) bool
+		rec = func(start, k int) bool {
+			if k == size {
+				return feasible(append([]int(nil), idx[:size]...))
+			}
+			for i := start; i < n; i++ {
+				idx[k] = i
+				if rec(i+1, k+1) {
+					return true
+				}
+			}
+			return false
+		}
+		if rec(0, 0) {
+			return size
+		}
+	}
+	return n + 1
+}

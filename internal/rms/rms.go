@@ -1,0 +1,226 @@
+// Package rms implements the Regret Minimizing Set problem — the
+// restriction of MC to nonnegative points and vectors (Section 1.1 and
+// the hardness reduction of Section 3). RMS asks for a size-r subset
+// minimizing the maximum regret ratio over positive preference vectors;
+// it is the problem whose set-cover transformation [3, 9] the paper
+// adapts into SCMC, and whose NP-hardness [17] seeds the reduction in
+// internal/reduction.
+//
+// Provided here: the exact loss LP of Nanongkai et al. [35], the classic
+// greedy heuristic (iteratively add the point with the largest current
+// regret), and the δ-net set-cover algorithm restricted to the positive
+// orthant — the direct ancestor of SCMC, useful both as a baseline and
+// to demonstrate what the MC generalization buys.
+package rms
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mincore/internal/geom"
+	"mincore/internal/lp"
+	"mincore/internal/setcover"
+)
+
+// Loss returns the maximum regret ratio of Q ⊆ P over the nonnegative
+// unit sphere, max_{u ∈ S₊} 1 − ω(Q,u)/ω(P,u), clamped to [0,1].
+// P must lie in the nonnegative orthant with ω(P,u) > 0 for u ∈ S₊
+// (scale-invariant, per [35]). Exact, via one LP per point of P.
+func Loss(p []geom.Vector, q []int) float64 {
+	if len(q) == 0 {
+		return 1
+	}
+	d := p[0].Dim()
+	qpts := make([]geom.Vector, len(q))
+	for i, id := range q {
+		qpts[i] = p[id]
+	}
+	worst := 0.0
+	for _, pt := range p {
+		v, ok := lossLP(pt, qpts, d)
+		if !ok {
+			return 1
+		}
+		if v > worst {
+			worst = v
+		}
+		if worst >= 1 {
+			return 1
+		}
+	}
+	if worst < 0 {
+		return 0
+	}
+	return worst
+}
+
+// lossLP solves max x s.t. ⟨q,u⟩ ≤ 1−x ∀q∈Q, ⟨p,u⟩ = 1, u ≥ 0 through
+// its dual (d+1 rows): the nonnegativity of u adds slack variables to
+// the dual equalities.
+//
+//	min Σ y_q + z  s.t.  Σ y_q·q_i + z·p_i ≥ 0 ∀i,  Σ y_q = 1, y ≥ 0.
+//
+// (The u ≥ 0 primal bounds relax the dual equalities to inequalities.)
+func lossLP(p geom.Vector, q []geom.Vector, d int) (float64, bool) {
+	nq := len(q)
+	prob := lp.NewProblem(nq + 1)
+	for j := 0; j < nq; j++ {
+		prob.SetNonNegative(j)
+	}
+	obj := make([]float64, nq+1)
+	for j := range obj {
+		obj[j] = 1
+	}
+	prob.SetObjective(obj, false)
+	row := make([]float64, nq+1)
+	for i := 0; i < d; i++ {
+		for j, qp := range q {
+			row[j] = qp[i]
+		}
+		row[nq] = p[i]
+		prob.AddGE(append([]float64(nil), row...), 0)
+	}
+	ones := make([]float64, nq+1)
+	for j := 0; j < nq; j++ {
+		ones[j] = 1
+	}
+	prob.AddEQ(ones, 1)
+	sol := prob.Solve()
+	switch sol.Status {
+	case lp.Optimal:
+		return sol.Value, true
+	case lp.Infeasible:
+		return 0, false // primal unbounded: regret 1
+	default:
+		return 0, true
+	}
+}
+
+// Greedy is the classic RMS heuristic: start from the per-dimension
+// maxima and repeatedly add the point realizing the largest current
+// regret, until the budget r is filled or the regret reaches zero.
+// Returns the chosen indices and the final loss.
+func Greedy(p []geom.Vector, r int) ([]int, float64, error) {
+	if len(p) == 0 {
+		return nil, 1, fmt.Errorf("rms: empty point set")
+	}
+	d := p[0].Dim()
+	if r < d {
+		return nil, 1, fmt.Errorf("rms: budget %d below dimension %d", r, d)
+	}
+	chosen := make(map[int]bool)
+	var q []int
+	add := func(i int) {
+		if !chosen[i] {
+			chosen[i] = true
+			q = append(q, i)
+		}
+	}
+	for i := 0; i < d; i++ {
+		j, _ := geom.MaxDot(p, geom.AxisVector(d, i, 1))
+		add(j)
+	}
+	for len(q) < r {
+		// The point with the largest regret under the current Q (its own
+		// loss LP value) is the best single addition.
+		qpts := make([]geom.Vector, len(q))
+		for i, id := range q {
+			qpts[i] = p[id]
+		}
+		worstI, worstV := -1, 0.0
+		for i, pt := range p {
+			if chosen[i] {
+				continue
+			}
+			v, ok := lossLP(pt, qpts, d)
+			if !ok {
+				v = 1
+			}
+			if v > worstV {
+				worstI, worstV = i, v
+			}
+		}
+		if worstI < 0 || worstV <= 1e-12 {
+			break // zero regret reached
+		}
+		add(worstI)
+	}
+	return q, Loss(p, q), nil
+}
+
+// SetCover is the δ-net set-cover algorithm for RMS [3, 9] — the direct
+// ancestor of SCMC, with sampling restricted to the nonnegative orthant.
+// It returns a subset with loss at most eps (validated exactly) using
+// iterative sample doubling.
+func SetCover(p []geom.Vector, eps float64, seed int64) ([]int, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("rms: empty point set")
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("rms: eps ∈ (0,1) required, got %g", eps)
+	}
+	d := p[0].Dim()
+	gamma := eps / 2
+	rng := rand.New(rand.NewSource(seed))
+	m := 32 * (d + 1)
+	const maxSamples = 1 << 20
+	for {
+		dirs := make([]geom.Vector, m)
+		for k := range dirs {
+			dirs[k] = positiveDirection(rng, d)
+		}
+		q := coverOnce(p, dirs, gamma)
+		if len(q) > 0 && Loss(p, q) <= eps {
+			return q, nil
+		}
+		if m >= maxSamples {
+			// Fall back to the full skyline-free answer: all points that
+			// are maxima of some sampled direction.
+			return q, nil
+		}
+		m *= 2
+	}
+}
+
+// positiveDirection samples a uniform direction on the nonnegative part
+// of the sphere.
+func positiveDirection(rng *rand.Rand, d int) geom.Vector {
+	for {
+		v := geom.NewVector(d)
+		for i := range v {
+			v[i] = math.Abs(rng.NormFloat64())
+		}
+		if u, ok := v.Normalize(); ok {
+			return u
+		}
+	}
+}
+
+// coverOnce builds the set system over dirs and greedily covers it.
+func coverOnce(p []geom.Vector, dirs []geom.Vector, gamma float64) []int {
+	perPoint := make(map[int][]int)
+	for k, u := range dirs {
+		_, w := geom.MaxDot(p, u)
+		if w <= 0 {
+			continue
+		}
+		for i, pt := range p {
+			if geom.Dot(pt, u) >= (1-gamma)*w {
+				perPoint[i] = append(perPoint[i], k)
+			}
+		}
+	}
+	sets := make([][]int, 0, len(perPoint))
+	owners := make([]int, 0, len(perPoint))
+	for pid, elems := range perPoint {
+		sets = append(sets, elems)
+		owners = append(owners, pid)
+	}
+	chosen, _ := setcover.Greedy(len(dirs), sets)
+	out := make([]int, len(chosen))
+	for i, s := range chosen {
+		out[i] = owners[s]
+	}
+	return out
+}

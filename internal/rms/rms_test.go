@@ -1,0 +1,143 @@
+package rms
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mincore/internal/geom"
+	"mincore/internal/reduction"
+)
+
+func positivePoints(n int, seed int64) []geom.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Vector, n)
+	for i := range pts {
+		pts[i] = geom.Vector{
+			0.1 + 0.9*rng.Float64(),
+			0.1 + 0.9*rng.Float64(),
+			0.1 + 0.9*rng.Float64(),
+		}
+	}
+	return pts
+}
+
+func TestLossMatchesReductionRMSLoss(t *testing.T) {
+	// Two independent implementations of the same LP (primal in
+	// internal/reduction, dual here) must agree.
+	pts := positivePoints(20, 1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(6)
+		q := make([]int, k)
+		for i := range q {
+			q[i] = rng.Intn(len(pts))
+		}
+		a := Loss(pts, q)
+		b := reduction.RMSLoss(pts, q)
+		if math.Abs(a-b) > 1e-6 {
+			t.Fatalf("trial %d: dual loss %v vs primal loss %v (Q=%v)", trial, a, b, q)
+		}
+	}
+}
+
+func TestLossBasics(t *testing.T) {
+	pts := positivePoints(15, 3)
+	all := make([]int, len(pts))
+	for i := range all {
+		all[i] = i
+	}
+	if l := Loss(pts, all); l > 1e-7 {
+		t.Fatalf("full set loss %v", l)
+	}
+	if l := Loss(pts, nil); l != 1 {
+		t.Fatalf("empty loss %v", l)
+	}
+}
+
+func TestGreedyValidAndMonotone(t *testing.T) {
+	pts := positivePoints(200, 5)
+	prev := 1.0
+	for _, r := range []int{3, 6, 12, 24} {
+		q, loss, err := Greedy(pts, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q) > r {
+			t.Fatalf("r=%d: |Q|=%d", r, len(q))
+		}
+		if loss > prev+1e-9 {
+			t.Fatalf("loss grew with budget: %v -> %v at r=%d", prev, loss, r)
+		}
+		prev = loss
+	}
+	if _, _, err := Greedy(pts, 2); err == nil {
+		t.Fatal("budget below d should error")
+	}
+	if _, _, err := Greedy(nil, 5); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestGreedyNearOptimalSmall(t *testing.T) {
+	pts := positivePoints(10, 7)
+	eps := 0.1
+	opt := reduction.OptimalRMS(pts, eps)
+	if opt > len(pts) {
+		t.Skip("no solution at this ε")
+	}
+	// Greedy with the same budget must come close in loss; with a 2×
+	// budget it must reach ε.
+	q, loss, err := Greedy(pts, 2*opt+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > eps {
+		t.Fatalf("greedy at 2×OPT+3 budget (%d pts) has loss %v > %v", len(q), loss, eps)
+	}
+}
+
+func TestSetCoverValid(t *testing.T) {
+	pts := positivePoints(300, 9)
+	for _, eps := range []float64{0.1, 0.25} {
+		q, err := SetCover(pts, eps, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l := Loss(pts, q); l > eps+1e-9 {
+			t.Fatalf("ε=%v: set-cover loss %v (|Q|=%d)", eps, l, len(q))
+		}
+	}
+	if _, err := SetCover(pts, 0, 1); err == nil {
+		t.Fatal("eps=0 should error")
+	}
+	if _, err := SetCover(nil, 0.1, 1); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestSetCoverSmallerThanDimensionMaxima(t *testing.T) {
+	// Sanity: the solution covers all axis directions.
+	pts := positivePoints(200, 13)
+	q, err := SetCover(pts, 0.1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qset := make(map[int]bool)
+	for _, id := range q {
+		qset[id] = true
+	}
+	for i := 0; i < 3; i++ {
+		u := geom.AxisVector(3, i, 1)
+		_, w := geom.MaxDot(pts, u)
+		best := 0.0
+		for _, id := range q {
+			if v := geom.Dot(pts[id], u); v > best {
+				best = v
+			}
+		}
+		if best < 0.9*w {
+			t.Fatalf("axis %d under-covered: %v vs %v", i, best, w)
+		}
+	}
+}

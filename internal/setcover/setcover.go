@@ -1,0 +1,100 @@
+// Package setcover implements the greedy (ln m)-approximation for set
+// cover with lazy evaluation, used by SCMC (Algorithm 4) on δ-net set
+// systems and by DSMC (Algorithm 3) as greedy minimum dominating set.
+package setcover
+
+import "container/heap"
+
+// Greedy covers the universe {0..m−1} with a greedy selection from sets,
+// returning the chosen set indices in selection order. Elements not
+// covered by any set are skipped (the second return value is the number
+// of uncovered elements). The implementation is lazy-greedy: stale heap
+// priorities are refreshed on pop, which is valid because coverage gains
+// only decrease as the universe shrinks.
+func Greedy(m int, sets [][]int) ([]int, int) {
+	covered := make([]bool, m)
+	remaining := m
+
+	h := make(gainHeap, 0, len(sets))
+	for i, s := range sets {
+		if len(s) > 0 {
+			h = append(h, gainItem{set: i, gain: len(s)})
+		}
+	}
+	heap.Init(&h)
+
+	var chosen []int
+	for remaining > 0 && h.Len() > 0 {
+		top := h[0]
+		// Refresh the stale gain.
+		g := 0
+		for _, e := range sets[top.set] {
+			if !covered[e] {
+				g++
+			}
+		}
+		if g == 0 {
+			heap.Pop(&h)
+			continue
+		}
+		if g < top.gain {
+			h[0].gain = g
+			heap.Fix(&h, 0)
+			continue
+		}
+		// top.gain is accurate and maximal: take it.
+		heap.Pop(&h)
+		chosen = append(chosen, top.set)
+		for _, e := range sets[top.set] {
+			if !covered[e] {
+				covered[e] = true
+				remaining--
+			}
+		}
+	}
+	return chosen, remaining
+}
+
+// GreedyDominatingSet covers every vertex of a digraph given as dom lists:
+// dom[i] is the set of vertices dominated by i (conventionally including
+// i itself). Returns the chosen vertex indices. This is Algorithm 3's
+// greedy step: Dom(t_i) = {t_i} ∪ {t_j : (t_i → t_j) ∈ E_ε}.
+func GreedyDominatingSet(dom [][]int) []int {
+	chosen, uncovered := Greedy(len(dom), dom)
+	if uncovered > 0 {
+		// Unreachable when every dom[i] contains i; defensive fallback:
+		// add remaining vertices individually.
+		covered := make([]bool, len(dom))
+		for _, c := range chosen {
+			for _, e := range dom[c] {
+				covered[e] = true
+			}
+		}
+		for v := range dom {
+			if !covered[v] {
+				chosen = append(chosen, v)
+				covered[v] = true
+			}
+		}
+	}
+	return chosen
+}
+
+type gainItem struct {
+	set  int
+	gain int
+}
+
+type gainHeap []gainItem
+
+func (h gainHeap) Len() int            { return len(h) }
+func (h gainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainItem)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,192 @@
+package setcover
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func verifyCover(t *testing.T, m int, sets [][]int, chosen []int, wantUncovered int) {
+	t.Helper()
+	covered := make([]bool, m)
+	for _, c := range chosen {
+		for _, e := range sets[c] {
+			covered[e] = true
+		}
+	}
+	n := 0
+	for _, c := range covered {
+		if !c {
+			n++
+		}
+	}
+	if n != wantUncovered {
+		t.Fatalf("uncovered = %d want %d", n, wantUncovered)
+	}
+}
+
+func TestGreedySimple(t *testing.T) {
+	sets := [][]int{{0, 1, 2}, {2, 3}, {3, 4}, {0, 4}}
+	chosen, unc := Greedy(5, sets)
+	if unc != 0 {
+		t.Fatalf("uncovered %d", unc)
+	}
+	verifyCover(t, 5, sets, chosen, 0)
+	if len(chosen) > 3 {
+		t.Fatalf("greedy chose %d sets, expected ≤ 3", len(chosen))
+	}
+}
+
+func TestGreedyPicksLargestFirst(t *testing.T) {
+	sets := [][]int{{0}, {1}, {0, 1, 2, 3, 4}}
+	chosen, unc := Greedy(5, sets)
+	if unc != 0 || len(chosen) != 1 || chosen[0] != 2 {
+		t.Fatalf("chosen = %v unc = %d", chosen, unc)
+	}
+}
+
+func TestGreedyUncoverable(t *testing.T) {
+	sets := [][]int{{0}, {1}}
+	chosen, unc := Greedy(4, sets)
+	if unc != 2 {
+		t.Fatalf("uncovered = %d want 2", unc)
+	}
+	verifyCover(t, 4, sets, chosen, 2)
+}
+
+func TestGreedyEmpty(t *testing.T) {
+	chosen, unc := Greedy(0, nil)
+	if len(chosen) != 0 || unc != 0 {
+		t.Fatalf("empty: %v %d", chosen, unc)
+	}
+	chosen, unc = Greedy(3, [][]int{})
+	if unc != 3 || len(chosen) != 0 {
+		t.Fatalf("no sets: %v %d", chosen, unc)
+	}
+	chosen, unc = Greedy(2, [][]int{{}, {0, 1}})
+	if unc != 0 || len(chosen) != 1 || chosen[0] != 1 {
+		t.Fatalf("empty set skipped wrong: %v %d", chosen, unc)
+	}
+}
+
+func TestGreedyDuplicateElementsInSet(t *testing.T) {
+	sets := [][]int{{0, 0, 1}, {1, 1}}
+	chosen, unc := Greedy(2, sets)
+	if unc != 0 {
+		t.Fatalf("uncovered %d", unc)
+	}
+	verifyCover(t, 2, sets, chosen, 0)
+}
+
+// Greedy is within H(m)·OPT; check against exact small covers.
+func TestGreedyApproximationOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		m := 4 + rng.Intn(8)
+		ns := 3 + rng.Intn(8)
+		sets := make([][]int, ns)
+		// Ensure coverability: one random set per element.
+		for e := 0; e < m; e++ {
+			s := rng.Intn(ns)
+			sets[s] = append(sets[s], e)
+		}
+		for s := range sets {
+			for e := 0; e < m; e++ {
+				if rng.Float64() < 0.3 {
+					sets[s] = append(sets[s], e)
+				}
+			}
+		}
+		chosen, unc := Greedy(m, sets)
+		if unc != 0 {
+			t.Fatalf("trial %d: uncovered %d", trial, unc)
+		}
+		verifyCover(t, m, sets, chosen, 0)
+		opt := exactCover(m, sets)
+		// ln(m)+1 bound.
+		bound := float64(opt) * (1 + lnInt(m))
+		if float64(len(chosen)) > bound+1e-9 {
+			t.Fatalf("trial %d: greedy %d exceeds H(m)·OPT = %v (OPT=%d)",
+				trial, len(chosen), bound, opt)
+		}
+	}
+}
+
+func lnInt(m int) float64 {
+	s := 0.0
+	for k := 2; k <= m; k++ {
+		s += 1 / float64(k)
+	}
+	return s
+}
+
+// exactCover finds the optimal cover size by subset enumeration.
+func exactCover(m int, sets [][]int) int {
+	ns := len(sets)
+	best := ns + 1
+	for mask := 0; mask < 1<<ns; mask++ {
+		cnt := 0
+		covered := make([]bool, m)
+		for s := 0; s < ns; s++ {
+			if mask&(1<<s) != 0 {
+				cnt++
+				for _, e := range sets[s] {
+					covered[e] = true
+				}
+			}
+		}
+		ok := true
+		for _, c := range covered {
+			if !c {
+				ok = false
+				break
+			}
+		}
+		if ok && cnt < best {
+			best = cnt
+		}
+	}
+	return best
+}
+
+func TestGreedyDominatingSet(t *testing.T) {
+	// Star: vertex 0 dominates everything.
+	dom := [][]int{{0, 1, 2, 3}, {1}, {2}, {3}}
+	chosen := GreedyDominatingSet(dom)
+	if len(chosen) != 1 || chosen[0] != 0 {
+		t.Fatalf("chosen = %v", chosen)
+	}
+	// Two isolated vertices: both required.
+	dom2 := [][]int{{0}, {1}}
+	chosen2 := GreedyDominatingSet(dom2)
+	if len(chosen2) != 2 {
+		t.Fatalf("chosen = %v", chosen2)
+	}
+}
+
+func TestGreedyDominatingSetCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(20)
+		dom := make([][]int, n)
+		for i := range dom {
+			dom[i] = []int{i}
+			for j := 0; j < n; j++ {
+				if j != i && rng.Float64() < 0.2 {
+					dom[i] = append(dom[i], j)
+				}
+			}
+		}
+		chosen := GreedyDominatingSet(dom)
+		covered := make([]bool, n)
+		for _, c := range chosen {
+			for _, e := range dom[c] {
+				covered[e] = true
+			}
+		}
+		for v, c := range covered {
+			if !c {
+				t.Fatalf("trial %d: vertex %d not dominated", trial, v)
+			}
+		}
+	}
+}

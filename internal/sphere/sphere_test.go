@@ -1,0 +1,169 @@
+package sphere
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mincore/internal/geom"
+)
+
+func TestRandomDirectionUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for d := 2; d <= 10; d++ {
+		for i := 0; i < 100; i++ {
+			u := RandomDirection(rng, d)
+			if math.Abs(u.Norm()-1) > 1e-12 {
+				t.Fatalf("d=%d: norm %v", d, u.Norm())
+			}
+		}
+	}
+}
+
+func TestRandomDirectionsDeterministic(t *testing.T) {
+	a := RandomDirections(10, 4, 7)
+	b := RandomDirections(10, 4, 7)
+	for i := range a {
+		if !geom.Equal(a[i], b[i]) {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestRandomDirectionIsotropy(t *testing.T) {
+	// Mean of many uniform directions should be near zero.
+	us := RandomDirections(20000, 3, 5)
+	mean := geom.Centroid(us)
+	if mean.Norm() > 0.02 {
+		t.Fatalf("mean norm %v too large; sampling biased", mean.Norm())
+	}
+}
+
+func TestCircle(t *testing.T) {
+	c := Circle(8)
+	if len(c) != 8 {
+		t.Fatalf("len = %d", len(c))
+	}
+	for i, u := range c {
+		if math.Abs(u.Norm()-1) > 1e-12 {
+			t.Fatalf("not unit at %d", i)
+		}
+		want := 2 * math.Pi * float64(i) / 8
+		if math.Abs(geom.Theta(u)-want) > 1e-9 {
+			t.Fatalf("angle at %d: %v want %v", i, geom.Theta(u), want)
+		}
+	}
+}
+
+func TestFibonacciUnitAndSpread(t *testing.T) {
+	f := Fibonacci(500)
+	for _, u := range f {
+		if math.Abs(u.Norm()-1) > 1e-9 {
+			t.Fatal("not unit")
+		}
+	}
+	// Spread: every random direction should be near some sample.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		v := RandomDirection(rng, 3)
+		if MinAngleTo(f, v) > 0.25 {
+			t.Fatalf("Fibonacci(500) leaves a gap of %v rad", MinAngleTo(f, v))
+		}
+	}
+}
+
+func TestNetCoverage(t *testing.T) {
+	cases := []struct {
+		d     int
+		delta float64
+	}{
+		{2, 0.1}, {2, 0.02}, {3, 0.2}, {3, 0.1}, {4, 0.3}, {5, 0.5},
+	}
+	for _, c := range cases {
+		net := Net(c.d, c.delta)
+		if len(net) == 0 {
+			t.Fatalf("empty net d=%d", c.d)
+		}
+		for _, u := range net {
+			if math.Abs(u.Norm()-1) > 1e-9 {
+				t.Fatalf("net member not unit")
+			}
+		}
+		rng := rand.New(rand.NewSource(int64(c.d)))
+		worst := 0.0
+		for i := 0; i < 500; i++ {
+			v := RandomDirection(rng, c.d)
+			if a := MinAngleTo(net, v); a > worst {
+				worst = a
+			}
+		}
+		if worst > c.delta {
+			t.Fatalf("d=%d δ=%v: worst probe angle %v exceeds δ (net size %d)",
+				c.d, c.delta, worst, len(net))
+		}
+	}
+}
+
+func TestNetCoversAxes(t *testing.T) {
+	net := Net(3, 0.15)
+	for i := 0; i < 3; i++ {
+		for _, s := range []float64{1, -1} {
+			v := geom.AxisVector(3, i, s)
+			if MinAngleTo(net, v) > 0.15 {
+				t.Fatalf("axis %d sign %v not covered", i, s)
+			}
+		}
+	}
+}
+
+func TestNetSizeMonotone(t *testing.T) {
+	if NetSize(3, 0.1) < NetSize(3, 0.2) {
+		t.Fatal("smaller δ should give bigger net")
+	}
+	if n := NetSize(9, 0.001); n < 1<<40 {
+		t.Fatalf("expected saturation for tiny δ in d=9, got %d", n)
+	}
+}
+
+func TestNetPanicsWhenTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized net")
+		}
+	}()
+	Net(9, 0.001)
+}
+
+func TestNetNoDuplicates(t *testing.T) {
+	net := Net(3, 0.3)
+	for i := range net {
+		for j := i + 1; j < len(net); j++ {
+			if geom.ApproxEqual(net[i], net[j], 1e-13) {
+				t.Fatalf("duplicate net members %d,%d: %v", i, j, net[i])
+			}
+		}
+	}
+}
+
+func TestGridDirections(t *testing.T) {
+	for _, d := range []int{2, 3, 5} {
+		dirs := GridDirections(100, d, 3)
+		if len(dirs) != 100 {
+			t.Fatalf("d=%d: len %d", d, len(dirs))
+		}
+		for _, u := range dirs {
+			if len(u) != d || math.Abs(u.Norm()-1) > 1e-9 {
+				t.Fatalf("d=%d: bad direction %v", d, u)
+			}
+		}
+	}
+}
+
+func TestMinAngleToPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MinAngleTo(nil, geom.Vector{1, 0})
+}

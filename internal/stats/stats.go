@@ -1,0 +1,94 @@
+// Package stats provides the percentile and summary machinery for the
+// loss-distribution experiments of Appendix B (Figures 11 and 12).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-quantile (q ∈ [0,1]) of a sorted slice using
+// linear interpolation between order statistics. Panics on empty input.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Quantiles sorts a copy of xs and evaluates each requested quantile.
+func Quantiles(xs []float64, qs []float64) []float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = Quantile(s, q)
+	}
+	return out
+}
+
+// Summary holds basic descriptive statistics.
+type Summary struct {
+	N                int
+	Min, Max         float64
+	Mean, Std        float64
+	P50, P90, P99    float64
+	P999, WorstFound float64 // P999 = 99.9th percentile; WorstFound = Max
+}
+
+// Summarize computes a Summary of xs. Panics on empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum, sum2 float64
+	for _, x := range s {
+		sum += x
+		sum2 += x * x
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:          len(s),
+		Min:        s[0],
+		Max:        s[len(s)-1],
+		Mean:       mean,
+		Std:        math.Sqrt(variance),
+		P50:        Quantile(s, 0.5),
+		P90:        Quantile(s, 0.9),
+		P99:        Quantile(s, 0.99),
+		P999:       Quantile(s, 0.999),
+		WorstFound: s[len(s)-1],
+	}
+}
+
+// PercentileCurve returns the loss value at each of the k+1 evenly spaced
+// percentiles 0, 1/k, …, 1 — the solid percentile lines of Figures 11–12.
+func PercentileCurve(xs []float64, k int) []float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]float64, k+1)
+	for i := 0; i <= k; i++ {
+		out[i] = Quantile(s, float64(i)/float64(k))
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestQuantileBasics(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	if Quantile(s, 0) != 1 || Quantile(s, 1) != 5 {
+		t.Fatal("endpoints wrong")
+	}
+	if Quantile(s, 0.5) != 3 {
+		t.Fatalf("median = %v", Quantile(s, 0.5))
+	}
+	if got := Quantile(s, 0.25); got != 2 {
+		t.Fatalf("q25 = %v", got)
+	}
+	// Interpolation between order statistics.
+	s2 := []float64{0, 10}
+	if got := Quantile(s2, 0.3); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("interpolated = %v want 3", got)
+	}
+}
+
+func TestQuantilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestQuantilesDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	out := Quantiles(xs, []float64{0, 0.5, 1})
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("quantiles = %v", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.WorstFound != s.Max {
+		t.Fatal("WorstFound != Max")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Min != 3 || s.Max != 3 || s.Mean != 3 || s.Std != 0 {
+		t.Fatalf("single: %+v", s)
+	}
+}
+
+func TestPercentileCurveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	curve := PercentileCurve(xs, 100)
+	if len(curve) != 101 {
+		t.Fatalf("len = %d", len(curve))
+	}
+	if !sort.Float64sAreSorted(curve) {
+		t.Fatal("percentile curve not monotone")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if curve[0] != sorted[0] || curve[100] != sorted[len(sorted)-1] {
+		t.Fatal("curve endpoints wrong")
+	}
+}

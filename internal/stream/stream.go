@@ -1,0 +1,177 @@
+// Package stream provides one-pass, mergeable coreset summaries for
+// maxima representation — the streaming setting the paper surveys in
+// §1.1 [1, 5, 7, 18, 46]. The summary maintains, for a fixed direction
+// net on S^{d-1}, the running extreme point of each direction; because
+// per-direction champions are order-independent and maxima commute with
+// set union, summaries built on different substreams merge exactly.
+//
+// The guarantee matches the direction-grid kernel of Agarwal et al. [1]:
+// with a β-net of directions over an α-fat stream, the champions form an
+// ε-coreset for ε ≈ β²/(2α) + O(β⁴); Summary.Coreset documents the
+// measured loss contract used by the tests. Unlike the batch algorithms,
+// the summary needs no preprocessing pass and uses O(|net|) memory
+// independent of the stream length.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"mincore/internal/geom"
+	"mincore/internal/sphere"
+)
+
+// Summary is a one-pass coreset summary. Create with NewSummary, feed
+// points with Add (any order, one pass), and read the coreset with
+// Coreset. Summaries with identical direction sets merge with Merge.
+type Summary struct {
+	dirs  []geom.Vector
+	best  []geom.Vector // champion point per direction (nil until seen)
+	bestV []float64
+	d     int
+	n     int // points consumed
+}
+
+// NewSummary builds a summary over m near-uniform directions in R^d
+// (exact ring on S¹, Fibonacci spiral on S², seeded uniform sample
+// beyond). Larger m tightens the coreset guarantee and enlarges the
+// summary; m = O(1/ε^{d-1}) directions of angular radius β give loss
+// O(β²) on fat streams.
+func NewSummary(m, d int, seed int64) *Summary {
+	if m < 2*d {
+		m = 2 * d
+	}
+	dirs := sphere.GridDirections(m, d, seed)
+	// Axis directions guarantee the bounding box is always represented.
+	for i := 0; i < d; i++ {
+		dirs = append(dirs, geom.AxisVector(d, i, 1), geom.AxisVector(d, i, -1))
+	}
+	return &Summary{
+		dirs:  dirs,
+		best:  make([]geom.Vector, len(dirs)),
+		bestV: make([]float64, len(dirs)),
+		d:     d,
+	}
+}
+
+// Add consumes one stream point in O(m·d) time.
+func (s *Summary) Add(p geom.Vector) {
+	if p.Dim() != s.d {
+		panic(fmt.Sprintf("stream: point dimension %d, summary dimension %d", p.Dim(), s.d))
+	}
+	for k, u := range s.dirs {
+		v := geom.Dot(p, u)
+		if s.best[k] == nil || v > s.bestV[k] {
+			s.best[k] = p.Clone()
+			s.bestV[k] = v
+		}
+	}
+	s.n++
+}
+
+// AddAll consumes a batch of points.
+func (s *Summary) AddAll(pts []geom.Vector) {
+	for _, p := range pts {
+		s.Add(p)
+	}
+}
+
+// N returns the number of points consumed.
+func (s *Summary) N() int { return s.n }
+
+// Size returns the number of distinct champion points currently held —
+// the coreset size, at most the number of directions.
+func (s *Summary) Size() int { return len(s.Coreset()) }
+
+// Coreset returns the distinct champion points. For an α-fat stream and
+// a direction set of covering radius β, the result Q satisfies
+// ω(Q,u) ≥ (1 − β²/α − O(β⁴))·ω(P,u) for every direction u: the nearest
+// net direction u′ to u satisfies ⟨q,u⟩ ≥ ⟨q,u′⟩ − ‖u−u′‖ ≥
+// ω(P,u′) − β·‖q‖ ≥ ω(P,u) − 2β·diam-terms, made relative by fatness.
+func (s *Summary) Coreset() []geom.Vector {
+	seen := make(map[string]bool, len(s.best))
+	var out []geom.Vector
+	for k, p := range s.best {
+		if p == nil {
+			continue
+		}
+		key := vecKey(p)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, p)
+		}
+		_ = k
+	}
+	return out
+}
+
+// Merge folds other into s. Both summaries must have been created with
+// identical parameters (same m, d, seed); the merged summary is exactly
+// the summary of the concatenated streams.
+func (s *Summary) Merge(other *Summary) error {
+	if len(s.dirs) != len(other.dirs) || s.d != other.d {
+		return fmt.Errorf("stream: summaries have different direction sets")
+	}
+	for k := range s.dirs {
+		if !geom.Equal(s.dirs[k], other.dirs[k]) {
+			return fmt.Errorf("stream: summaries have different direction sets")
+		}
+	}
+	for k := range s.dirs {
+		if other.best[k] == nil {
+			continue
+		}
+		if s.best[k] == nil || other.bestV[k] > s.bestV[k] {
+			s.best[k] = other.best[k].Clone()
+			s.bestV[k] = other.bestV[k]
+		}
+	}
+	s.n += other.n
+	return nil
+}
+
+// Omega returns the summary's maximum inner product for u — the
+// approximate ω(P,u) served from the summary alone.
+func (s *Summary) Omega(u geom.Vector) float64 {
+	best := math.Inf(-1)
+	for _, p := range s.best {
+		if p == nil {
+			continue
+		}
+		if v := geom.Dot(p, u); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func vecKey(v geom.Vector) string {
+	b := make([]byte, 0, 8*len(v))
+	for _, c := range v {
+		u := math.Float64bits(c)
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(u>>(8*i)))
+		}
+	}
+	return string(b)
+}
+
+// SuggestDirections returns the direction count needed for a target loss
+// eps at fatness alpha in dimension d, inverting the β²/α ≈ ε relation
+// with the (β ≈ covering radius of m uniform directions) heuristic
+// β ≈ c·m^{-1/(d-1)}.
+func SuggestDirections(eps, alpha float64, d int) int {
+	if eps <= 0 || eps >= 1 || alpha <= 0 {
+		return 64 * d
+	}
+	beta := math.Sqrt(eps * alpha)
+	m := math.Pow(2.5/beta, float64(d-1))
+	if m < float64(8*d) {
+		m = float64(8 * d)
+	}
+	const cap = 1 << 22
+	if m > cap {
+		m = cap
+	}
+	return int(math.Ceil(m))
+}

@@ -1,0 +1,233 @@
+// Package transform implements the α-fat normalization assumed throughout
+// the paper (Section 2): an affine map taking an arbitrary
+// full-dimensional point set to one contained in [−1,1]^d whose maxima
+// ω(P,u) are positive in every direction, with bounded ratio between the
+// smallest and largest maximum.
+//
+// The construction follows Agarwal, Har-Peled, and Varadarajan [1]: an
+// approximate minimum bounding box is found by recursively taking
+// far-point ("approximate diameter") directions and projecting onto the
+// orthogonal complement; the box is mapped to [−1,1]^d and the origin is
+// re-centered at the mean of the 2d axis-extreme points, a hull-interior
+// point. The theoretical α_d of [1] is a worst-case constant; this
+// package additionally measures the empirical fatness, which downstream
+// algorithms (SCMC's net radius) consume directly.
+package transform
+
+import (
+	"fmt"
+	"math"
+
+	"mincore/internal/geom"
+	"mincore/internal/sphere"
+)
+
+// Affine is the invertible map y = S⁻¹·Bᵀ·(x − c): rotate into the
+// orthonormal basis B (rows), translate by the center c, and scale each
+// axis by 1/S_i.
+type Affine struct {
+	Basis  []geom.Vector // d orthonormal rows
+	Center geom.Vector
+	Scale  geom.Vector // per-axis half-extents (all > 0)
+}
+
+// Apply maps a point into normalized coordinates.
+func (a *Affine) Apply(p geom.Vector) geom.Vector {
+	q := geom.Sub(p, a.Center)
+	y := geom.NewVector(len(a.Basis))
+	for i, b := range a.Basis {
+		y[i] = geom.Dot(q, b) / a.Scale[i]
+	}
+	return y
+}
+
+// ApplyAll maps every point.
+func (a *Affine) ApplyAll(pts []geom.Vector) []geom.Vector {
+	out := make([]geom.Vector, len(pts))
+	for i, p := range pts {
+		out[i] = a.Apply(p)
+	}
+	return out
+}
+
+// Invert maps a normalized point back to original coordinates.
+func (a *Affine) Invert(y geom.Vector) geom.Vector {
+	p := a.Center.Clone()
+	for i, b := range a.Basis {
+		p = geom.Add(p, b.Scale(y[i]*a.Scale[i]))
+	}
+	return p
+}
+
+// Fatten computes the normalizing transform for pts and returns it along
+// with the transformed point set, which lies in [−1,1]^d (within floating
+// tolerance) and has ω(P,u) > 0 for every direction provided the input is
+// full-dimensional. Lower-dimensional inputs degrade gracefully: axes
+// with no extent are given unit scale, and fatness in those directions is
+// zero (callers should check EmpiricalFatness).
+func Fatten(pts []geom.Vector) (*Affine, []geom.Vector, error) {
+	if len(pts) == 0 {
+		return nil, nil, fmt.Errorf("transform: empty point set")
+	}
+	d := pts[0].Dim()
+	basis := farPointBasis(pts)
+	if len(basis) < d {
+		basis = geom.CompleteBasis(d, basis)
+	}
+
+	// Pass 1: extents along the basis → box center and scale.
+	center, scale := boxOf(pts, basis)
+	aff := &Affine{Basis: basis, Center: center, Scale: scale}
+	mapped := aff.ApplyAll(pts)
+
+	// Pass 2: re-center at the mean of the 2d axis-extreme points (an
+	// interior point of the hull), then rescale to restore [−1,1]^d.
+	var anchors []geom.Vector
+	for i := 0; i < d; i++ {
+		for _, sg := range []float64{1, -1} {
+			j, _ := geom.MaxDot(mapped, geom.AxisVector(d, i, sg))
+			anchors = append(anchors, mapped[j])
+		}
+	}
+	inner := geom.Centroid(anchors)
+	// Compose: new center in original coordinates, recompute extents.
+	center2 := aff.Invert(inner)
+	aff2 := &Affine{Basis: basis, Center: center2, Scale: scale}
+	_, scale2 := boxOfCentered(pts, basis, center2)
+	aff2.Scale = scale2
+	return aff2, aff2.ApplyAll(pts), nil
+}
+
+// farPointBasis builds an orthonormal basis from recursive approximate
+// diameter directions: the farthest-point pair gives the first axis; the
+// points are projected onto the orthogonal complement and the step
+// repeats.
+func farPointBasis(pts []geom.Vector) []geom.Vector {
+	d := pts[0].Dim()
+	work := make([]geom.Vector, len(pts))
+	for i, p := range pts {
+		work[i] = p.Clone()
+	}
+	var basis []geom.Vector
+	for len(basis) < d {
+		// Approximate diameter of the projected set: farthest from work[0],
+		// then farthest from that.
+		a := farthestFrom(work, work[0])
+		b := farthestFrom(work, work[a])
+		dir := geom.Sub(work[b], work[a])
+		n := dir.Norm()
+		if n < 1e-12 {
+			break // remaining extent is zero
+		}
+		u := dir.Scale(1 / n)
+		// Re-orthogonalize against previous axes for numerical hygiene.
+		for _, bb := range basis {
+			u = geom.Sub(u, bb.Scale(geom.Dot(u, bb)))
+		}
+		un, ok := u.Normalize()
+		if !ok {
+			break
+		}
+		basis = append(basis, un)
+		for i := range work {
+			work[i] = geom.Sub(work[i], un.Scale(geom.Dot(work[i], un)))
+		}
+	}
+	return basis
+}
+
+func farthestFrom(pts []geom.Vector, q geom.Vector) int {
+	best, bestD := 0, -1.0
+	for i, p := range pts {
+		if dd := geom.Dist(p, q); dd > bestD {
+			best, bestD = i, dd
+		}
+	}
+	return best
+}
+
+// boxOf returns the center and half-extents of pts along the basis.
+func boxOf(pts []geom.Vector, basis []geom.Vector) (geom.Vector, geom.Vector) {
+	d := len(basis)
+	lo := make(geom.Vector, d)
+	hi := make(geom.Vector, d)
+	for i := range lo {
+		lo[i], hi[i] = math.Inf(1), math.Inf(-1)
+	}
+	for _, p := range pts {
+		for i, b := range basis {
+			v := geom.Dot(p, b)
+			if v < lo[i] {
+				lo[i] = v
+			}
+			if v > hi[i] {
+				hi[i] = v
+			}
+		}
+	}
+	center := geom.NewVector(pts[0].Dim())
+	scale := geom.NewVector(d)
+	for i, b := range basis {
+		mid := (lo[i] + hi[i]) / 2
+		center = geom.Add(center, b.Scale(mid))
+		scale[i] = (hi[i] - lo[i]) / 2
+		if scale[i] < 1e-12 {
+			scale[i] = 1
+		}
+	}
+	return center, scale
+}
+
+// boxOfCentered returns half-extents of pts along the basis measured from
+// the given center: scale_i = max |⟨p − c, b_i⟩|, so the mapped set fits
+// [−1,1]^d with the center at the origin.
+func boxOfCentered(pts []geom.Vector, basis []geom.Vector, c geom.Vector) (geom.Vector, geom.Vector) {
+	d := len(basis)
+	scale := geom.NewVector(d)
+	for _, p := range pts {
+		q := geom.Sub(p, c)
+		for i, b := range basis {
+			if v := math.Abs(geom.Dot(q, b)); v > scale[i] {
+				scale[i] = v
+			}
+		}
+	}
+	for i := range scale {
+		if scale[i] < 1e-12 {
+			scale[i] = 1
+		}
+	}
+	return c, scale
+}
+
+// EmpiricalFatness estimates α = min_u ω(P,u) / max_u ω(P,u) over k
+// sampled directions (plus the 2d axis directions). A nonpositive return
+// means the origin is outside (or on the boundary of) the hull and the
+// set is not fat.
+func EmpiricalFatness(pts []geom.Vector, k int, seed int64) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	d := pts[0].Dim()
+	dirs := sphere.RandomDirections(k, d, seed)
+	for i := 0; i < d; i++ {
+		dirs = append(dirs, geom.AxisVector(d, i, 1), geom.AxisVector(d, i, -1))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, u := range dirs {
+		_, w := geom.MaxDot(pts, u)
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	if hi <= 0 {
+		return 0
+	}
+	if lo < 0 {
+		return lo // negative: caller sees non-fatness and the magnitude
+	}
+	return lo / hi
+}

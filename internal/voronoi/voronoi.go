@@ -1,0 +1,203 @@
+// Package voronoi implements the inner-product Voronoi machinery of
+// Section 4 of the paper: membership tests for exact and ε-approximate
+// Voronoi cells, boundary vectors of 2D cells, and the Inner-Product
+// Delaunay Graph (IPDG) — exact in 2D (ring order) and 3D (hull edges),
+// approximate via direction sampling in higher dimensions, following the
+// practical construction the paper adopts from Tan et al. [40].
+package voronoi
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mincore/internal/geom"
+	"mincore/internal/hull"
+	"mincore/internal/sphere"
+)
+
+// InApproxCell reports whether direction u lies in the ε-approximate
+// Voronoi cell R_ε(p), given ω = ω(P,u): ⟨p,u⟩ ≥ (1−ε)·ω.
+func InApproxCell(p, u geom.Vector, eps, omega float64) bool {
+	return geom.Dot(p, u) >= (1-eps)*omega
+}
+
+// BoundaryVectors2D returns the boundary vectors u*_i of Line 1 of
+// Algorithm 1: for counterclockwise-ordered extreme points t_1..t_ξ,
+// u*_i is the unit vector where ⟨t_i,u⟩ = ⟨t_{i+1},u⟩ with positive inner
+// product (indices wrap). The exact Voronoi cell of t_i is the arc
+// [u*_{i-1}, u*_i].
+func BoundaryVectors2D(ext []geom.Vector) ([]geom.Vector, error) {
+	xi := len(ext)
+	if xi < 2 {
+		return nil, fmt.Errorf("voronoi: need ≥ 2 extreme points, got %d", xi)
+	}
+	out := make([]geom.Vector, xi)
+	for i := 0; i < xi; i++ {
+		u, ok := geom.EqualInnerProductDirection(ext[i], ext[(i+1)%xi])
+		if !ok {
+			return nil, fmt.Errorf("voronoi: coincident extreme points %d and %d", i, (i+1)%xi)
+		}
+		out[i] = u
+	}
+	return out, nil
+}
+
+// IPDG is the Inner-Product Delaunay Graph over an extreme-point set:
+// vertices are indices 0..N−1 into the extreme points, and an undirected
+// edge joins two points whose Voronoi cells are adjacent.
+type IPDG struct {
+	N   int
+	adj []map[int]bool
+}
+
+// NewIPDG returns an empty IPDG on n vertices.
+func NewIPDG(n int) *IPDG {
+	g := &IPDG{N: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// AddEdge inserts the undirected edge {i,j}; self-loops are ignored.
+func (g *IPDG) AddEdge(i, j int) {
+	if i == j {
+		return
+	}
+	g.adj[i][j] = true
+	g.adj[j][i] = true
+}
+
+// HasEdge reports whether {i,j} is an edge.
+func (g *IPDG) HasEdge(i, j int) bool { return g.adj[i][j] }
+
+// Neighbors returns the sorted neighbor list N(i).
+func (g *IPDG) Neighbors(i int) []int {
+	out := make([]int, 0, len(g.adj[i]))
+	for j := range g.adj[i] {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Degree returns |N(i)|.
+func (g *IPDG) Degree(i int) int { return len(g.adj[i]) }
+
+// MaxDegree returns Δ = max_i |N(i)| (0 for the empty graph).
+func (g *IPDG) MaxDegree() int {
+	m := 0
+	for i := range g.adj {
+		if d := len(g.adj[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *IPDG) NumEdges() int {
+	s := 0
+	for i := range g.adj {
+		s += len(g.adj[i])
+	}
+	return s / 2
+}
+
+// Exact2D builds the exact IPDG for counterclockwise-ordered 2D extreme
+// points: each cell is an arc, adjacent to exactly its two angular
+// neighbors (a single edge when ξ = 2).
+func Exact2D(extCCW []geom.Vector) *IPDG {
+	xi := len(extCCW)
+	g := NewIPDG(xi)
+	if xi < 2 {
+		return g
+	}
+	for i := 0; i < xi; i++ {
+		g.AddEdge(i, (i+1)%xi)
+	}
+	return g
+}
+
+// Exact3D builds the exact IPDG for a 3D extreme-point set (all points
+// must be hull vertices, in general position): IPDG edges are exactly the
+// convex-hull edges (Section 4).
+func Exact3D(ext []geom.Vector) (*IPDG, error) {
+	mesh, err := hull.Hull3D(ext)
+	if err != nil {
+		return nil, err
+	}
+	if len(mesh.Vertices) != len(ext) {
+		return nil, fmt.Errorf("voronoi: %d of %d points are not hull vertices",
+			len(ext)-len(mesh.Vertices), len(ext))
+	}
+	g := NewIPDG(len(ext))
+	for _, e := range mesh.Edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g, nil
+}
+
+// Approx builds an approximate IPDG by direction sampling, the practical
+// construction for d > 3 (remark after Theorem 6.3). For each sampled
+// direction u, let t₁ be the cell owner and t₂ the runner-up; the sample
+// is pushed onto the bisector of t₁,t₂ (the great-circle projection where
+// their inner products tie) and the edge {t₁,t₂} is added if both remain
+// within tolerance of the maximum there — i.e. the bisector point
+// witnesses cell adjacency. Missing edges only make DSMC conservative
+// (larger but still valid coresets); spurious edges are harmless.
+func Approx(ext []geom.Vector, samples int, seed int64) *IPDG {
+	xi := len(ext)
+	g := NewIPDG(xi)
+	if xi < 2 {
+		return g
+	}
+	d := ext[0].Dim()
+	if samples <= 0 {
+		samples = 64 * xi
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const tol = 1e-9
+	for k := 0; k < samples; k++ {
+		u := sphere.RandomDirection(rng, d)
+		t1, t2 := top2(ext, u)
+		if t2 < 0 {
+			continue
+		}
+		// Project u onto the bisector hyperplane {v : ⟨t1−t2, v⟩ = 0}.
+		dlt := geom.Sub(ext[t1], ext[t2])
+		den := dlt.NormSq()
+		if den == 0 {
+			continue
+		}
+		w := geom.Sub(u, dlt.Scale(geom.Dot(dlt, u)/den))
+		ub, ok := w.Normalize()
+		if !ok {
+			continue
+		}
+		_, mx := geom.MaxDot(ext, ub)
+		if geom.Dot(ext[t1], ub) >= mx-tol && geom.Dot(ext[t2], ub) >= mx-tol {
+			g.AddEdge(t1, t2)
+		}
+	}
+	return g
+}
+
+// top2 returns the indices of the maximum and second-maximum inner
+// products with u (−1 when unavailable).
+func top2(pts []geom.Vector, u geom.Vector) (int, int) {
+	b1, b2 := -1, -1
+	v1, v2 := 0.0, 0.0
+	for i, p := range pts {
+		v := geom.Dot(p, u)
+		switch {
+		case b1 < 0 || v > v1:
+			b2, v2 = b1, v1
+			b1, v1 = i, v
+		case b2 < 0 || v > v2:
+			b2, v2 = i, v
+		}
+	}
+	return b1, b2
+}

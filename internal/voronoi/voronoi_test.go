@@ -1,0 +1,228 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mincore/internal/geom"
+	"mincore/internal/hull"
+	"mincore/internal/sphere"
+)
+
+func TestInApproxCell(t *testing.T) {
+	p := geom.Vector{0.9, 0}
+	u := geom.Vector{1, 0}
+	if !InApproxCell(p, u, 0.2, 1.0) {
+		t.Fatal("0.9 ≥ 0.8 should pass")
+	}
+	if InApproxCell(p, u, 0.05, 1.0) {
+		t.Fatal("0.9 < 0.95 should fail")
+	}
+}
+
+func regularPolygon(k int) []geom.Vector {
+	out := make([]geom.Vector, k)
+	for i := range out {
+		th := 2 * math.Pi * float64(i) / float64(k)
+		out[i] = geom.Vector{math.Cos(th), math.Sin(th)}
+	}
+	return out
+}
+
+func TestBoundaryVectors2D(t *testing.T) {
+	ext := regularPolygon(6)
+	bv, err := BoundaryVectors2D(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bv) != 6 {
+		t.Fatalf("len = %d", len(bv))
+	}
+	for i, u := range bv {
+		j := (i + 1) % 6
+		a, b := geom.Dot(ext[i], u), geom.Dot(ext[j], u)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("boundary %d not equidistant: %v vs %v", i, a, b)
+		}
+		if a <= 0 {
+			t.Fatalf("boundary %d has nonpositive inner product %v", i, a)
+		}
+		// u*_i must be the global maximizer boundary: both t_i and t_{i+1}
+		// are maxima of the whole set at u*_i.
+		_, mx := geom.MaxDot(ext, u)
+		if a < mx-1e-9 {
+			t.Fatalf("boundary %d not on the upper envelope", i)
+		}
+	}
+	if _, err := BoundaryVectors2D(ext[:1]); err == nil {
+		t.Fatal("expected error for single point")
+	}
+	if _, err := BoundaryVectors2D([]geom.Vector{{1, 0}, {1, 0}}); err == nil {
+		t.Fatal("expected error for coincident points")
+	}
+}
+
+func TestExact2DRing(t *testing.T) {
+	g := Exact2D(regularPolygon(5))
+	if g.NumEdges() != 5 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	for i := 0; i < 5; i++ {
+		if g.Degree(i) != 2 {
+			t.Fatalf("degree of %d = %d", i, g.Degree(i))
+		}
+		if !g.HasEdge(i, (i+1)%5) {
+			t.Fatalf("missing ring edge %d", i)
+		}
+	}
+	if g2 := Exact2D(regularPolygon(2)); g2.NumEdges() != 1 {
+		t.Fatalf("two-point IPDG should have one edge, got %d", g2.NumEdges())
+	}
+}
+
+func TestIPDGBasics(t *testing.T) {
+	g := NewIPDG(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate
+	g.AddEdge(2, 2) // self-loop ignored
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if g.MaxDegree() != 1 {
+		t.Fatalf("maxdeg = %d", g.MaxDegree())
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 1 || nb[0] != 1 {
+		t.Fatalf("neighbors = %v", nb)
+	}
+}
+
+func TestExact3DOctahedron(t *testing.T) {
+	// Octahedron: 6 vertices, 12 edges; every vertex adjacent to all but
+	// its antipode.
+	ext := []geom.Vector{
+		{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1},
+	}
+	ext = geom.Perturb(ext, 1e-9, 3)
+	g, err := Exact3D(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 12 {
+		t.Fatalf("octahedron edges = %d want 12", g.NumEdges())
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(2, 3) || g.HasEdge(4, 5) {
+		t.Fatal("antipodal vertices must not be adjacent")
+	}
+}
+
+func TestExact3DRejectsInteriorPoint(t *testing.T) {
+	ext := []geom.Vector{
+		{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1},
+		{0, 0, 0}, // interior
+	}
+	if _, err := Exact3D(ext); err == nil {
+		t.Fatal("expected error for non-vertex input")
+	}
+}
+
+// Adjacency ground truth via dense 2D sweep: cells in 2D are arcs, so two
+// extreme points are adjacent iff they are consecutive in angular order.
+func TestApproxMatchesExact2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]geom.Vector, 200)
+	for i := range pts {
+		pts[i] = geom.Vector{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	hidx := hull.Hull2D(pts)
+	ext := make([]geom.Vector, len(hidx))
+	for i, id := range hidx {
+		ext[i] = pts[id]
+	}
+	exact := Exact2D(ext)
+	approx := Approx(ext, 20000, 7)
+	// Approx edges must be a subset of exact edges (witness check rejects
+	// non-adjacent pairs), with high recall at this sample count.
+	missing := 0
+	for i := 0; i < len(ext); i++ {
+		for _, j := range approx.Neighbors(i) {
+			if !exact.HasEdge(i, j) {
+				t.Fatalf("approx edge {%d,%d} not in exact IPDG", i, j)
+			}
+		}
+	}
+	for i := 0; i < len(ext); i++ {
+		for _, j := range exact.Neighbors(i) {
+			if !approx.HasEdge(i, j) {
+				missing++
+			}
+		}
+	}
+	if missing > len(ext) { // tolerate a few tiny-boundary misses
+		t.Fatalf("approx IPDG missing %d exact edge-endpoints", missing)
+	}
+}
+
+func TestApproxMatchesExact3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Points on a sphere: all extreme, rich adjacency.
+	ext := make([]geom.Vector, 40)
+	for i := range ext {
+		ext[i] = sphere.RandomDirection(rng, 3)
+	}
+	exact, err := Exact3D(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := Approx(ext, 60000, 8)
+	for i := 0; i < len(ext); i++ {
+		for _, j := range approx.Neighbors(i) {
+			if !exact.HasEdge(i, j) {
+				t.Fatalf("approx edge {%d,%d} not exact", i, j)
+			}
+		}
+	}
+	// Recall: most exact edges recovered.
+	total, found := 0, 0
+	for i := 0; i < len(ext); i++ {
+		for _, j := range exact.Neighbors(i) {
+			if i < j {
+				total++
+				if approx.HasEdge(i, j) {
+					found++
+				}
+			}
+		}
+	}
+	if float64(found) < 0.8*float64(total) {
+		t.Fatalf("approx recall too low: %d/%d", found, total)
+	}
+}
+
+func TestApproxSmallInputs(t *testing.T) {
+	if g := Approx(nil, 100, 1); g.N != 0 {
+		t.Fatal("empty input")
+	}
+	one := []geom.Vector{{1, 0}}
+	if g := Approx(one, 100, 1); g.NumEdges() != 0 {
+		t.Fatal("single point should have no edges")
+	}
+	two := []geom.Vector{{1, 0}, {-1, 0}}
+	g := Approx(two, 500, 1)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("two antipodal points in 2D share both boundary directions")
+	}
+}
+
+func TestTop2(t *testing.T) {
+	pts := []geom.Vector{{1, 0}, {0.9, 0}, {0, 1}}
+	a, b := top2(pts, geom.Vector{1, 0})
+	if a != 0 || b != 1 {
+		t.Fatalf("top2 = %d,%d", a, b)
+	}
+	a, b = top2(pts[:1], geom.Vector{1, 0})
+	if a != 0 || b != -1 {
+		t.Fatalf("top2 single = %d,%d", a, b)
+	}
+}

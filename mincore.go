@@ -1,0 +1,381 @@
+// Package mincore computes minimum ε-coresets for the maxima
+// representation of multidimensional data, implementing the algorithms of
+// Wang, Mathioudakis, Li, and Tan, "Minimum Coresets for Maxima
+// Representation of Multidimensional Data", PODS 2021.
+//
+// A subset Q ⊆ P is an ε-coreset for maxima representation iff for every
+// direction u the maximum inner product over Q is within a (1−ε) factor
+// of the maximum over P. Such coresets answer arbitrary linear top-1
+// (and, transitively, approximate top-k and representative-skyline)
+// queries from a tiny subset of the data. This package finds coresets of
+// (near-)minimum size:
+//
+//   - OptMC — provably optimal in 2D (polynomial time),
+//   - DSMC and SCMC — approximation algorithms in any fixed dimension
+//     (minimum coresets are NP-hard for d ≥ 3),
+//   - ANNKernel — the classical ε-kernel baseline, for comparison.
+//
+// Quick start:
+//
+//	cs, err := mincore.New(points)             // preprocess (normalize, hull)
+//	q, err := cs.Coreset(0.05, mincore.Auto)   // ≤5% maxima error
+//	idx, val := q.Top1(preferenceVector)       // answer queries from q
+//
+// The ε guarantee holds in the normalized (α-fat) coordinate space the
+// preprocessing maps data into, matching the paper's setting; Top1
+// queries accept directions in that space (see Coreseter.Normalize).
+package mincore
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"mincore/internal/core"
+	"mincore/internal/geom"
+	"mincore/internal/kernel"
+	"mincore/internal/sphere"
+	"mincore/internal/transform"
+	"mincore/internal/voronoi"
+)
+
+// Point is a point or direction in R^d.
+type Point = []float64
+
+// Algorithm selects a coreset construction.
+type Algorithm string
+
+const (
+	// Auto picks OptMC in 2D and the smaller of DSMC and SCMC otherwise.
+	Auto Algorithm = "auto"
+	// OptMC is the optimal 2D algorithm (Algorithm 1 of the paper).
+	OptMC Algorithm = "optmc"
+	// DSMC is the dominating-set approximation (Algorithms 2–3).
+	DSMC Algorithm = "dsmc"
+	// SCMC is the set-cover approximation (Algorithm 4).
+	SCMC Algorithm = "scmc"
+	// ANN is the ε-kernel baseline of Yu et al. (no minimality guarantee).
+	ANN Algorithm = "ann"
+)
+
+// Options configures New.
+type Options struct {
+	// SkipNormalize treats the input as already α-fat in [−1,1]^d and
+	// skips the affine normalization.
+	SkipNormalize bool
+	// PerturbScale jitters coordinates to restore general position
+	// (default 1e-9 of the normalized scale; negative disables).
+	PerturbScale float64
+	// Seed drives all randomized components (perturbation, sampling).
+	Seed int64
+	// IPDGSamples overrides the direction-sample count for the
+	// approximate IPDG in d > 3 (0 = default, 64·ξ).
+	IPDGSamples int
+}
+
+// Coreseter is a preprocessed dataset ready to produce coresets at any ε.
+// Build once with New. Methods may be called from concurrent goroutines;
+// the dominance graph needed by DSMC is built once under a sync.Once.
+type Coreseter struct {
+	inst *core.Instance
+	aff  *transform.Affine // nil when SkipNormalize
+	opts Options
+
+	dgOnce sync.Once
+	dg     *core.DominanceGraph // lazily built for DSMC
+	ipdg   *voronoi.IPDG
+
+	// keptDims lists the input dimensions retained after constant-
+	// attribute dropping, in order.
+	keptDims []int
+}
+
+// dropConstantDims removes dimensions whose value range is negligible
+// relative to the widest dimension, returning the projected points and
+// the indices of the kept dimensions.
+func dropConstantDims(pts []geom.Vector) ([]geom.Vector, []int) {
+	if len(pts) == 0 {
+		return pts, nil
+	}
+	d := pts[0].Dim()
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	copy(lo, pts[0])
+	copy(hi, pts[0])
+	for _, p := range pts {
+		for j, v := range p {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	// A dimension is constant when its range is indistinguishable from
+	// floating-point noise at its own magnitude; differences in scale
+	// across dimensions are legitimate and handled by the normalization.
+	var kept []int
+	for j := 0; j < d; j++ {
+		mag := math.Max(math.Abs(lo[j]), math.Abs(hi[j]))
+		if hi[j]-lo[j] > 1e-12*mag {
+			kept = append(kept, j)
+		}
+	}
+	if len(kept) == d {
+		return pts, kept
+	}
+	out := make([]geom.Vector, len(pts))
+	for i, p := range pts {
+		q := make(geom.Vector, len(kept))
+		for k, j := range kept {
+			q[k] = p[j]
+		}
+		out[i] = q
+	}
+	return out, kept
+}
+
+// New preprocesses raw points: deduplication, affine normalization to an
+// α-fat position in [−1,1]^d (Section 2 of the paper), a tiny
+// general-position perturbation, and extreme-point extraction.
+func New(points []Point, opts ...Options) (*Coreseter, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("mincore: empty point set")
+	}
+	d := len(points[0])
+	if d < 1 {
+		return nil, fmt.Errorf("mincore: zero-dimensional points")
+	}
+	pts := make([]geom.Vector, len(points))
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("mincore: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		pts[i] = geom.Vector(p).Clone()
+	}
+	pts = geom.Dedup(pts)
+
+	c := &Coreseter{opts: o}
+	// (Near-)constant attributes carry no preference information — every
+	// point gains the same inner-product offset — and a data slab thinner
+	// than the solver tolerances breaks the general-position assumption,
+	// so such dimensions are dropped before normalization.
+	pts, kept := dropConstantDims(pts)
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("mincore: every attribute is constant")
+	}
+	c.keptDims = kept
+	if !o.SkipNormalize {
+		aff, mapped, err := transform.Fatten(pts)
+		if err != nil {
+			return nil, fmt.Errorf("mincore: %w", err)
+		}
+		c.aff = aff
+		pts = mapped
+	}
+	scale := o.PerturbScale
+	if scale == 0 {
+		scale = 1e-9
+	}
+	if scale > 0 {
+		pts = geom.Perturb(pts, scale, o.Seed+1)
+	}
+	inst, err := core.NewInstance(pts)
+	if err != nil {
+		return nil, fmt.Errorf("mincore: %w", err)
+	}
+	c.inst = inst
+	return c, nil
+}
+
+// N returns the number of (deduplicated) points.
+func (c *Coreseter) N() int { return c.inst.N() }
+
+// Dim returns the dimensionality.
+func (c *Coreseter) Dim() int { return c.inst.D }
+
+// NumExtreme returns ξ, the number of extreme (convex hull vertex) points.
+func (c *Coreseter) NumExtreme() int { return c.inst.Xi() }
+
+// Alpha returns the measured fatness of the normalized point set.
+func (c *Coreseter) Alpha() float64 { return c.inst.Alpha }
+
+// Normalize maps an original-space point into the normalized coordinate
+// space where the ε guarantee holds: constant input dimensions are
+// dropped, then the affine normalization applies (identity when
+// SkipNormalize).
+func (c *Coreseter) Normalize(p Point) Point {
+	q := make(geom.Vector, len(c.keptDims))
+	for k, j := range c.keptDims {
+		q[k] = p[j]
+	}
+	if c.aff == nil {
+		return Point(q)
+	}
+	return Point(c.aff.Apply(q))
+}
+
+// KeptDims returns the indices of the input dimensions retained after
+// constant-attribute dropping (usually all of them).
+func (c *Coreseter) KeptDims() []int { return append([]int(nil), c.keptDims...) }
+
+// Point returns the normalized coordinates of point i.
+func (c *Coreseter) Point(i int) Point { return Point(c.inst.Pts[i]) }
+
+// Instance exposes the underlying core instance for advanced use from
+// within this module (examples, benchmarks).
+func (c *Coreseter) Instance() *core.Instance { return c.inst }
+
+// Coreset holds a computed ε-coreset.
+type Coreset struct {
+	// Indices into the Coreseter's (deduplicated) point order.
+	Indices []int
+	// Points are the normalized coordinates of the members.
+	Points []Point
+	// Eps is the requested error bound; Loss the measured exact loss.
+	Eps, Loss float64
+	// Algorithm that produced the coreset.
+	Algorithm Algorithm
+}
+
+// Size returns |Q|.
+func (q *Coreset) Size() int { return len(q.Indices) }
+
+// Top1 returns the member index (into Coreset.Indices ordering) and inner
+// product of the coreset's extreme point for direction u (normalized
+// space). By the coreset property the value is ≥ (1−ε)·ω(P,u).
+func (q *Coreset) Top1(u Point) (int, float64) {
+	best, bestV := -1, math.Inf(-1)
+	for i, p := range q.Points {
+		if v := geom.Dot(geom.Vector(p), geom.Vector(u)); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, bestV
+}
+
+// Coreset computes an ε-coreset with the chosen algorithm and measures
+// its exact loss.
+func (c *Coreseter) Coreset(eps float64, algo Algorithm) (*Coreset, error) {
+	var idx []int
+	var err error
+	switch algo {
+	case Auto:
+		return c.auto(eps)
+	case OptMC:
+		idx, err = c.inst.OptMC(eps)
+	case DSMC:
+		idx, err = c.inst.DSMCRefined(c.dominanceGraph(), eps, 8)
+	case SCMC:
+		idx, _, err = c.inst.SCMC(eps, core.SCMCOptions{Seed: c.opts.Seed})
+	case ANN:
+		idx, err = kernel.ANN(c.inst.Pts, eps, kernel.Options{Seed: c.opts.Seed, Alpha: c.inst.Alpha})
+	default:
+		return nil, fmt.Errorf("mincore: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return c.wrap(idx, eps, algo), nil
+}
+
+func (c *Coreseter) auto(eps float64) (*Coreset, error) {
+	if c.Dim() == 1 {
+		// Trivial case (Section 3): the two coordinate extremes are an
+		// optimal 0-coreset.
+		idx, err := c.inst.MC1D()
+		if err != nil {
+			return nil, err
+		}
+		q := c.wrap(idx, eps, Auto)
+		return q, nil
+	}
+	if c.Dim() == 2 {
+		q, err := c.Coreset(eps, OptMC)
+		if err == nil {
+			return q, nil
+		}
+	}
+	qd, errD := c.Coreset(eps, DSMC)
+	qs, errS := c.Coreset(eps, SCMC)
+	switch {
+	case errD == nil && errS == nil:
+		if qd.Size() <= qs.Size() {
+			qd.Algorithm = Auto
+			return qd, nil
+		}
+		qs.Algorithm = Auto
+		return qs, nil
+	case errD == nil:
+		qd.Algorithm = Auto
+		return qd, nil
+	case errS == nil:
+		qs.Algorithm = Auto
+		return qs, nil
+	default:
+		return nil, fmt.Errorf("mincore: all algorithms failed: %v; %v", errD, errS)
+	}
+}
+
+func (c *Coreseter) wrap(idx []int, eps float64, algo Algorithm) *Coreset {
+	q := &Coreset{
+		Indices:   append([]int(nil), idx...),
+		Points:    make([]Point, len(idx)),
+		Eps:       eps,
+		Algorithm: algo,
+	}
+	for i, id := range idx {
+		q.Points[i] = Point(c.inst.Pts[id])
+	}
+	q.Loss = c.inst.Loss(idx)
+	return q
+}
+
+// FixedSize solves the dual problem: the best coreset of at most r points
+// (minimum ε found by binary search, Section 2).
+func (c *Coreseter) FixedSize(r int, algo Algorithm) (*Coreset, error) {
+	solve := func(eps float64) ([]int, error) {
+		q, err := c.Coreset(eps, algo)
+		if err != nil {
+			return nil, err
+		}
+		return q.Indices, nil
+	}
+	idx, eps, err := core.DualSolve(r, solve, 20)
+	if err != nil {
+		return nil, err
+	}
+	return c.wrap(idx, eps, algo), nil
+}
+
+// Loss computes the exact maximum loss of an arbitrary subset (indices
+// into the Coreseter's point order).
+func (c *Coreseter) Loss(indices []int) float64 { return c.inst.Loss(indices) }
+
+// LossProfile samples the per-direction loss distribution of a subset
+// over k random directions (Appendix B's loss-distribution experiments).
+func (c *Coreseter) LossProfile(indices []int, k int) []float64 {
+	dirs := sphere.RandomDirections(k, c.Dim(), c.opts.Seed+77)
+	return c.inst.LossSampled(indices, dirs)
+}
+
+// dominanceGraph lazily builds the IPDG and dominance graph (Algorithm 2).
+func (c *Coreseter) dominanceGraph() *core.DominanceGraph {
+	c.dgOnce.Do(func() {
+		c.ipdg = c.inst.BuildIPDG(c.opts.IPDGSamples, c.opts.Seed+13)
+		c.dg = c.inst.BuildDominanceGraph(c.ipdg)
+	})
+	return c.dg
+}
+
+// DominanceGraphStats reports (LPs solved, dominance edges, IPDG edges)
+// after forcing dominance-graph construction; used for Table 1/Figure 9.
+func (c *Coreseter) DominanceGraphStats() (lps, edges, ipdgEdges int) {
+	dg := c.dominanceGraph()
+	return dg.NumLPs, dg.NumEdges, dg.IPDGEdges
+}

@@ -1,0 +1,225 @@
+package mincore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomPoints(n, d int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = make(Point, d)
+		for j := range pts[i] {
+			pts[i][j] = rng.NormFloat64()*3 + 7 // off-center, unnormalized
+		}
+	}
+	return pts
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := New([]Point{{}}); err == nil {
+		t.Fatal("0-dim should error")
+	}
+	if _, err := New([]Point{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged input should error")
+	}
+}
+
+func TestPipeline2D(t *testing.T) {
+	cs, err := New(randomPoints(500, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Dim() != 2 || cs.N() == 0 || cs.NumExtreme() < 3 {
+		t.Fatalf("basic stats wrong: d=%d n=%d ξ=%d", cs.Dim(), cs.N(), cs.NumExtreme())
+	}
+	if cs.Alpha() <= 0 {
+		t.Fatalf("α = %v", cs.Alpha())
+	}
+	for _, algo := range []Algorithm{OptMC, DSMC, SCMC, ANN, Auto} {
+		q, err := cs.Coreset(0.1, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if q.Loss > 0.1+1e-9 {
+			t.Fatalf("%s: loss %v exceeds ε", algo, q.Loss)
+		}
+		if q.Size() == 0 || q.Size() != len(q.Points) {
+			t.Fatalf("%s: malformed coreset", algo)
+		}
+	}
+}
+
+func TestPipelineMultiD(t *testing.T) {
+	cs, err := New(randomPoints(400, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Coreset(0.1, OptMC); err == nil {
+		t.Fatal("OptMC in 4D should error")
+	}
+	for _, algo := range []Algorithm{DSMC, SCMC, ANN, Auto} {
+		q, err := cs.Coreset(0.1, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if q.Loss > 0.1+1e-6 {
+			t.Fatalf("%s: loss %v exceeds ε", algo, q.Loss)
+		}
+	}
+}
+
+func TestAutoPrefersOptimalIn2D(t *testing.T) {
+	cs, err := New(randomPoints(300, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qAuto, err := cs.Coreset(0.1, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qOpt, err := cs.Coreset(0.1, OptMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qAuto.Size() != qOpt.Size() {
+		t.Fatalf("Auto (%d) != OptMC (%d) in 2D", qAuto.Size(), qOpt.Size())
+	}
+}
+
+func TestTop1Guarantee(t *testing.T) {
+	cs, err := New(randomPoints(1000, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 0.1
+	q, err := cs.Coreset(eps, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		u := make(Point, 3)
+		for j := range u {
+			u[j] = rng.NormFloat64()
+		}
+		_, got := q.Top1(u)
+		// Exact maximum over all normalized points.
+		best := -1e18
+		for i := 0; i < cs.N(); i++ {
+			p := cs.Point(i)
+			v := 0.0
+			for j := range u {
+				v += p[j] * u[j]
+			}
+			if v > best {
+				best = v
+			}
+		}
+		if best > 0 && got < (1-eps)*best-1e-9 {
+			t.Fatalf("trial %d: Top1 %v below (1−ε)·ω = %v", trial, got, (1-eps)*best)
+		}
+	}
+}
+
+func TestFixedSize(t *testing.T) {
+	cs, err := New(randomPoints(500, 2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cs.FixedSize(5, OptMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() > 5 {
+		t.Fatalf("size %d exceeds budget", q.Size())
+	}
+	if q.Loss > q.Eps+1e-9 {
+		t.Fatalf("loss %v above its ε %v", q.Loss, q.Eps)
+	}
+}
+
+func TestLossProfile(t *testing.T) {
+	cs, err := New(randomPoints(300, 2, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cs.Coreset(0.2, OptMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := cs.LossProfile(q.Indices, 1000)
+	if len(prof) != 1000 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	for _, l := range prof {
+		if l < 0 || l > 1 {
+			t.Fatalf("loss %v out of range", l)
+		}
+		if l > 0.2+1e-9 {
+			t.Fatalf("sampled loss %v exceeds ε", l)
+		}
+	}
+}
+
+func TestDuplicateInputs(t *testing.T) {
+	pts := randomPoints(100, 2, 11)
+	dup := append(append([]Point(nil), pts...), pts...)
+	cs, err := New(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.N() != 100 {
+		t.Fatalf("dedup failed: N = %d", cs.N())
+	}
+}
+
+func TestSkipNormalize(t *testing.T) {
+	// Already-fat input: unit-ish ring.
+	rng := rand.New(rand.NewSource(13))
+	pts := make([]Point, 200)
+	for i := range pts {
+		x, y := rng.NormFloat64(), rng.NormFloat64()
+		pts[i] = Point{x, y}
+	}
+	cs, err := New(pts, Options{SkipNormalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cs.Normalize(Point{0.5, 0.5})
+	if p[0] != 0.5 || p[1] != 0.5 {
+		t.Fatal("Normalize should be identity with SkipNormalize")
+	}
+	if _, err := cs.Coreset(0.1, OptMC); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominanceGraphStats(t *testing.T) {
+	cs, err := New(randomPoints(200, 3, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lps, edges, ipdgEdges := cs.DominanceGraphStats()
+	xi := cs.NumExtreme()
+	if lps <= 0 || lps > xi*(xi-1) {
+		t.Fatalf("lps = %d outside (0, %d]", lps, xi*(xi-1))
+	}
+	if edges <= 0 || ipdgEdges <= 0 {
+		t.Fatalf("edges=%d ipdg=%d", edges, ipdgEdges)
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	cs, err := New(randomPoints(50, 2, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Coreset(0.1, Algorithm("nope")); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}

@@ -1,0 +1,58 @@
+package mincore
+
+import (
+	"mincore/internal/geom"
+	"mincore/internal/stream"
+)
+
+// StreamSummary is a one-pass, mergeable coreset summary for maxima
+// representation: feed points in any order with Add (each point is seen
+// once, O(m·d) work, O(m) memory for m directions), merge summaries of
+// substreams with Merge, and read the coreset with Coreset.
+//
+// Unlike the batch algorithms, the summary cannot pre-normalize the
+// stream, so the ε guarantee is relative to the stream's own fatness: on
+// an α-fat stream, NewStreamSummary(d, eps, alpha, seed) sizes its
+// direction set so the coreset loss is at most ≈ eps. For raw streams of
+// unknown shape, treat the result as a directional-maxima sketch and
+// validate downstream.
+type StreamSummary struct {
+	s *stream.Summary
+}
+
+// NewStreamSummary creates a summary for d-dimensional points targeting
+// loss eps on streams of fatness ≥ alpha (alpha ≤ 0 assumes 0.25).
+func NewStreamSummary(d int, eps, alpha float64, seed int64) *StreamSummary {
+	if alpha <= 0 {
+		alpha = 0.25
+	}
+	m := stream.SuggestDirections(eps, alpha, d)
+	return &StreamSummary{s: stream.NewSummary(m, d, seed)}
+}
+
+// Add consumes one stream point.
+func (ss *StreamSummary) Add(p Point) { ss.s.Add(geom.Vector(p)) }
+
+// N returns the number of points consumed.
+func (ss *StreamSummary) N() int { return ss.s.N() }
+
+// Size returns the current coreset size.
+func (ss *StreamSummary) Size() int { return ss.s.Size() }
+
+// Coreset returns the current coreset points.
+func (ss *StreamSummary) Coreset() []Point {
+	q := ss.s.Coreset()
+	out := make([]Point, len(q))
+	for i, p := range q {
+		out[i] = Point(p)
+	}
+	return out
+}
+
+// Omega returns the summary's maximum inner product for direction u.
+func (ss *StreamSummary) Omega(u Point) float64 { return ss.s.Omega(geom.Vector(u)) }
+
+// Merge folds another summary (same d, eps, alpha, seed parameters) into
+// this one; the result is exactly the summary of the concatenated
+// streams.
+func (ss *StreamSummary) Merge(other *StreamSummary) error { return ss.s.Merge(other.s) }

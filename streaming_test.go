@@ -1,0 +1,66 @@
+package mincore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStreamSummaryEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ss := NewStreamSummary(3, 0.1, 0.5, 7)
+	pts := make([]Point, 5000)
+	for i := range pts {
+		pts[i] = Point{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		ss.Add(pts[i])
+	}
+	if ss.N() != 5000 {
+		t.Fatalf("N = %d", ss.N())
+	}
+	q := ss.Coreset()
+	if len(q) == 0 || len(q) != ss.Size() {
+		t.Fatalf("coreset size %d vs Size() %d", len(q), ss.Size())
+	}
+	// The summary's maxima approximate the stream's for random queries.
+	for trial := 0; trial < 100; trial++ {
+		u := Point{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		approx := ss.Omega(u)
+		best := approx
+		for _, p := range pts {
+			v := p[0]*u[0] + p[1]*u[1] + p[2]*u[2]
+			if v > best {
+				best = v
+			}
+		}
+		if best > 0 && approx < 0.85*best {
+			t.Fatalf("summary omega %v far below exact %v", approx, best)
+		}
+	}
+}
+
+func TestStreamSummaryMergeFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewStreamSummary(2, 0.1, 0.5, 9)
+	b := NewStreamSummary(2, 0.1, 0.5, 9)
+	for i := 0; i < 1000; i++ {
+		a.Add(Point{rng.NormFloat64(), rng.NormFloat64()})
+		b.Add(Point{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 2000 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	mismatch := NewStreamSummary(2, 0.01, 0.5, 9)
+	if err := a.Merge(mismatch); err == nil {
+		t.Fatal("parameter mismatch should error")
+	}
+}
+
+func TestStreamSummaryDefaultAlpha(t *testing.T) {
+	ss := NewStreamSummary(2, 0.1, 0, 1) // alpha ≤ 0 → default
+	ss.Add(Point{1, 0})
+	if ss.Size() != 1 {
+		t.Fatalf("size = %d", ss.Size())
+	}
+}
