@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench bench-workers
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full tier-1 gate: build + vet + race-clean tests.
+verify:
+	./scripts/verify.sh
+
+# One regeneration of every experiment plus micro/ablation benches.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x -timeout 3600s -run '^$$' ./...
+
+# The Workers=1 vs Workers=N dominance-graph scaling comparison.
+bench-workers:
+	$(GO) test -bench 'DominanceGraphWorkers|DGBuildWorkers' -benchtime 3x -run '^$$' ./...

@@ -12,6 +12,7 @@ package mincore_test
 // direction grid.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
@@ -132,6 +133,37 @@ func BenchmarkLossExactLP(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		inst.LossExactLP(q)
+	}
+}
+
+// BenchmarkDominanceGraphWorkers compares Workers=1 against Workers=N on
+// the dominance-graph build through the public API: each iteration
+// preprocesses outside the timer and then times the ξ² LP loop alone
+// (forced via DominanceGraphStats). The instance has ξ ≥ 200 extreme
+// points (n=5000, d=5 Gaussian), large enough that per-cell partitioning
+// dominates pool overhead; on an 8-core machine workers=8 should beat
+// workers=1 by ≥ 2×.
+func BenchmarkDominanceGraphWorkers(b *testing.B) {
+	ds := data.Normal(5000, 5, 7)
+	pts := make([]mincore.Point, len(ds.Points))
+	for i, p := range ds.Points {
+		pts[i] = mincore.Point(p)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cs, err := mincore.New(pts, mincore.WithSeed(1), mincore.WithWorkers(w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if xi := cs.NumExtreme(); xi < 200 {
+					b.Fatalf("bench instance too small: ξ=%d < 200", xi)
+				}
+				b.StartTimer()
+				cs.DominanceGraphStats()
+			}
+		})
 	}
 }
 

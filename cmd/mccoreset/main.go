@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -33,6 +34,8 @@ func main() {
 	algo := flag.String("algo", "auto", "algorithm: auto, optmc, dsmc, scmc, ann")
 	size := flag.Int("size", 0, "solve the dual problem: best coreset of at most this size (overrides -eps)")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "worker-pool size for the parallel hot paths (0 = GOMAXPROCS, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit)")
 	out := flag.String("out", "", "write coreset points to this CSV file")
 	flag.Parse()
 
@@ -41,18 +44,24 @@ func main() {
 		fatal(err)
 	}
 	start := time.Now()
-	cs, err := mincore.New(pts, mincore.Options{Seed: *seed})
+	cs, err := mincore.New(pts, mincore.WithSeed(*seed), mincore.WithWorkers(*workers))
 	if err != nil {
 		fatal(err)
 	}
 	prepTime := time.Since(start)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start = time.Now()
 	var q *mincore.Coreset
 	if *size > 0 {
-		q, err = cs.FixedSize(*size, mincore.Algorithm(*algo))
+		q, err = cs.FixedSizeCtx(ctx, *size, mincore.Algorithm(*algo))
 	} else {
-		q, err = cs.Coreset(*eps, mincore.Algorithm(*algo))
+		q, err = cs.CoresetCtx(ctx, *eps, mincore.Algorithm(*algo))
 	}
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,129 @@
+package mincore
+
+// White-box tests for dropConstantDims: the threshold behavior around
+// 1e-12·magnitude, all-constant inputs, and agreement between the
+// projection, KeptDims, and Normalize.
+
+import (
+	"testing"
+
+	"mincore/internal/geom"
+)
+
+func TestDropConstantDimsEmpty(t *testing.T) {
+	out, kept := dropConstantDims(nil)
+	if len(out) != 0 || kept != nil {
+		t.Fatalf("empty input: out=%v kept=%v", out, kept)
+	}
+}
+
+func TestDropConstantDimsAllConstant(t *testing.T) {
+	pts := []geom.Vector{{5, -2}, {5, -2}, {5, -2}}
+	_, kept := dropConstantDims(pts)
+	if len(kept) != 0 {
+		t.Fatalf("all-constant input kept dims %v", kept)
+	}
+	// Through the public API this must be a clean error, not a panic.
+	if _, err := New([]Point{{5, -2}, {5, -2}}); err == nil {
+		t.Fatal("New accepted an all-constant point set")
+	}
+}
+
+// TestDropConstantDimsThreshold pins the cutoff: a dimension is dropped
+// iff its range is ≤ 1e-12 of its own magnitude, independent of the
+// other dimensions' scales.
+func TestDropConstantDimsThreshold(t *testing.T) {
+	const mag = 1e12 // threshold range = 1e-12·1e12 = 1.0
+	cases := []struct {
+		name     string
+		spread   float64
+		wantKept bool
+	}{
+		{"well-below", 1e-3, false},
+		{"just-below", 0.5, false},
+		{"just-above", 2.0, true},
+		{"well-above", 1e3, true},
+	}
+	for _, tc := range cases {
+		pts := []geom.Vector{
+			{0, mag},
+			{1, mag + tc.spread},
+			{0.5, mag},
+		}
+		_, kept := dropConstantDims(pts)
+		keptSet := make(map[int]bool)
+		for _, j := range kept {
+			keptSet[j] = true
+		}
+		if !keptSet[0] {
+			t.Fatalf("%s: unit-scale dimension 0 dropped (kept=%v)", tc.name, kept)
+		}
+		if keptSet[1] != tc.wantKept {
+			t.Fatalf("%s: dimension 1 (spread %g at magnitude %g) kept=%v, want %v",
+				tc.name, tc.spread, mag, keptSet[1], tc.wantKept)
+		}
+	}
+}
+
+// TestDropConstantDimsMixedMagnitudes checks that a tiny-but-varying
+// dimension survives next to a huge one: the threshold is relative to
+// each dimension's own magnitude, not the global scale.
+func TestDropConstantDimsMixedMagnitudes(t *testing.T) {
+	pts := []geom.Vector{
+		{1e12, 1e-9, 3},
+		{-1e12, 2e-9, 3},
+		{0, -1e-9, 3},
+	}
+	_, kept := dropConstantDims(pts)
+	if len(kept) != 2 || kept[0] != 0 || kept[1] != 1 {
+		t.Fatalf("kept = %v, want [0 1] (dimension 2 is constant)", kept)
+	}
+}
+
+// TestKeptDimsNormalizeAgree verifies through the public API that
+// KeptDims reports the projection Normalize applies: with normalization
+// and perturbation disabled, Normalize must be exactly the coordinate
+// projection onto the kept dimensions.
+func TestKeptDimsNormalizeAgree(t *testing.T) {
+	pts := []Point{
+		{-1, 5, -1},
+		{-1, 5, 1},
+		{1, 5, -1},
+		{1, 5, 1},
+		{0.9, 5, 0},
+		{0, 5, 0.9},
+	}
+	cs, err := New(pts, WithSkipNormalize(), WithPerturbScale(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := cs.KeptDims()
+	if len(kept) != 2 || kept[0] != 0 || kept[1] != 2 {
+		t.Fatalf("KeptDims = %v, want [0 2]", kept)
+	}
+	probe := Point{0.25, 123456, -0.75}
+	got := cs.Normalize(probe)
+	if len(got) != len(kept) {
+		t.Fatalf("Normalize output has %d dims, want %d", len(got), len(kept))
+	}
+	for k, j := range kept {
+		if got[k] != probe[j] {
+			t.Fatalf("Normalize[%d] = %v, want probe[%d] = %v", k, got[k], j, probe[j])
+		}
+	}
+	// Every stored point must be reachable as the projection of some
+	// input point (no perturbation, no affine map).
+	for i := 0; i < cs.N(); i++ {
+		p := cs.Point(i)
+		found := false
+		for _, raw := range pts {
+			if p[0] == raw[0] && p[1] == raw[2] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("stored point %v is not a projection of any input", p)
+		}
+	}
+}

@@ -27,8 +27,11 @@ func main() {
 	}
 
 	// Preprocess once: dedup, normalize to an α-fat position, find the
-	// extreme points. All coreset computations reuse this.
-	cs, err := mincore.New(points)
+	// extreme points. All coreset computations reuse this. Functional
+	// options configure the build — WithWorkers(0) (the default) runs the
+	// hot paths on a GOMAXPROCS-sized worker pool; results are identical
+	// for every worker count.
+	cs, err := mincore.New(points, mincore.WithSeed(42), mincore.WithWorkers(0))
 	if err != nil {
 		log.Fatal(err)
 	}

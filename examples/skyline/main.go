@@ -32,7 +32,7 @@ func main() {
 		hotels[i] = mincore.Point{rating, 5 * loc, value, quiet}
 	}
 
-	cs, err := mincore.New(hotels)
+	cs, err := mincore.New(hotels, mincore.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,17 +1,19 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"mincore/internal/geom"
 )
 
-func BenchmarkDGBuild4D(b *testing.B) {
+func benchGaussianInstance(b *testing.B, n, d int) *Instance {
+	b.Helper()
 	rng := rand.New(rand.NewSource(7))
-	pts := make([]geom.Vector, 5000)
+	pts := make([]geom.Vector, n)
 	for i := range pts {
-		pts[i] = geom.NewVector(4)
+		pts[i] = geom.NewVector(d)
 		for j := range pts[i] {
 			pts[i][j] = rng.NormFloat64()
 		}
@@ -20,9 +22,37 @@ func BenchmarkDGBuild4D(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return inst
+}
+
+func BenchmarkDGBuild4D(b *testing.B) {
+	inst := benchGaussianInstance(b, 5000, 4)
 	ipdg := inst.BuildIPDG(0, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		inst.BuildDominanceGraph(ipdg)
+	}
+}
+
+// BenchmarkDGBuildWorkers measures the parallel dominance-graph build —
+// the ξ² LP loop partitioned by cell across the worker pool — at
+// increasing worker counts on a ξ ≥ 200 instance (n=5000, d=5 Gaussian
+// gives ξ ≈ 260). The workers=1 row is the sequential baseline; on an
+// 8-core machine the workers=8 row should run ≥ 2× faster.
+func BenchmarkDGBuildWorkers(b *testing.B) {
+	inst := benchGaussianInstance(b, 5000, 5)
+	if xi := inst.Xi(); xi < 200 {
+		b.Fatalf("bench instance too small: ξ=%d < 200", xi)
+	}
+	ipdg := inst.BuildIPDG(0, 1)
+	defer func() { inst.Workers = 0 }()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			inst.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst.BuildDominanceGraph(ipdg)
+			}
+		})
 	}
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"mincore/internal/geom"
 	"mincore/internal/lp"
+	"mincore/internal/parallel"
 	"mincore/internal/setcover"
 	"mincore/internal/sphere"
 	"mincore/internal/voronoi"
@@ -90,6 +92,28 @@ func (inst *Instance) BuildIPDG(samples int, seed int64) *voronoi.IPDG {
 // unbounded receive no incoming dominance edges at all and inflate the
 // solution (the failure mode the paper attributes to missing edges).
 func (inst *Instance) BuildDominanceGraph(ipdg *voronoi.IPDG) *DominanceGraph {
+	dg, err := inst.BuildDominanceGraphCtx(context.Background(), ipdg)
+	if err != nil {
+		// Unreachable: the background context is never cancelled.
+		panic(err)
+	}
+	return dg
+}
+
+// dgStats is a per-worker accumulator for the build counters, padded to
+// a cache line so workers don't false-share.
+type dgStats struct {
+	lps, edges int
+	_          [48]byte
+}
+
+// BuildDominanceGraphCtx is BuildDominanceGraph with cooperative
+// cancellation. The ξ² LP loop is partitioned by cell j across
+// Instance.Workers goroutines: each cell's incoming edges are computed,
+// sorted, and stored independently, and per-worker LP/edge counters are
+// merged at the end, so the graph — including the per-cell edge order —
+// is identical for every worker count. Returns ctx.Err() when cancelled.
+func (inst *Instance) BuildDominanceGraphCtx(ctx context.Context, ipdg *voronoi.IPDG) (*DominanceGraph, error) {
 	xi := inst.Xi()
 	dg := &DominanceGraph{Xi: xi, edges: make([][]domEdge, xi), IPDGEdges: ipdg.NumEdges()}
 	d := inst.D
@@ -99,7 +123,8 @@ func (inst *Instance) BuildDominanceGraph(ipdg *voronoi.IPDG) *DominanceGraph {
 	// skip its LP. This removes the far side of the hull from every
 	// cell's pair loop.
 	witnesses := inst.cellWitnesses(16*xi, 8)
-	for j := 0; j < xi; j++ {
+	stats := make([]dgStats, parallel.WorkersFor(inst.Workers, xi))
+	err := parallel.ForWorker(ctx, inst.Workers, xi, func(w, j int) {
 		nbrs := ipdg.Neighbors(j)
 		if d > 3 {
 			nbrs = inst.augmentNeighbors(j, nbrs, 3*d+2)
@@ -114,6 +139,7 @@ func (inst *Instance) BuildDominanceGraph(ipdg *voronoi.IPDG) *DominanceGraph {
 			}
 			rows = append(rows, row)
 		}
+		var edges []domEdge
 	pairs:
 		for i := 0; i < xi; i++ {
 			if i == j {
@@ -125,22 +151,32 @@ func (inst *Instance) BuildDominanceGraph(ipdg *voronoi.IPDG) *DominanceGraph {
 					continue pairs // loss ≥ 1 somewhere in R(t_j): no edge
 				}
 			}
-			dg.NumLPs++
-			w, ok := inst.eq2LP(i, j, rows)
-			if !ok || w >= 1 {
+			stats[w].lps++
+			ew, ok := inst.eq2LP(i, j, rows)
+			if !ok || ew >= 1 {
 				continue
 			}
-			if w < 0 {
-				w = 0
+			if ew < 0 {
+				ew = 0
 			}
-			dg.edges[j] = append(dg.edges[j], domEdge{from: i, weight: w})
-			dg.NumEdges++
+			edges = append(edges, domEdge{from: i, weight: ew})
+			stats[w].edges++
 		}
-		sort.Slice(dg.edges[j], func(a, b int) bool {
-			return dg.edges[j][a].weight < dg.edges[j][b].weight
+		// Ties sort by the (deterministic) scan order over i, so the
+		// per-cell list is stable across worker counts.
+		sort.SliceStable(edges, func(a, b int) bool {
+			return edges[a].weight < edges[b].weight
 		})
+		dg.edges[j] = edges
+	})
+	if err != nil {
+		return nil, err
 	}
-	return dg
+	for _, s := range stats {
+		dg.NumLPs += s.lps
+		dg.NumEdges += s.edges
+	}
+	return dg, nil
 }
 
 // cellWitnesses samples directions on the sphere and records, for each
@@ -286,6 +322,12 @@ func (inst *Instance) dsmcGreedy(dg *DominanceGraph, eps float64) []int {
 // valid coreset is returned (DSMC at ε itself is the guaranteed-valid
 // fallback).
 func (inst *Instance) DSMCRefined(dg *DominanceGraph, eps float64, tries int) ([]int, error) {
+	return inst.DSMCRefinedCtx(context.Background(), dg, eps, tries)
+}
+
+// DSMCRefinedCtx is DSMCRefined with cooperative cancellation of the
+// per-candidate loss validations.
+func (inst *Instance) DSMCRefinedCtx(ctx context.Context, dg *DominanceGraph, eps float64, tries int) ([]int, error) {
 	base, err := inst.DSMC(dg, eps)
 	if err != nil {
 		return nil, err
@@ -295,6 +337,9 @@ func (inst *Instance) DSMCRefined(dg *DominanceGraph, eps float64, tries int) ([
 	}
 	best := base
 	for k := tries; k >= 1; k-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		epsPrime := eps + 2*eps*float64(k)/float64(tries) // up to 3ε
 		if epsPrime >= 1 {
 			continue
@@ -309,10 +354,18 @@ func (inst *Instance) DSMCRefined(dg *DominanceGraph, eps float64, tries int) ([
 		}
 		// Cheap sampled lower bound first; the exact evaluator only runs
 		// on candidates that survive it.
-		if inst.MaxLossSampled(q, 2048, 31+int64(k)) > eps {
+		ml, err := inst.maxLossSampledCtx(ctx, q, 2048, 31+int64(k))
+		if err != nil {
+			return nil, err
+		}
+		if ml > eps {
 			continue
 		}
-		if inst.Loss(q) <= eps {
+		l, err := inst.LossCtx(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		if l <= eps {
 			best = q
 			break // ε′ swept downward: the first (largest) valid one wins
 		}

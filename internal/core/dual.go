@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
 
 // The dual formulation of MC (Section 2): given a size budget r, find a
 // subset of at most r points minimizing the loss. As the paper notes, any
@@ -33,6 +37,11 @@ func DualSolve(r int, solve Solver, iters int) ([]int, float64, error) {
 			break
 		}
 		q, err := solve(mid)
+		// A solver failure normally just means "infeasible at this ε" and
+		// steers the search, but a cancelled context aborts it outright.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, 0, err
+		}
 		if err == nil && len(q) <= r {
 			if !found || mid < bestEps {
 				best, bestEps, found = q, mid, true

@@ -43,6 +43,13 @@ type Instance struct {
 
 	Alpha float64 // empirical fatness (transform.EmpiricalFatness)
 
+	// Workers is the degree of parallelism for the parallel hot paths
+	// (dominance-graph construction, loss evaluation, SCMC's set-system
+	// construction): 0 selects GOMAXPROCS, 1 forces sequential execution.
+	// Set it before sharing the instance across goroutines; outputs are
+	// bitwise identical for every value.
+	Workers int
+
 	// 2D-only caches (nil in higher dimensions).
 	BoundaryVecs []geom.Vector // u*_i between consecutive extreme points
 

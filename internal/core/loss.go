@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"math"
+	"sync/atomic"
 
 	"mincore/internal/geom"
 	"mincore/internal/hull"
 	"mincore/internal/lp"
 	"mincore/internal/mips"
+	"mincore/internal/parallel"
 	"mincore/internal/sphere"
 	"mincore/internal/voronoi"
 )
@@ -26,15 +29,30 @@ import (
 // All evaluators require a fat instance (ω(P,u) > 0 everywhere) and
 // report losses clamped to [0,1]: a loss of 1 means some direction's
 // maximum is entirely unrepresented (ω(Q,u) ≤ 0).
+//
+// Each evaluator fans its independent per-direction (or per-owner) work
+// out over Instance.Workers goroutines; every unit writes into its own
+// slot and the maxima are reduced sequentially, so results are bitwise
+// identical for every worker count. The Ctx variants additionally stop
+// early — returning ctx.Err() — when the context is cancelled.
 
 // LossExact2D returns the exact maximum loss of Q (indices into inst.Pts)
 // in two dimensions.
 func (inst *Instance) LossExact2D(q []int) float64 {
+	l, err := inst.LossExact2DCtx(context.Background(), q)
+	if err != nil {
+		panic(err) // unreachable: background context
+	}
+	return l
+}
+
+// LossExact2DCtx is LossExact2D with cooperative cancellation.
+func (inst *Instance) LossExact2DCtx(ctx context.Context, q []int) (float64, error) {
 	if inst.D != 2 {
 		panic("core: LossExact2D on non-2D instance")
 	}
 	if len(q) == 0 {
-		return 1
+		return 1, nil
 	}
 	qpts := make([]geom.Vector, len(q))
 	for i, id := range q {
@@ -68,18 +86,26 @@ func (inst *Instance) LossExact2D(q []int) float64 {
 	}
 
 	qTree := mips.NewKDTree(ordered)
-	worst := 0.0
-	for _, u := range candidates {
-		_, wq := qTree.MaxDot(u)
+	losses := make([]float64, len(candidates))
+	err := parallel.For(ctx, inst.Workers, len(candidates), func(k int) {
+		u := candidates[k]
 		wp := inst.Omega(u)
 		if wp <= 0 {
-			continue // cannot happen on a fat instance
+			return // cannot happen on a fat instance
 		}
-		if l := 1 - wq/wp; l > worst {
+		_, wq := qTree.MaxDot(u)
+		losses[k] = 1 - wq/wp
+	})
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for _, l := range losses {
+		if l > worst {
 			worst = l
 		}
 	}
-	return clampLoss(worst)
+	return clampLoss(worst), nil
 }
 
 // LossExactLP returns the exact maximum loss of Q in any dimension: for
@@ -91,8 +117,20 @@ func (inst *Instance) LossExact2D(q []int) float64 {
 // true worst direction's owner; the maximum over t ∈ X is l(Q,P).
 // Unbounded LPs mean the coreset misses a whole direction cone (loss 1).
 func (inst *Instance) LossExactLP(q []int) float64 {
+	l, err := inst.LossExactLPCtx(context.Background(), q)
+	if err != nil {
+		panic(err) // unreachable: background context
+	}
+	return l
+}
+
+// LossExactLPCtx is LossExactLP with cooperative cancellation. The
+// per-owner LPs run in parallel; once any owner proves loss 1 the
+// remaining LPs are skipped (the result is 1 regardless of which owners
+// were skipped, so the early exit preserves determinism).
+func (inst *Instance) LossExactLPCtx(ctx context.Context, q []int) (float64, error) {
 	if len(q) == 0 {
-		return 1
+		return 1, nil
 	}
 	d := inst.D
 	qpts := make([]geom.Vector, len(q))
@@ -110,25 +148,38 @@ func (inst *Instance) LossExactLP(q []int) float64 {
 	for _, qp := range qx {
 		inQ[coordKey(qp)] = true
 	}
-	worst := 0.0
-	for _, t := range inst.ExtPts {
+	vals := make([]float64, len(inst.ExtPts))
+	var lossOne atomic.Bool
+	err := parallel.For(ctx, inst.Workers, len(inst.ExtPts), func(k int) {
+		if lossOne.Load() {
+			return
+		}
+		t := inst.ExtPts[k]
 		// Owners that are themselves in Q contribute nothing: the
 		// constraint ⟨t,u⟩ ≤ 1−x with ⟨t,u⟩ = 1 forces x ≤ 0.
 		if inQ[coordKey(t)] {
-			continue
+			return
 		}
 		val, ok := lossLPForOwner(t, qx, d)
-		if !ok {
-			return 1
+		if !ok || val >= 1 {
+			lossOne.Store(true)
+			return
 		}
-		if val > worst {
-			worst = val
-		}
-		if worst >= 1 {
-			return 1
+		vals[k] = val
+	})
+	if err != nil {
+		return 0, err
+	}
+	if lossOne.Load() {
+		return 1, nil
+	}
+	worst := 0.0
+	for _, v := range vals {
+		if v > worst {
+			worst = v
 		}
 	}
-	return clampLoss(worst)
+	return clampLoss(worst), nil
 }
 
 // lossLPForOwner solves the per-owner loss LP. ok=false signals an
@@ -184,39 +235,65 @@ func lossLPForOwner(t geom.Vector, qx []geom.Vector, d int) (float64, bool) {
 // LossSampled returns the per-direction losses of Q over the given
 // directions, each clamped to [0,1].
 func (inst *Instance) LossSampled(q []int, dirs []geom.Vector) []float64 {
+	out, err := inst.LossSampledCtx(context.Background(), q, dirs)
+	if err != nil {
+		panic(err) // unreachable: background context
+	}
+	return out
+}
+
+// LossSampledCtx is LossSampled with cooperative cancellation; each
+// direction's loss is written to its own slot.
+func (inst *Instance) LossSampledCtx(ctx context.Context, q []int, dirs []geom.Vector) ([]float64, error) {
 	qpts := make([]geom.Vector, len(q))
 	for i, id := range q {
 		qpts[i] = inst.Pts[id]
 	}
 	qTree := mips.NewKDTree(qpts)
 	out := make([]float64, len(dirs))
-	for k, u := range dirs {
+	err := parallel.For(ctx, inst.Workers, len(dirs), func(k int) {
+		u := dirs[k]
 		wp := inst.Omega(u)
 		if wp <= 0 {
 			out[k] = 0
-			continue
+			return
 		}
 		if len(qpts) == 0 {
 			out[k] = 1
-			continue
+			return
 		}
 		_, wq := qTree.MaxDot(u)
 		out[k] = clampLoss(1 - wq/wp)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // MaxLossSampled is the maximum of LossSampled — a lower bound on the
 // true loss that converges as the sample densifies.
 func (inst *Instance) MaxLossSampled(q []int, samples int, seed int64) float64 {
+	l, err := inst.maxLossSampledCtx(context.Background(), q, samples, seed)
+	if err != nil {
+		panic(err) // unreachable: background context
+	}
+	return l
+}
+
+func (inst *Instance) maxLossSampledCtx(ctx context.Context, q []int, samples int, seed int64) (float64, error) {
 	dirs := sphere.RandomDirections(samples, inst.D, seed)
+	losses, err := inst.LossSampledCtx(ctx, q, dirs)
+	if err != nil {
+		return 0, err
+	}
 	worst := 0.0
-	for _, l := range inst.LossSampled(q, dirs) {
+	for _, l := range losses {
 		if l > worst {
 			worst = l
 		}
 	}
-	return worst
+	return worst, nil
 }
 
 // Loss picks the exact evaluator for the instance dimension: the critical
@@ -226,6 +303,14 @@ func (inst *Instance) Loss(q []int) float64 {
 		return inst.LossExact2D(q)
 	}
 	return inst.LossExactLP(q)
+}
+
+// LossCtx is Loss with cooperative cancellation.
+func (inst *Instance) LossCtx(ctx context.Context, q []int) (float64, error) {
+	if inst.D == 2 {
+		return inst.LossExact2DCtx(ctx, q)
+	}
+	return inst.LossExactLPCtx(ctx, q)
 }
 
 func clampLoss(l float64) float64 {

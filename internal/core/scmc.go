@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"mincore/internal/geom"
+	"mincore/internal/parallel"
 	"mincore/internal/setcover"
 	"mincore/internal/sphere"
 )
@@ -50,6 +53,13 @@ func (o *SCMCOptions) defaults(eps float64, d int) {
 // coreset (indices into inst.Pts) and the number of sampled directions of
 // the final, successful stage.
 func (inst *Instance) SCMC(eps float64, opts SCMCOptions) ([]int, int, error) {
+	return inst.SCMCCtx(context.Background(), eps, opts)
+}
+
+// SCMCCtx is SCMC with cooperative cancellation: the context is checked
+// between doubling stages and propagated into the parallel set-system
+// construction and loss validations.
+func (inst *Instance) SCMCCtx(ctx context.Context, eps float64, opts SCMCOptions) ([]int, int, error) {
 	if eps <= 0 || eps >= 1 {
 		return nil, 0, fmt.Errorf("core: SCMC requires ε ∈ (0,1), got %g", eps)
 	}
@@ -58,12 +68,26 @@ func (inst *Instance) SCMC(eps float64, opts SCMCOptions) ([]int, int, error) {
 	seed := opts.Seed
 	for {
 		dirs := sphere.RandomDirections(m, inst.D, seed+int64(m))
-		q := inst.scmcSolve(dirs, opts.Gamma)
+		q, err := inst.scmcSolveCtx(ctx, dirs, opts.Gamma)
+		if err != nil {
+			return nil, 0, err
+		}
 		// Sampled lower bound screens out clearly-invalid stages before
 		// paying for the exact loss.
-		if len(q) > 0 && inst.MaxLossSampled(q, 2048, seed+int64(m)+5) <= eps &&
-			inst.Loss(q) <= eps {
-			return q, m, nil
+		if len(q) > 0 {
+			ml, err := inst.maxLossSampledCtx(ctx, q, 2048, seed+int64(m)+5)
+			if err != nil {
+				return nil, 0, err
+			}
+			if ml <= eps {
+				l, err := inst.LossCtx(ctx, q)
+				if err != nil {
+					return nil, 0, err
+				}
+				if l <= eps {
+					return q, m, nil
+				}
+			}
 		}
 		if m >= opts.MaxSamples {
 			// Give up on sampling: X itself is a 0-coreset and always
@@ -96,42 +120,75 @@ func (inst *Instance) SCMCNet(eps, delta float64, opts SCMCOptions) ([]int, int,
 // the greedy cover's points (Lines 1–11 of Algorithm 4). Directions whose
 // maximum is nonpositive (impossible on fat instances) are skipped.
 func (inst *Instance) scmcSolve(dirs []geom.Vector, gamma float64) []int {
-	// For each direction, collect the points within the γ-approximation
-	// of the maximum, then invert into per-point sets.
+	q, err := inst.scmcSolveCtx(context.Background(), dirs, gamma)
+	if err != nil {
+		panic(err) // unreachable: background context
+	}
+	return q
+}
+
+// scmcSolveCtx is scmcSolve with cooperative cancellation. The per-
+// direction range queries — one exact MIPS plus one inner-product
+// threshold query each — run in parallel, each direction writing its hit
+// list into its own slot; the inversion into per-point sets then walks
+// the slots in direction order and sorts the set owners by point id, so
+// the set system (and hence the greedy cover) is identical for every
+// worker count.
+func (inst *Instance) scmcSolveCtx(ctx context.Context, dirs []geom.Vector, gamma float64) ([]int, error) {
+	// Stage 1 (parallel): for each direction, collect the points within
+	// the γ-approximation of the maximum.
+	hits := make([][]int, len(dirs))
+	skip := make([]bool, len(dirs))
+	bufs := make([][]int, parallel.WorkersFor(inst.Workers, len(dirs)))
+	err := parallel.ForWorker(ctx, inst.Workers, len(dirs), func(w, k int) {
+		u := dirs[k]
+		wmax := inst.Omega(u)
+		if wmax <= 0 {
+			skip[k] = true
+			return
+		}
+		bufs[w] = inst.tree.AboveThreshold(u, (1-gamma)*wmax, bufs[w][:0])
+		hits[k] = append([]int(nil), bufs[w]...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Stage 2 (sequential): compact skipped directions and invert into
+	// per-point sets in direction order.
 	perPoint := make(map[int][]int)
-	var buf []int
 	kept := 0
-	for _, u := range dirs {
-		w := inst.Omega(u)
-		if w <= 0 {
+	for k := range hits {
+		if skip[k] {
 			continue
 		}
-		buf = inst.tree.AboveThreshold(u, (1-gamma)*w, buf[:0])
-		for _, pid := range buf {
+		for _, pid := range hits[k] {
 			perPoint[pid] = append(perPoint[pid], kept)
 		}
 		kept++
 	}
 	if kept == 0 {
-		return nil
+		return nil, nil
 	}
-	sets := make([][]int, 0, len(perPoint))
 	owners := make([]int, 0, len(perPoint))
-	for pid, elems := range perPoint {
-		sets = append(sets, elems)
+	for pid := range perPoint {
 		owners = append(owners, pid)
+	}
+	sort.Ints(owners) // fixed greedy tie-breaking, independent of map order
+	sets := make([][]int, len(owners))
+	for i, pid := range owners {
+		sets[i] = perPoint[pid]
 	}
 	chosen, uncovered := setcover.Greedy(kept, sets)
 	if uncovered > 0 {
 		// Cannot happen: every direction's exact maximizer is within any
 		// γ-approximation of itself. Defensive empty return.
-		return nil
+		return nil, nil
 	}
 	out := make([]int, len(chosen))
 	for i, s := range chosen {
 		out[i] = owners[s]
 	}
-	return out
+	return out, nil
 }
 
 // SCMCAdaptive is the data-dependent sampling improvement sketched at the

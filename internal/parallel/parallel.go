@@ -1,0 +1,121 @@
+// Package parallel is the shared worker-pool substrate behind the
+// library's hot paths: the dominance-graph LP loop, the exact and
+// sampled loss evaluators, and SCMC's set-system construction.
+//
+// The central primitive is a cancellable parallel-for. Iterations are
+// handed out dynamically from an atomic counter, so uneven per-iteration
+// work (LPs whose simplex pivots vary wildly) still balances across
+// workers. Determinism is the caller's contract: a body must write its
+// result only into a slot indexed by its iteration number (and keep any
+// scratch state per worker), so the assembled output is bitwise
+// identical for every worker count — the property the public API
+// documents and tests.
+//
+// Cancellation is cooperative: the context is polled between iterations
+// (every iteration when parallel, in small batches when sequential), so
+// a cancelled build stops within a few LP solves rather than at the end.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested degree of parallelism: n ≤ 0 selects
+// GOMAXPROCS (the Options.Workers = 0 contract), anything else is
+// returned as-is.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// seqCheckEvery bounds how stale a sequential loop's view of the context
+// can get; parallel workers poll every iteration since their per-item
+// work (an LP solve, a tree query) dwarfs the atomic load.
+const seqCheckEvery = 64
+
+// For runs body(i) for every i in [0,n) on min(Workers(workers), n)
+// goroutines and blocks until they finish. It returns ctx.Err() when the
+// context is cancelled first; iterations already started still complete,
+// later ones are abandoned, and the caller must treat its output slots
+// as garbage. With an effective worker count of 1 the loop runs inline
+// on the calling goroutine — no goroutines, no atomics.
+func For(ctx context.Context, workers, n int, body func(i int)) error {
+	return ForWorker(ctx, workers, n, func(_, i int) { body(i) })
+}
+
+// ForWorker is For with the worker id w ∈ [0, workers) passed alongside
+// the iteration index, so bodies can keep per-worker accumulators
+// (counters, scratch buffers) that the caller merges in worker order
+// after the loop. The effective worker count is min(Workers(workers), n)
+// — size accumulator slices with WorkersFor.
+func ForWorker(ctx context.Context, workers, n int, body func(w, i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := WorkersFor(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if i%seqCheckEvery == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			body(0, i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for id := 0; id < w; id++ {
+		go func(id int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(id, i)
+			}
+		}(id)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// WorkersFor returns the effective worker count For/ForWorker use for a
+// loop of n iterations: min(Workers(workers), n), at least 1. Callers
+// allocating per-worker state must size it with this.
+func WorkersFor(workers, n int) int {
+	w := Workers(workers)
+	if n > 0 && w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Do runs every task on its own goroutine and blocks until all return.
+// It is the two-sided join used to run DSMC and SCMC concurrently in
+// Coreseter's auto mode; tasks communicate results through captured
+// variables (each task must write only its own).
+func Do(tasks ...func()) {
+	if len(tasks) == 1 {
+		tasks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		go func(t func()) {
+			defer wg.Done()
+			t()
+		}(t)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,143 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 33} {
+		const n = 1000
+		hits := make([]int32, n)
+		err := For(context.Background(), workers, n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForDeterministicSlots(t *testing.T) {
+	const n = 500
+	ref := make([]int, n)
+	if err := For(context.Background(), 1, n, func(i int) { ref[i] = i * i }); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got := make([]int, n)
+		if err := For(context.Background(), workers, n, func(i int) { got[i] = i * i }); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForZeroIterations(t *testing.T) {
+	if err := For(context.Background(), 4, 0, func(int) { t.Fatal("body called") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := For(ctx, workers, 1<<20, func(i int) {
+			if ran.Add(1) == 100 {
+				cancel()
+			}
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got >= 1<<20 {
+			t.Fatalf("workers=%d: cancellation did not stop the loop (%d iterations)", workers, got)
+		}
+		cancel()
+	}
+}
+
+func TestForPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := For(ctx, 4, 1000, func(int) { ran.Add(1) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The sequential path may run up to one check-batch; parallel workers
+	// observe the cancelled context before claiming work.
+	if got := ran.Load(); got > seqCheckEvery {
+		t.Fatalf("pre-cancelled loop ran %d iterations", got)
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	const n, workers = 2000, 5
+	eff := WorkersFor(workers, n)
+	counts := make([]atomic.Int64, eff)
+	err := ForWorker(context.Background(), workers, n, func(w, i int) {
+		if w < 0 || w >= eff {
+			t.Errorf("worker id %d out of [0,%d)", w, eff)
+		}
+		counts[w].Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for i := range counts {
+		total += counts[i].Load()
+	}
+	if total != n {
+		t.Fatalf("total iterations %d, want %d", total, n)
+	}
+}
+
+func TestWorkersFor(t *testing.T) {
+	cases := []struct{ workers, n, wantMax int }{
+		{1, 100, 1},
+		{8, 100, 8},
+		{8, 3, 3},
+		{-1, 2, 2},
+	}
+	for _, c := range cases {
+		got := WorkersFor(c.workers, c.n)
+		if got < 1 || got > c.wantMax {
+			t.Fatalf("WorkersFor(%d, %d) = %d, want in [1,%d]", c.workers, c.n, got, c.wantMax)
+		}
+	}
+	if Workers(1) != 1 {
+		t.Fatal("Workers(1) != 1")
+	}
+	if Workers(0) < 1 {
+		t.Fatal("Workers(0) < 1")
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b, c int
+	Do(
+		func() { a = 1 },
+		func() { b = 2 },
+		func() { c = 3 },
+	)
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatalf("Do results: %d %d %d", a, b, c)
+	}
+	Do(func() { a = 7 })
+	if a != 7 {
+		t.Fatal("single-task Do did not run inline")
+	}
+}

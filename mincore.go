@@ -17,16 +17,24 @@
 //
 // Quick start:
 //
-//	cs, err := mincore.New(points)             // preprocess (normalize, hull)
-//	q, err := cs.Coreset(0.05, mincore.Auto)   // ≤5% maxima error
-//	idx, val := q.Top1(preferenceVector)       // answer queries from q
+//	cs, err := mincore.New(points, mincore.WithSeed(42))  // preprocess (normalize, hull)
+//	q, err := cs.Coreset(0.05, mincore.Auto)              // ≤5% maxima error
+//	idx, val := q.Top1(preferenceVector)                  // answer queries from q
 //
 // The ε guarantee holds in the normalized (α-fat) coordinate space the
 // preprocessing maps data into, matching the paper's setting; Top1
 // queries accept directions in that space (see Coreseter.Normalize).
+//
+// The hot paths — dominance-graph construction, loss evaluation, SCMC's
+// set system — run on a worker pool sized by WithWorkers (default:
+// GOMAXPROCS); outputs are bitwise identical for every worker count.
+// Long builds can be cancelled mid-flight through the context-aware
+// variants CoresetCtx and FixedSizeCtx.
 package mincore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -34,6 +42,7 @@ import (
 	"mincore/internal/core"
 	"mincore/internal/geom"
 	"mincore/internal/kernel"
+	"mincore/internal/parallel"
 	"mincore/internal/sphere"
 	"mincore/internal/transform"
 	"mincore/internal/voronoi"
@@ -58,7 +67,17 @@ const (
 	ANN Algorithm = "ann"
 )
 
-// Options configures New.
+// Sentinel errors for errors.Is checks.
+var (
+	// ErrEmptyInput is returned by New when the point set is empty.
+	ErrEmptyInput = errors.New("mincore: empty point set")
+	// ErrUnknownAlgorithm is returned by Coreset for an unrecognized
+	// Algorithm value.
+	ErrUnknownAlgorithm = errors.New("mincore: unknown algorithm")
+)
+
+// Options configures New. It can be passed to New directly (it satisfies
+// Option) or built up from the functional options in options.go.
 type Options struct {
 	// SkipNormalize treats the input as already α-fat in [−1,1]^d and
 	// skips the affine normalization.
@@ -71,19 +90,27 @@ type Options struct {
 	// IPDGSamples overrides the direction-sample count for the
 	// approximate IPDG in d > 3 (0 = default, 64·ξ).
 	IPDGSamples int
+	// Workers is the degree of parallelism for the hot paths
+	// (dominance-graph LPs, loss evaluation, SCMC's set system):
+	// 0 selects GOMAXPROCS, 1 forces sequential execution. Outputs are
+	// bitwise identical for every worker count.
+	Workers int
 }
 
 // Coreseter is a preprocessed dataset ready to produce coresets at any ε.
-// Build once with New. Methods may be called from concurrent goroutines;
-// the dominance graph needed by DSMC is built once under a sync.Once.
+// Build once with New. Methods may be called from concurrent goroutines:
+// all post-construction state is read-only except the dominance graph
+// needed by DSMC, which is built once under a mutex (concurrent callers
+// block until the first build finishes — or retry it, if a cancelled
+// context aborted the build mid-flight).
 type Coreseter struct {
 	inst *core.Instance
 	aff  *transform.Affine // nil when SkipNormalize
 	opts Options
 
-	dgOnce sync.Once
-	dg     *core.DominanceGraph // lazily built for DSMC
-	ipdg   *voronoi.IPDG
+	dgMu sync.Mutex
+	dg   *core.DominanceGraph // lazily built for DSMC
+	ipdg *voronoi.IPDG
 
 	// keptDims lists the input dimensions retained after constant-
 	// attribute dropping, in order.
@@ -139,13 +166,17 @@ func dropConstantDims(pts []geom.Vector) ([]geom.Vector, []int) {
 // New preprocesses raw points: deduplication, affine normalization to an
 // α-fat position in [−1,1]^d (Section 2 of the paper), a tiny
 // general-position perturbation, and extreme-point extraction.
-func New(points []Point, opts ...Options) (*Coreseter, error) {
+//
+// Configure it with functional options — New(points, WithSeed(42),
+// WithWorkers(8)) — or a whole Options struct, which also satisfies
+// Option (see options.go).
+func New(points []Point, opts ...Option) (*Coreseter, error) {
 	var o Options
-	if len(opts) > 0 {
-		o = opts[0]
+	for _, op := range opts {
+		op.apply(&o)
 	}
 	if len(points) == 0 {
-		return nil, fmt.Errorf("mincore: empty point set")
+		return nil, ErrEmptyInput
 	}
 	d := len(points[0])
 	if d < 1 {
@@ -189,6 +220,7 @@ func New(points []Point, opts ...Options) (*Coreseter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mincore: %w", err)
 	}
+	inst.Workers = o.Workers
 	c.inst = inst
 	return c, nil
 }
@@ -262,29 +294,44 @@ func (q *Coreset) Top1(u Point) (int, float64) {
 // Coreset computes an ε-coreset with the chosen algorithm and measures
 // its exact loss.
 func (c *Coreseter) Coreset(eps float64, algo Algorithm) (*Coreset, error) {
+	return c.CoresetCtx(context.Background(), eps, algo)
+}
+
+// CoresetCtx is Coreset with cooperative cancellation: ctx is propagated
+// into the parallel hot paths (dominance-graph LPs, SCMC stages, loss
+// validation), so a long build stops within a few LP solves of ctx being
+// cancelled and returns its error.
+func (c *Coreseter) CoresetCtx(ctx context.Context, eps float64, algo Algorithm) (*Coreset, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var idx []int
 	var err error
 	switch algo {
 	case Auto:
-		return c.auto(eps)
+		return c.auto(ctx, eps)
 	case OptMC:
 		idx, err = c.inst.OptMC(eps)
 	case DSMC:
-		idx, err = c.inst.DSMCRefined(c.dominanceGraph(), eps, 8)
+		var dg *core.DominanceGraph
+		dg, err = c.dominanceGraphCtx(ctx)
+		if err == nil {
+			idx, err = c.inst.DSMCRefinedCtx(ctx, dg, eps, 8)
+		}
 	case SCMC:
-		idx, _, err = c.inst.SCMC(eps, core.SCMCOptions{Seed: c.opts.Seed})
+		idx, _, err = c.inst.SCMCCtx(ctx, eps, core.SCMCOptions{Seed: c.opts.Seed})
 	case ANN:
 		idx, err = kernel.ANN(c.inst.Pts, eps, kernel.Options{Seed: c.opts.Seed, Alpha: c.inst.Alpha})
 	default:
-		return nil, fmt.Errorf("mincore: unknown algorithm %q", algo)
+		return nil, fmt.Errorf("%w %q", ErrUnknownAlgorithm, algo)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return c.wrap(idx, eps, algo), nil
+	return c.wrap(ctx, idx, eps, algo)
 }
 
-func (c *Coreseter) auto(eps float64) (*Coreset, error) {
+func (c *Coreseter) auto(ctx context.Context, eps float64) (*Coreset, error) {
 	if c.Dim() == 1 {
 		// Trivial case (Section 3): the two coordinate extremes are an
 		// optimal 0-coreset.
@@ -292,17 +339,30 @@ func (c *Coreseter) auto(eps float64) (*Coreset, error) {
 		if err != nil {
 			return nil, err
 		}
-		q := c.wrap(idx, eps, Auto)
-		return q, nil
+		return c.wrap(ctx, idx, eps, Auto)
 	}
+	var errOpt error
 	if c.Dim() == 2 {
-		q, err := c.Coreset(eps, OptMC)
+		q, err := c.CoresetCtx(ctx, eps, OptMC)
 		if err == nil {
 			return q, nil
 		}
+		errOpt = err // kept for the composite error below
 	}
-	qd, errD := c.Coreset(eps, DSMC)
-	qs, errS := c.Coreset(eps, SCMC)
+	// DSMC and SCMC are independent — race them on separate goroutines
+	// (each is itself parallel inside) and keep the smaller coreset.
+	// Workers = 1 demands fully sequential execution, so run them
+	// back-to-back in that case.
+	var qd, qs *Coreset
+	var errD, errS error
+	runD := func() { qd, errD = c.CoresetCtx(ctx, eps, DSMC) }
+	runS := func() { qs, errS = c.CoresetCtx(ctx, eps, SCMC) }
+	if parallel.Workers(c.opts.Workers) > 1 {
+		parallel.Do(runD, runS)
+	} else {
+		runD()
+		runS()
+	}
 	switch {
 	case errD == nil && errS == nil:
 		if qd.Size() <= qs.Size() {
@@ -318,11 +378,13 @@ func (c *Coreseter) auto(eps float64) (*Coreset, error) {
 		qs.Algorithm = Auto
 		return qs, nil
 	default:
-		return nil, fmt.Errorf("mincore: all algorithms failed: %v; %v", errD, errS)
+		// Surface every attempted algorithm's failure (including a 2D
+		// OptMC error that preceded the fallback) for errors.Is/As.
+		return nil, fmt.Errorf("mincore: all algorithms failed: %w", errors.Join(errOpt, errD, errS))
 	}
 }
 
-func (c *Coreseter) wrap(idx []int, eps float64, algo Algorithm) *Coreset {
+func (c *Coreseter) wrap(ctx context.Context, idx []int, eps float64, algo Algorithm) (*Coreset, error) {
 	q := &Coreset{
 		Indices:   append([]int(nil), idx...),
 		Points:    make([]Point, len(idx)),
@@ -332,15 +394,25 @@ func (c *Coreseter) wrap(idx []int, eps float64, algo Algorithm) *Coreset {
 	for i, id := range idx {
 		q.Points[i] = Point(c.inst.Pts[id])
 	}
-	q.Loss = c.inst.Loss(idx)
-	return q
+	loss, err := c.inst.LossCtx(ctx, idx)
+	if err != nil {
+		return nil, err
+	}
+	q.Loss = loss
+	return q, nil
 }
 
 // FixedSize solves the dual problem: the best coreset of at most r points
 // (minimum ε found by binary search, Section 2).
 func (c *Coreseter) FixedSize(r int, algo Algorithm) (*Coreset, error) {
+	return c.FixedSizeCtx(context.Background(), r, algo)
+}
+
+// FixedSizeCtx is FixedSize with cooperative cancellation of the binary
+// search and every coreset construction inside it.
+func (c *Coreseter) FixedSizeCtx(ctx context.Context, r int, algo Algorithm) (*Coreset, error) {
 	solve := func(eps float64) ([]int, error) {
-		q, err := c.Coreset(eps, algo)
+		q, err := c.CoresetCtx(ctx, eps, algo)
 		if err != nil {
 			return nil, err
 		}
@@ -350,7 +422,7 @@ func (c *Coreseter) FixedSize(r int, algo Algorithm) (*Coreset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.wrap(idx, eps, algo), nil
+	return c.wrap(ctx, idx, eps, algo)
 }
 
 // Loss computes the exact maximum loss of an arbitrary subset (indices
@@ -364,18 +436,31 @@ func (c *Coreseter) LossProfile(indices []int, k int) []float64 {
 	return c.inst.LossSampled(indices, dirs)
 }
 
-// dominanceGraph lazily builds the IPDG and dominance graph (Algorithm 2).
-func (c *Coreseter) dominanceGraph() *core.DominanceGraph {
-	c.dgOnce.Do(func() {
-		c.ipdg = c.inst.BuildIPDG(c.opts.IPDGSamples, c.opts.Seed+13)
-		c.dg = c.inst.BuildDominanceGraph(c.ipdg)
-	})
-	return c.dg
+// dominanceGraphCtx lazily builds the IPDG and dominance graph
+// (Algorithm 2) under the mutex, memoizing only successful builds: a
+// build aborted by ctx cancellation leaves the cache empty so the next
+// caller retries with its own context.
+func (c *Coreseter) dominanceGraphCtx(ctx context.Context) (*core.DominanceGraph, error) {
+	c.dgMu.Lock()
+	defer c.dgMu.Unlock()
+	if c.dg != nil {
+		return c.dg, nil
+	}
+	ipdg := c.inst.BuildIPDG(c.opts.IPDGSamples, c.opts.Seed+13)
+	dg, err := c.inst.BuildDominanceGraphCtx(ctx, ipdg)
+	if err != nil {
+		return nil, err
+	}
+	c.ipdg, c.dg = ipdg, dg
+	return dg, nil
 }
 
 // DominanceGraphStats reports (LPs solved, dominance edges, IPDG edges)
 // after forcing dominance-graph construction; used for Table 1/Figure 9.
 func (c *Coreseter) DominanceGraphStats() (lps, edges, ipdgEdges int) {
-	dg := c.dominanceGraph()
+	dg, err := c.dominanceGraphCtx(context.Background())
+	if err != nil {
+		panic(err) // unreachable: background context
+	}
 	return dg.NumLPs, dg.NumEdges, dg.IPDGEdges
 }

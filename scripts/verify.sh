@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, vet, and the full test suite under the race
+# detector. The parallel hot paths (dominance-graph LPs, loss evaluation,
+# SCMC's set system, the concurrent auto mode) must stay race-clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
