@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-workers
+.PHONY: build test vet race verify bench bench-workers faults fuzz
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,21 @@ race:
 # Full tier-1 gate: build + vet + race-clean tests.
 verify:
 	./scripts/verify.sh
+
+# Deterministic fault-injection matrix: every repair/fallback edge under
+# the race detector, across seeds 1..5.
+faults:
+	$(GO) test -race -count=1 ./internal/faultinject/
+	@for seed in 1 2 3 4 5; do \
+		echo "-- MINCORE_FAULT_SEED=$$seed"; \
+		MINCORE_FAULT_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'TestFault' . || exit 1; \
+	done
+
+# Short fuzz smoke of the public build pipeline (never panics; nil error
+# implies certified loss ≤ ε).
+fuzz:
+	$(GO) test -fuzz=FuzzNewCoreset -fuzztime=10s -run '^$$' .
 
 # One regeneration of every experiment plus micro/ablation benches.
 bench:

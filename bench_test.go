@@ -27,6 +27,15 @@ import (
 	"mincore/internal/voronoi"
 )
 
+func mustDG(t testing.TB, inst *core.Instance, ipdg *voronoi.IPDG) *core.DominanceGraph {
+	t.Helper()
+	dg, err := inst.BuildDominanceGraph(ipdg)
+	if err != nil {
+		t.Fatalf("BuildDominanceGraph: %v", err)
+	}
+	return dg
+}
+
 // benchCfg is a reduced profile so the full bench suite completes in
 // minutes; `go test -bench . -full` is not a thing, use cmd/mcbench -full
 // for paper-scale runs.
@@ -83,7 +92,7 @@ func BenchmarkOptMC(b *testing.B) {
 
 func BenchmarkDSMCSolveOnly(b *testing.B) {
 	inst := benchInstance(b, 20000, 4)
-	dg := inst.BuildDominanceGraph(inst.BuildIPDG(0, 1))
+	dg := mustDG(b, inst, inst.BuildIPDG(0, 1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := inst.DSMC(dg, 0.05); err != nil {
@@ -174,7 +183,7 @@ func BenchmarkDominanceGraphWorkers(b *testing.B) {
 // trades extra greedy+validation passes for smaller coresets.
 func BenchmarkAblationDSMCEpsPrime(b *testing.B) {
 	inst := benchInstance(b, 20000, 4)
-	dg := inst.BuildDominanceGraph(inst.BuildIPDG(0, 1))
+	dg := mustDG(b, inst, inst.BuildIPDG(0, 1))
 	eps := 0.1
 	b.Run("plain", func(b *testing.B) {
 		size := 0
@@ -259,7 +268,7 @@ func BenchmarkAblationIPDG(b *testing.B) {
 		g    *voronoi.IPDG
 	}{{"exact", exact}, {"approx", approx}} {
 		b.Run(tc.name, func(b *testing.B) {
-			dg := inst.BuildDominanceGraph(tc.g)
+			dg := mustDG(b, inst, tc.g)
 			size := 0
 			for i := 0; i < b.N; i++ {
 				q, err := inst.DSMC(dg, eps)

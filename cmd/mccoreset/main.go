@@ -16,6 +16,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,13 @@ import (
 	"mincore"
 	"mincore/internal/data"
 )
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
 
 func main() {
 	dataset := flag.String("data", "", "built-in dataset name (e.g. normal-2d, airquality)")
@@ -36,6 +44,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "worker-pool size for the parallel hot paths (0 = GOMAXPROCS, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit)")
+	certify := flag.Bool("certify", true, "verify the result against ε and repair (retry, fall back) on failure")
+	maxRetries := flag.Int("max-retries", 0, "re-seeded retries per repair step (0 = default of 1, negative = none)")
 	out := flag.String("out", "", "write coreset points to this CSV file")
 	flag.Parse()
 
@@ -44,7 +54,9 @@ func main() {
 		fatal(err)
 	}
 	start := time.Now()
-	cs, err := mincore.New(pts, mincore.WithSeed(*seed), mincore.WithWorkers(*workers))
+	cs, err := mincore.New(pts,
+		mincore.WithSeed(*seed), mincore.WithWorkers(*workers),
+		mincore.WithCertification(*certify), mincore.WithMaxRetries(*maxRetries))
 	if err != nil {
 		fatal(err)
 	}
@@ -64,6 +76,13 @@ func main() {
 		q, err = cs.CoresetCtx(ctx, *eps, mincore.Algorithm(*algo))
 	}
 	if err != nil {
+		var ue *mincore.UncertifiedError
+		if errors.As(err, &ue) && ue.Coreset != nil {
+			fmt.Fprintf(os.Stderr, "mccoreset: %v\n", err)
+			fmt.Fprintf(os.Stderr, "mccoreset: best-effort coreset: %d points, measured loss %.6f (target ε=%.4f)\n",
+				ue.Coreset.Size(), ue.Coreset.Loss, *eps)
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 	solveTime := time.Since(start)
@@ -74,6 +93,17 @@ func main() {
 	fmt.Printf("ε:              %.4f\n", q.Eps)
 	fmt.Printf("coreset size:   %d (%.4f%% of data)\n", q.Size(), 100*float64(q.Size())/float64(cs.N()))
 	fmt.Printf("measured loss:  %.6f\n", q.Loss)
+	if rep := q.Report; rep != nil {
+		status := "uncertified"
+		if rep.Certified {
+			status = "certified"
+		}
+		fmt.Printf("certification:  %s (loss %.6f ≤ ε, %d attempt(s), %d retr%s)\n",
+			status, rep.CertifiedLoss, rep.Attempts, rep.Retries, plural(rep.Retries, "y", "ies"))
+		if len(rep.Fallbacks) > 0 {
+			fmt.Printf("repair steps:   %v\n", rep.Fallbacks)
+		}
+	}
 	fmt.Printf("preprocessing:  %v\n", prepTime.Round(time.Millisecond))
 	fmt.Printf("solve time:     %v\n", solveTime.Round(time.Millisecond))
 

@@ -60,7 +60,10 @@ func main() {
 	// --- Figure 3: DSMC dominance graph at ε = 0.2 ---
 	eps = 0.2
 	ipdg := inst.BuildIPDG(0, 1)
-	dg := inst.BuildDominanceGraph(ipdg)
+	dg, err := inst.BuildDominanceGraph(ipdg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nFigure 3 — dominance graph (%d LPs solved, %d edges)\n", dg.NumLPs, dg.NumEdges)
 	fmt.Printf("edges with weight ε_ij ≤ %g (t_i can replace t_j):\n", eps)
 	for j := 0; j < xi; j++ {

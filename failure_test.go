@@ -5,6 +5,8 @@ package mincore_test
 // invalid coresets.
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -183,6 +185,109 @@ func TestNegativeOrthantData(t *testing.T) {
 		if q.Loss > 0.1+1e-6 {
 			t.Fatalf("%s loss %v", algo, q.Loss)
 		}
+	}
+}
+
+func TestNewRejectsInvalidPoints(t *testing.T) {
+	for name, pts := range map[string][]mincore.Point{
+		"nan-coordinate":  {{1, 2}, {math.NaN(), 3}},
+		"pos-inf":         {{1, 2}, {math.Inf(1), 3}},
+		"neg-inf":         {{1, 2}, {3, math.Inf(-1)}},
+		"mixed-dimension": {{1, 2}, {1, 2, 3}},
+		"short-point":     {{1, 2}, {1}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, err := mincore.New(pts)
+			if err == nil {
+				t.Fatal("New accepted invalid input")
+			}
+			if !errors.Is(err, mincore.ErrInvalidPoint) {
+				t.Fatalf("err = %v, want errors.Is ErrInvalidPoint", err)
+			}
+		})
+	}
+}
+
+func TestCoresetRejectsNaNEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := make([]mincore.Point, 100)
+	for i := range pts {
+		pts[i] = mincore.Point{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	cs, err := mincore.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []mincore.Algorithm{mincore.Auto, mincore.OptMC, mincore.DSMC, mincore.SCMC, mincore.ANN} {
+		if _, err := cs.Coreset(math.NaN(), algo); err == nil {
+			t.Fatalf("%s accepted ε=NaN", algo)
+		}
+	}
+}
+
+// TestFixedSizeExtremeBudgets probes the dual problem at the boundary of
+// feasibility on 1D data, where every coreset has exactly 2 points: a
+// budget below the minimum is infeasible (typed ErrInfeasible), the
+// minimum itself works, and the report's certified loss matches an
+// independent Loss measurement.
+func TestFixedSizeExtremeBudgets(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := make([]mincore.Point, 120)
+	for i := range pts {
+		pts[i] = mincore.Point{rng.NormFloat64()}
+	}
+	cs, err := mincore.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget strictly between 1 and the 1D minimum of 2: infeasible.
+	if _, err := cs.FixedSize(1, mincore.Auto); !errors.Is(err, mincore.ErrInfeasible) {
+		t.Fatalf("budget 1 in 1D: err = %v, want errors.Is ErrInfeasible", err)
+	}
+	// The exact minimum is feasible with loss 0.
+	q, err := cs.FixedSize(2, mincore.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() != 2 {
+		t.Fatalf("1D fixed-size coreset has %d points, want 2", q.Size())
+	}
+	if q.Report == nil || !q.Report.Certified {
+		t.Fatalf("minimum-budget result not certified: %+v", q.Report)
+	}
+	if got := cs.Loss(q.Indices); q.Report.CertifiedLoss != got {
+		t.Fatalf("report loss %v != measured loss %v", q.Report.CertifiedLoss, got)
+	}
+}
+
+// TestFixedSizeBudgetEqualsXi pins the other boundary: a budget of
+// exactly ξ always admits the full extreme set, and the attached
+// report's certified loss must equal an independent Loss measurement.
+func TestFixedSizeBudgetEqualsXi(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	pts := make([]mincore.Point, 250)
+	for i := range pts {
+		pts[i] = mincore.Point{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	cs, err := mincore.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cs.FixedSize(cs.NumExtreme(), mincore.OptMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() > cs.NumExtreme() {
+		t.Fatalf("size %d exceeds ξ = %d", q.Size(), cs.NumExtreme())
+	}
+	if q.Report == nil {
+		t.Fatal("fixed-size result carries no report")
+	}
+	if !q.Report.Certified {
+		t.Fatalf("ξ-budget result not certified: %+v", q.Report)
+	}
+	if got := cs.Loss(q.Indices); q.Report.CertifiedLoss != got {
+		t.Fatalf("report loss %v != measured loss %v", q.Report.CertifiedLoss, got)
 	}
 }
 

@@ -1,0 +1,209 @@
+package mincore_test
+
+// Deterministic fault-injection tests for the verify-and-repair
+// pipeline: every escalation edge — re-seeded retry, algorithm
+// downgrade, and the final typed ErrUncertified degrade — is driven by
+// seeded failpoints rather than hoping a numerical failure shows up.
+//
+// The failpoint registry is process-global, so none of these tests may
+// call t.Parallel, and they all force Workers = 1 so the failure
+// schedule is exactly reproducible.
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"mincore"
+	"mincore/internal/faultinject"
+)
+
+func faultPoints(n, d int, seed int64) []mincore.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]mincore.Point, n)
+	for i := range pts {
+		pts[i] = make(mincore.Point, d)
+		for j := range pts[i] {
+			pts[i][j] = rng.NormFloat64()
+		}
+	}
+	return pts
+}
+
+// newFaultCoreseter builds the Coreseter BEFORE enabling injection, so
+// preprocessing (hull extraction, normalization) is never the victim.
+func newFaultCoreseter(t *testing.T, n, d int, seed int64) *mincore.Coreseter {
+	t.Helper()
+	cs, err := mincore.New(faultPoints(n, d, seed), mincore.WithSeed(seed), mincore.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+// A dominance-graph build that fails exactly once must be healed by the
+// re-seeded retry: same algorithm, one retry, certified result.
+func TestFaultRetryRecoversDGBuild(t *testing.T) {
+	cs := newFaultCoreseter(t, 150, 2, 31)
+	faultinject.Enable(faultinject.Config{Rate: 1, Times: 1, Sites: []faultinject.Site{faultinject.SiteDGBuild}})
+	defer faultinject.Disable()
+
+	q, err := cs.Coreset(0.1, mincore.DSMC)
+	if err != nil {
+		t.Fatalf("retry should have recovered: %v", err)
+	}
+	rep := q.Report
+	if rep == nil || !rep.Certified {
+		t.Fatalf("result not certified: %+v", rep)
+	}
+	if rep.Algorithm != mincore.DSMC {
+		t.Fatalf("retry escalated to %s, want dsmc", rep.Algorithm)
+	}
+	if rep.Retries < 1 {
+		t.Fatalf("report shows no retry: %+v", rep)
+	}
+	if len(rep.Fallbacks) == 0 || rep.Fallbacks[0] != "retry(dsmc)#1" {
+		t.Fatalf("fallback trail %v, want leading retry(dsmc)#1", rep.Fallbacks)
+	}
+	if got := cs.Loss(q.Indices); got > 0.1+1e-6 {
+		t.Fatalf("certified coreset has real loss %v", got)
+	}
+}
+
+// A dominance-graph build that keeps failing must downgrade DSMC to the
+// next chain entry (SCMC), still producing a certified coreset.
+func TestFaultDowngradeDSMCToSCMC(t *testing.T) {
+	cs := newFaultCoreseter(t, 150, 2, 37)
+	faultinject.Enable(faultinject.Config{Rate: 1, Sites: []faultinject.Site{faultinject.SiteDGBuild}})
+	defer faultinject.Disable()
+
+	q, err := cs.Coreset(0.1, mincore.DSMC)
+	if err != nil {
+		t.Fatalf("downgrade should have recovered: %v", err)
+	}
+	rep := q.Report
+	if rep == nil || !rep.Certified {
+		t.Fatalf("result not certified: %+v", rep)
+	}
+	if rep.Requested != mincore.DSMC || rep.Algorithm != mincore.SCMC {
+		t.Fatalf("requested %s produced %s, want dsmc→scmc", rep.Requested, rep.Algorithm)
+	}
+	if q.Algorithm != mincore.SCMC {
+		t.Fatalf("coreset labeled %s, want scmc", q.Algorithm)
+	}
+	found := false
+	for _, f := range rep.Fallbacks {
+		if f == "fallback(scmc)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fallback trail %v missing fallback(scmc)", rep.Fallbacks)
+	}
+	if got := cs.Loss(q.Indices); got > 0.1+1e-6 {
+		t.Fatalf("certified coreset has real loss %v", got)
+	}
+}
+
+// A certification oracle that always reads total loss must exhaust the
+// whole chain and degrade to a typed *UncertifiedError whose best-effort
+// coreset is nevertheless usable.
+func TestFaultUncertifiedDegrade(t *testing.T) {
+	cs := newFaultCoreseter(t, 120, 2, 41)
+	faultinject.Enable(faultinject.Config{Rate: 1, Sites: []faultinject.Site{faultinject.SiteCertify}})
+
+	_, err := cs.Coreset(0.1, mincore.OptMC)
+	faultinject.Disable()
+	if err == nil {
+		t.Fatal("corrupted certification should not certify")
+	}
+	if !errors.Is(err, mincore.ErrUncertified) {
+		t.Fatalf("err = %v, want errors.Is ErrUncertified", err)
+	}
+	var ue *mincore.UncertifiedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %T, want *UncertifiedError", err)
+	}
+	if ue.Coreset == nil || ue.Coreset.Size() == 0 {
+		t.Fatal("no best-effort coreset attached")
+	}
+	if ue.Report == nil || ue.Report.Certified {
+		t.Fatalf("report should record the failure: %+v", ue.Report)
+	}
+	// Every fallback rung was exercised: optmc + dsmc + scmc + ann +
+	// stream, each tried at least twice (first try + one retry).
+	if ue.Report.Attempts < 10 {
+		t.Fatalf("only %d attempts, want the full chain", ue.Report.Attempts)
+	}
+	// The best-effort coreset is real: OptMC built it correctly and only
+	// the certification read was corrupted.
+	if got := cs.Loss(ue.Coreset.Indices); got > 0.1+1e-6 {
+		t.Fatalf("best-effort coreset has real loss %v", got)
+	}
+}
+
+// With every LP in the process failing at the pivot, nothing can be
+// measured, so the pipeline must surface a typed uncertified error that
+// also unwraps to the numerical-instability sentinel.
+func TestFaultSimplexPivotTotalFailure(t *testing.T) {
+	cs := newFaultCoreseter(t, 100, 3, 43)
+	faultinject.Enable(faultinject.Config{Rate: 1, Sites: []faultinject.Site{
+		faultinject.SiteSimplexPivot, faultinject.SiteLossLP, faultinject.SiteDGBuild,
+	}})
+	defer faultinject.Disable()
+
+	_, err := cs.Coreset(0.1, mincore.DSMC)
+	if err == nil {
+		t.Fatal("total LP failure should not produce a certified coreset")
+	}
+	if !errors.Is(err, mincore.ErrUncertified) {
+		t.Fatalf("err = %v, want errors.Is ErrUncertified", err)
+	}
+	if !errors.Is(err, mincore.ErrNumericalInstability) {
+		t.Fatalf("err = %v, want errors.Is ErrNumericalInstability", err)
+	}
+	if hits := faultinject.Hits(faultinject.SiteDGBuild); hits == 0 {
+		t.Fatal("dominance-graph failpoint never evaluated")
+	}
+}
+
+// Seeded stochastic matrix: under a moderate failure rate at every site,
+// each build either certifies (and its loss really meets ε) or fails
+// with a typed error — never a panic, never a silent bad coreset. The
+// seed comes from MINCORE_FAULT_SEED so CI can sweep a matrix.
+func TestFaultSeededMatrix(t *testing.T) {
+	seed := int64(1)
+	if v := os.Getenv("MINCORE_FAULT_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("MINCORE_FAULT_SEED=%q: %v", v, err)
+		}
+		seed = n
+	}
+	for _, algo := range []mincore.Algorithm{mincore.Auto, mincore.DSMC, mincore.SCMC} {
+		t.Run(string(algo), func(t *testing.T) {
+			cs := newFaultCoreseter(t, 120, 2, 47+seed)
+			faultinject.Enable(faultinject.Config{Seed: seed, Rate: 0.35})
+
+			q, err := cs.Coreset(0.1, algo)
+			faultinject.Disable()
+			switch {
+			case err == nil:
+				if q.Report == nil || !q.Report.Certified {
+					t.Fatalf("nil error without certification: %+v", q.Report)
+				}
+				if got := cs.Loss(q.Indices); got > 0.1+1e-6 {
+					t.Fatalf("certified coreset has real loss %v", got)
+				}
+			case errors.Is(err, mincore.ErrUncertified),
+				errors.Is(err, mincore.ErrNumericalInstability),
+				errors.Is(err, mincore.ErrInfeasible):
+				// typed failure: acceptable outcome under injection
+			default:
+				t.Fatalf("untyped failure under injection: %v", err)
+			}
+		})
+	}
+}

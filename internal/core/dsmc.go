@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mincore/internal/faultinject"
 	"mincore/internal/geom"
 	"mincore/internal/lp"
 	"mincore/internal/parallel"
@@ -91,13 +92,8 @@ func (inst *Instance) BuildIPDG(samples int, seed int64) *voronoi.IPDG {
 // without this, cells whose sampled neighbor sets leave the LP section
 // unbounded receive no incoming dominance edges at all and inflate the
 // solution (the failure mode the paper attributes to missing edges).
-func (inst *Instance) BuildDominanceGraph(ipdg *voronoi.IPDG) *DominanceGraph {
-	dg, err := inst.BuildDominanceGraphCtx(context.Background(), ipdg)
-	if err != nil {
-		// Unreachable: the background context is never cancelled.
-		panic(err)
-	}
-	return dg
+func (inst *Instance) BuildDominanceGraph(ipdg *voronoi.IPDG) (*DominanceGraph, error) {
+	return inst.BuildDominanceGraphCtx(context.Background(), ipdg)
 }
 
 // dgStats is a per-worker accumulator for the build counters, padded to
@@ -112,8 +108,13 @@ type dgStats struct {
 // Instance.Workers goroutines: each cell's incoming edges are computed,
 // sorted, and stored independently, and per-worker LP/edge counters are
 // merged at the end, so the graph — including the per-cell edge order —
-// is identical for every worker count. Returns ctx.Err() when cancelled.
+// is identical for every worker count. Returns ctx.Err() when cancelled,
+// or a typed error (ErrNumericalInstability) when an edge-weight LP
+// fails — a partially built graph must never feed Algorithm 3.
 func (inst *Instance) BuildDominanceGraphCtx(ctx context.Context, ipdg *voronoi.IPDG) (*DominanceGraph, error) {
+	if faultinject.Fail(faultinject.SiteDGBuild) {
+		return nil, fmt.Errorf("core: dominance-graph failpoint: %w", ErrNumericalInstability)
+	}
 	xi := inst.Xi()
 	dg := &DominanceGraph{Xi: xi, edges: make([][]domEdge, xi), IPDGEdges: ipdg.NumEdges()}
 	d := inst.D
@@ -124,6 +125,7 @@ func (inst *Instance) BuildDominanceGraphCtx(ctx context.Context, ipdg *voronoi.
 	// cell's pair loop.
 	witnesses := inst.cellWitnesses(16*xi, 8)
 	stats := make([]dgStats, parallel.WorkersFor(inst.Workers, xi))
+	cellErrs := make([]error, xi)
 	err := parallel.ForWorker(ctx, inst.Workers, xi, func(w, j int) {
 		nbrs := ipdg.Neighbors(j)
 		if d > 3 {
@@ -152,7 +154,11 @@ func (inst *Instance) BuildDominanceGraphCtx(ctx context.Context, ipdg *voronoi.
 				}
 			}
 			stats[w].lps++
-			ew, ok := inst.eq2LP(i, j, rows)
+			ew, ok, lerr := inst.eq2LP(i, j, rows)
+			if lerr != nil {
+				cellErrs[j] = lerr
+				return
+			}
 			if !ok || ew >= 1 {
 				continue
 			}
@@ -171,6 +177,9 @@ func (inst *Instance) BuildDominanceGraphCtx(ctx context.Context, ipdg *voronoi.
 	})
 	if err != nil {
 		return nil, err
+	}
+	if lerr := firstError(cellErrs); lerr != nil {
+		return nil, fmt.Errorf("core: dominance-graph edge LP: %w", lerr)
 	}
 	for _, s := range stats {
 		dg.NumLPs += s.lps
@@ -226,9 +235,10 @@ func (inst *Instance) augmentNeighbors(j int, nbrs []int, k int) []int {
 }
 
 // eq2LP solves the Eq. 2 LP for the pair (t_i, t_j) with the given
-// neighbor constraint rows (rows[k] = t_j − t_k). Returns ε_ij and
+// neighbor constraint rows (rows[k] = t_j − t_k). Returns ε_ij, with
 // ok=false when the primal is unbounded (the cell section is unbounded,
-// so the loss is too) or the solver fails.
+// so the loss is too); a non-nil error reports a solver failure whose
+// weight must not be trusted.
 //
 // As with the loss LP, the primal — min ⟨t_i,u⟩ s.t. rows·u ≥ 0,
 // ⟨t_j,u⟩ = 1, u free — has many rows and d variables, so the LP dual is
@@ -237,7 +247,7 @@ func (inst *Instance) augmentNeighbors(j int, nbrs []int, k int) []int {
 //	max v   s.t.  Σ_k w_k·(t_j − t_k) + v·t_j = t_i,  w ≥ 0, v free.
 //
 // ε_ij = 1 − v*; an infeasible dual means an unbounded primal.
-func (inst *Instance) eq2LP(i, j int, rows [][]float64) (float64, bool) {
+func (inst *Instance) eq2LP(i, j int, rows [][]float64) (float64, bool, error) {
 	d := inst.D
 	nr := len(rows)
 	prob := lp.NewProblem(nr + 1) // vars: w_k ≥ 0, v free
@@ -260,11 +270,14 @@ func (inst *Instance) eq2LP(i, j int, rows [][]float64) (float64, bool) {
 	sol := prob.Solve()
 	switch sol.Status {
 	case lp.Optimal:
-		return 1 - sol.Value, true
-	default:
+		return 1 - sol.Value, true, nil
+	case lp.Infeasible, lp.Unbounded:
 		// Infeasible dual ⇒ unbounded primal ⇒ no edge. An unbounded
-		// dual ⇒ infeasible primal, impossible for t_j ≠ 0.
-		return 0, false
+		// dual ⇒ infeasible primal, impossible for t_j ≠ 0; dropping
+		// the edge is conservative either way (coresets only grow).
+		return 0, false, nil
+	default:
+		return 0, false, lpFailure(sol.Status)
 	}
 }
 

@@ -6,7 +6,17 @@ import (
 
 	"mincore/internal/geom"
 	"mincore/internal/sphere"
+	"mincore/internal/voronoi"
 )
+
+func mustDG(t testing.TB, inst *Instance, ipdg *voronoi.IPDG) *DominanceGraph {
+	t.Helper()
+	dg, err := inst.BuildDominanceGraph(ipdg)
+	if err != nil {
+		t.Fatalf("BuildDominanceGraph: %v", err)
+	}
+	return dg
+}
 
 func fatRandom(t testing.TB, n, d int, seed int64) *Instance {
 	t.Helper()
@@ -28,7 +38,7 @@ func fatRandom(t testing.TB, n, d int, seed int64) *Instance {
 func TestDSMCValid2D(t *testing.T) {
 	inst := fatRandom(t, 400, 2, 1)
 	ipdg := inst.BuildIPDG(0, 1)
-	dg := inst.BuildDominanceGraph(ipdg)
+	dg := mustDG(t, inst, ipdg)
 	for _, eps := range []float64{0.05, 0.1, 0.2} {
 		q, err := inst.DSMC(dg, eps)
 		if err != nil {
@@ -43,7 +53,7 @@ func TestDSMCValid2D(t *testing.T) {
 func TestDSMCValid3DExactIPDG(t *testing.T) {
 	inst := fatRandom(t, 300, 3, 2)
 	ipdg := inst.BuildIPDG(0, 1)
-	dg := inst.BuildDominanceGraph(ipdg)
+	dg := mustDG(t, inst, ipdg)
 	for _, eps := range []float64{0.05, 0.15} {
 		q, err := inst.DSMC(dg, eps)
 		if err != nil {
@@ -59,7 +69,7 @@ func TestDSMCValidHigherDApproxIPDG(t *testing.T) {
 	for _, d := range []int{4, 6} {
 		inst := fatRandom(t, 300, d, int64(d))
 		ipdg := inst.BuildIPDG(0, 7)
-		dg := inst.BuildDominanceGraph(ipdg)
+		dg := mustDG(t, inst, ipdg)
 		for _, eps := range []float64{0.1, 0.2} {
 			q, err := inst.DSMC(dg, eps)
 			if err != nil {
@@ -77,7 +87,7 @@ func TestDSMCNearOptimal2D(t *testing.T) {
 	// OptMC.
 	inst := fatRandom(t, 500, 2, 3)
 	ipdg := inst.BuildIPDG(0, 1)
-	dg := inst.BuildDominanceGraph(ipdg)
+	dg := mustDG(t, inst, ipdg)
 	for _, eps := range []float64{0.05, 0.1} {
 		opt, err := inst.OptMC(eps)
 		if err != nil {
@@ -99,7 +109,7 @@ func TestDSMCNearOptimal2D(t *testing.T) {
 func TestDSMCRefinedNoWorse(t *testing.T) {
 	inst := fatRandom(t, 400, 3, 5)
 	ipdg := inst.BuildIPDG(0, 1)
-	dg := inst.BuildDominanceGraph(ipdg)
+	dg := mustDG(t, inst, ipdg)
 	for _, eps := range []float64{0.05, 0.1, 0.2} {
 		plain, err := inst.DSMC(dg, eps)
 		if err != nil {
@@ -120,7 +130,7 @@ func TestDSMCRefinedNoWorse(t *testing.T) {
 
 func TestDSMCMonotoneInEps(t *testing.T) {
 	inst := fatRandom(t, 400, 3, 7)
-	dg := inst.BuildDominanceGraph(inst.BuildIPDG(0, 1))
+	dg := mustDG(t, inst, inst.BuildIPDG(0, 1))
 	prev := 1 << 30
 	for _, eps := range []float64{0.02, 0.05, 0.1, 0.2, 0.4} {
 		q, err := inst.DSMC(dg, eps)
@@ -140,7 +150,7 @@ func TestDominanceGraphWeightsAreLossBounds(t *testing.T) {
 	// exceeds ε_ij.
 	inst := fatRandom(t, 200, 2, 9)
 	ipdg := inst.BuildIPDG(0, 1)
-	dg := inst.BuildDominanceGraph(ipdg)
+	dg := mustDG(t, inst, ipdg)
 	dirs := sphere.Circle(3600)
 	xi := inst.Xi()
 	for _, u := range dirs {
@@ -168,7 +178,7 @@ func TestDominanceGraphWeightsAreLossBounds(t *testing.T) {
 func TestDominanceGraphStats(t *testing.T) {
 	inst := fatRandom(t, 300, 2, 11)
 	ipdg := inst.BuildIPDG(0, 1)
-	dg := inst.BuildDominanceGraph(ipdg)
+	dg := mustDG(t, inst, ipdg)
 	xi := inst.Xi()
 	if dg.NumLPs <= 0 || dg.NumLPs > xi*(xi-1) {
 		t.Fatalf("NumLPs = %d outside (0, %d] (witness prefilter skips the rest)",
@@ -184,7 +194,7 @@ func TestDominanceGraphStats(t *testing.T) {
 
 func TestDSMCRejectsBadEps(t *testing.T) {
 	inst := fatRandom(t, 100, 2, 13)
-	dg := inst.BuildDominanceGraph(inst.BuildIPDG(0, 1))
+	dg := mustDG(t, inst, inst.BuildIPDG(0, 1))
 	if _, err := inst.DSMC(dg, 0); err == nil {
 		t.Fatal("ε=0 should error")
 	}
@@ -197,7 +207,7 @@ func TestDSMCCoversAllExtremesAtTinyEps(t *testing.T) {
 	// At ε below every edge weight, the dominating set degenerates to all
 	// of X.
 	inst := fatRandom(t, 200, 2, 15)
-	dg := inst.BuildDominanceGraph(inst.BuildIPDG(0, 1))
+	dg := mustDG(t, inst, inst.BuildIPDG(0, 1))
 	q, err := inst.DSMC(dg, 1e-12)
 	if err != nil {
 		t.Fatal(err)

@@ -52,7 +52,7 @@ func DualSolve(r int, solve Solver, iters int) ([]int, float64, error) {
 		}
 	}
 	if !found {
-		return nil, 0, fmt.Errorf("core: no ε in (0,1) meets size budget %d", r)
+		return nil, 0, fmt.Errorf("core: no ε in (0,1) meets size budget %d: %w", r, ErrInfeasible)
 	}
 	return best, bestEps, nil
 }

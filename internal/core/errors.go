@@ -1,0 +1,48 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mincore/internal/lp"
+)
+
+// Typed error taxonomy for solver failures. The sentinels carry the
+// public "mincore:" prefix because the root package re-exports them
+// verbatim for errors.Is checks; internal call sites wrap them with
+// context via fmt.Errorf("...: %w", ...).
+var (
+	// ErrNumericalInstability marks an LP solve that hit its iteration
+	// cap or was handed a malformed tableau — a numerically degenerate
+	// pivot rather than a structural property of the input.
+	ErrNumericalInstability = errors.New("mincore: numerical instability in LP solve")
+	// ErrInfeasible marks a subproblem whose LP reported a status that
+	// is impossible on a well-formed fat instance (e.g. an unbounded
+	// dual where the primal must be feasible) — a misread that would
+	// otherwise silently corrupt a loss or edge weight.
+	ErrInfeasible = errors.New("mincore: infeasible subproblem")
+)
+
+// lpFailure maps an unexpected LP status to the typed taxonomy, or nil
+// for statuses the caller handles as legitimate outcomes.
+func lpFailure(st lp.Status) error {
+	switch st {
+	case lp.IterLimit:
+		return fmt.Errorf("core: simplex iteration limit: %w", ErrNumericalInstability)
+	case lp.BadProblem:
+		return fmt.Errorf("core: malformed LP: %w", ErrNumericalInstability)
+	default:
+		return nil
+	}
+}
+
+// firstError returns the lowest-index non-nil error, giving parallel
+// loops a deterministic error to surface regardless of worker count.
+func firstError(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

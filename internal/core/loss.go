@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sync/atomic"
 
+	"mincore/internal/faultinject"
 	"mincore/internal/geom"
 	"mincore/internal/hull"
 	"mincore/internal/lp"
@@ -30,6 +32,12 @@ import (
 // report losses clamped to [0,1]: a loss of 1 means some direction's
 // maximum is entirely unrepresented (ω(Q,u) ≤ 0).
 //
+// The Ctx variants report solver failures (numerical instability in the
+// LP oracle, unexpected statuses) as typed errors; the plain variants
+// degrade conservatively instead, reporting the worst-case loss 1 for a
+// subset whose loss cannot be measured — an unmeasurable coreset is
+// never certified, only ever over-rejected.
+//
 // Each evaluator fans its independent per-direction (or per-owner) work
 // out over Instance.Workers goroutines; every unit writes into its own
 // slot and the maxima are reduced sequentially, so results are bitwise
@@ -37,11 +45,12 @@ import (
 // early — returning ctx.Err() — when the context is cancelled.
 
 // LossExact2D returns the exact maximum loss of Q (indices into inst.Pts)
-// in two dimensions.
+// in two dimensions, or the conservative worst case 1 when the loss
+// cannot be measured (use LossExact2DCtx to distinguish).
 func (inst *Instance) LossExact2D(q []int) float64 {
 	l, err := inst.LossExact2DCtx(context.Background(), q)
 	if err != nil {
-		panic(err) // unreachable: background context
+		return 1
 	}
 	return l
 }
@@ -49,7 +58,7 @@ func (inst *Instance) LossExact2D(q []int) float64 {
 // LossExact2DCtx is LossExact2D with cooperative cancellation.
 func (inst *Instance) LossExact2DCtx(ctx context.Context, q []int) (float64, error) {
 	if inst.D != 2 {
-		panic("core: LossExact2D on non-2D instance")
+		return 0, fmt.Errorf("core: LossExact2D on %dD instance", inst.D)
 	}
 	if len(q) == 0 {
 		return 1, nil
@@ -116,10 +125,12 @@ func (inst *Instance) LossExact2DCtx(ctx context.Context, q []int) (float64, err
 // whose optimum lower-bounds the loss everywhere and matches it at the
 // true worst direction's owner; the maximum over t ∈ X is l(Q,P).
 // Unbounded LPs mean the coreset misses a whole direction cone (loss 1).
+// When the LP oracle fails (numerical instability), the conservative
+// worst case 1 is reported; use LossExactLPCtx to distinguish.
 func (inst *Instance) LossExactLP(q []int) float64 {
 	l, err := inst.LossExactLPCtx(context.Background(), q)
 	if err != nil {
-		panic(err) // unreachable: background context
+		return 1
 	}
 	return l
 }
@@ -149,6 +160,7 @@ func (inst *Instance) LossExactLPCtx(ctx context.Context, q []int) (float64, err
 		inQ[coordKey(qp)] = true
 	}
 	vals := make([]float64, len(inst.ExtPts))
+	errs := make([]error, len(inst.ExtPts))
 	var lossOne atomic.Bool
 	err := parallel.For(ctx, inst.Workers, len(inst.ExtPts), func(k int) {
 		if lossOne.Load() {
@@ -160,7 +172,11 @@ func (inst *Instance) LossExactLPCtx(ctx context.Context, q []int) (float64, err
 		if inQ[coordKey(t)] {
 			return
 		}
-		val, ok := lossLPForOwner(t, qx, d)
+		val, ok, lerr := lossLPForOwner(t, qx, d)
+		if lerr != nil {
+			errs[k] = lerr
+			return
+		}
 		if !ok || val >= 1 {
 			lossOne.Store(true)
 			return
@@ -169,6 +185,11 @@ func (inst *Instance) LossExactLPCtx(ctx context.Context, q []int) (float64, err
 	})
 	if err != nil {
 		return 0, err
+	}
+	// A failed owner LP wins over any result: a loss assembled from a
+	// partially failed oracle must never certify a coreset.
+	if lerr := firstError(errs); lerr != nil {
+		return 0, lerr
 	}
 	if lossOne.Load() {
 		return 1, nil
@@ -183,7 +204,9 @@ func (inst *Instance) LossExactLPCtx(ctx context.Context, q []int) (float64, err
 }
 
 // lossLPForOwner solves the per-owner loss LP. ok=false signals an
-// unbounded primal (loss 1).
+// unbounded primal (loss 1); a non-nil error signals a solver failure
+// (iteration limit, malformed tableau, or an impossible status) whose
+// value must not be trusted.
 //
 // The primal — max x s.t. ⟨q,u⟩ + x ≤ 1 ∀q, ⟨t,u⟩ = 1 over free (u,x) —
 // has |Q|+1 rows and d+1 variables; a tableau simplex pays per-row for
@@ -195,7 +218,10 @@ func (inst *Instance) LossExactLPCtx(ctx context.Context, q []int) (float64, err
 // By strong duality the optimum equals the primal maximum; an infeasible
 // dual means an unbounded primal (the coreset leaves a whole direction
 // cone uncovered).
-func lossLPForOwner(t geom.Vector, qx []geom.Vector, d int) (float64, bool) {
+func lossLPForOwner(t geom.Vector, qx []geom.Vector, d int) (float64, bool, error) {
+	if faultinject.Fail(faultinject.SiteLossLP) {
+		return 0, false, fmt.Errorf("core: loss-LP failpoint: %w", ErrNumericalInstability)
+	}
 	nq := len(qx)
 	prob := lp.NewProblem(nq + 1) // vars: y_q ≥ 0, z free
 	for j := 0; j < nq; j++ {
@@ -222,22 +248,28 @@ func lossLPForOwner(t geom.Vector, qx []geom.Vector, d int) (float64, bool) {
 	sol := prob.Solve()
 	switch sol.Status {
 	case lp.Optimal:
-		return sol.Value, true
+		return sol.Value, true, nil
 	case lp.Infeasible:
-		return 0, false // primal unbounded: loss ≥ 1
-	default:
+		return 0, false, nil // primal unbounded: loss ≥ 1
+	case lp.Unbounded:
 		// Dual unbounded would mean a primal with no feasible u, i.e.
-		// t = 0, impossible on a fat instance; report no contribution.
-		return 0, true
+		// t = 0, impossible on a fat instance: a misread, not a loss.
+		return 0, true, fmt.Errorf("core: loss LP dual unbounded: %w", ErrInfeasible)
+	default:
+		return 0, true, lpFailure(sol.Status)
 	}
 }
 
 // LossSampled returns the per-direction losses of Q over the given
-// directions, each clamped to [0,1].
+// directions, each clamped to [0,1]. On an evaluator failure every
+// direction reports the conservative worst case 1.
 func (inst *Instance) LossSampled(q []int, dirs []geom.Vector) []float64 {
 	out, err := inst.LossSampledCtx(context.Background(), q, dirs)
 	if err != nil {
-		panic(err) // unreachable: background context
+		out = make([]float64, len(dirs))
+		for i := range out {
+			out[i] = 1
+		}
 	}
 	return out
 }
@@ -272,11 +304,12 @@ func (inst *Instance) LossSampledCtx(ctx context.Context, q []int, dirs []geom.V
 }
 
 // MaxLossSampled is the maximum of LossSampled — a lower bound on the
-// true loss that converges as the sample densifies.
+// true loss that converges as the sample densifies (conservatively 1
+// when the evaluator fails).
 func (inst *Instance) MaxLossSampled(q []int, samples int, seed int64) float64 {
 	l, err := inst.maxLossSampledCtx(context.Background(), q, samples, seed)
 	if err != nil {
-		panic(err) // unreachable: background context
+		return 1
 	}
 	return l
 }
@@ -297,7 +330,9 @@ func (inst *Instance) maxLossSampledCtx(ctx context.Context, q []int, samples in
 }
 
 // Loss picks the exact evaluator for the instance dimension: the critical
-// direction sweep in 2D, the LP elsewhere.
+// direction sweep in 2D, the LP elsewhere. When the loss cannot be
+// measured (a numerical failure in the LP oracle) the conservative worst
+// case 1 is reported; use LossCtx to distinguish failure from loss.
 func (inst *Instance) Loss(q []int) float64 {
 	if inst.D == 2 {
 		return inst.LossExact2D(q)

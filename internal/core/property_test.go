@@ -82,7 +82,7 @@ func TestPropertyAlgorithmsAlwaysValid(t *testing.T) {
 				return false
 			}
 		}
-		dg := inst.BuildDominanceGraph(inst.BuildIPDG(0, seed))
+		dg := mustDG(t, inst, inst.BuildIPDG(0, seed))
 		if !check(inst.DSMC(dg, eps)) {
 			return false
 		}

@@ -112,19 +112,18 @@ func (inst *Instance) SCMCNet(eps, delta float64, opts SCMCOptions) ([]int, int,
 	}
 	radius := inst.Alpha * delta / float64(inst.D)
 	net := sphere.Net(inst.D, radius)
-	q := inst.scmcSolve(net, opts.Gamma)
+	q, err := inst.scmcSolve(net, opts.Gamma)
+	if err != nil {
+		return nil, 0, err
+	}
 	return q, len(net), nil
 }
 
 // scmcSolve builds the set system over the given directions and returns
 // the greedy cover's points (Lines 1–11 of Algorithm 4). Directions whose
 // maximum is nonpositive (impossible on fat instances) are skipped.
-func (inst *Instance) scmcSolve(dirs []geom.Vector, gamma float64) []int {
-	q, err := inst.scmcSolveCtx(context.Background(), dirs, gamma)
-	if err != nil {
-		panic(err) // unreachable: background context
-	}
-	return q
+func (inst *Instance) scmcSolve(dirs []geom.Vector, gamma float64) ([]int, error) {
+	return inst.scmcSolveCtx(context.Background(), dirs, gamma)
 }
 
 // scmcSolveCtx is scmcSolve with cooperative cancellation. The per-
@@ -204,7 +203,10 @@ func (inst *Instance) SCMCAdaptive(eps float64, opts SCMCOptions) ([]int, int, e
 	dirs := sphere.RandomDirections(opts.InitSamples, inst.D, opts.Seed)
 	total := len(dirs)
 	for round := 0; ; round++ {
-		q := inst.scmcSolve(dirs, opts.Gamma)
+		q, err := inst.scmcSolve(dirs, opts.Gamma)
+		if err != nil {
+			return nil, 0, err
+		}
 		if len(q) > 0 && inst.Loss(q) <= eps {
 			return q, total, nil
 		}

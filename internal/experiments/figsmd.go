@@ -152,7 +152,7 @@ func fig9Row(tw io.Writer, ds data.Dataset, d int, cfg Config) error {
 		return err
 	}
 	start := time.Now()
-	_, edges, ipdgEdges := cs.DominanceGraphStats()
+	_, edges, ipdgEdges, _ := cs.DominanceGraphStats()
 	dur := time.Since(start)
 	fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.3f\n",
 		ds.Name, d, cs.N(), cs.NumExtreme(), ipdgEdges, edges, dur.Seconds())

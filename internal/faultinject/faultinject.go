@@ -1,0 +1,156 @@
+// Package faultinject provides deterministic, seed-driven failpoints for
+// exercising the library's repair and fallback paths under test.
+//
+// Production code hosts named failpoints (Fail calls at the simplex
+// pivot, the loss-LP oracle, the dominance-graph build, and the
+// certification check). Injection is off by default: a disabled check is
+// a single atomic pointer load, so hot loops pay no measurable cost.
+// Tests call Enable with a Config to make a chosen subset of sites fire
+// deterministically, then Disable when done.
+//
+// Determinism contract: whether the k-th hit of a site fires depends only
+// on (Seed, site, k). With sequential execution (Workers = 1) the hit
+// order — and therefore the full failure schedule — is reproducible;
+// under parallel execution the per-site hit COUNTS that fire are still
+// deterministic for Rate 0 or 1 and for Times-limited configs, which is
+// what the fallback-edge tests rely on.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Site names a failpoint in production code.
+type Site uint8
+
+const (
+	// SiteSimplexPivot fails an LP solve at pivot time (the solver
+	// reports its iteration limit, as a numerically stuck pivot would).
+	SiteSimplexPivot Site = iota
+	// SiteLossLP fails the per-owner exact-loss LP oracle.
+	SiteLossLP
+	// SiteDGBuild fails the dominance-graph construction (Algorithm 2).
+	SiteDGBuild
+	// SiteCertify corrupts the certification oracle's measured loss,
+	// simulating a build that silently violates its ε contract.
+	SiteCertify
+
+	numSites
+)
+
+func (s Site) String() string {
+	switch s {
+	case SiteSimplexPivot:
+		return "simplex-pivot"
+	case SiteLossLP:
+		return "loss-lp"
+	case SiteDGBuild:
+		return "dg-build"
+	case SiteCertify:
+		return "certify"
+	default:
+		return fmt.Sprintf("site(%d)", int(s))
+	}
+}
+
+// Config selects which sites fire and how often.
+type Config struct {
+	// Seed drives the per-hit firing decision.
+	Seed int64
+	// Rate is the probability in [0,1] that an eligible hit fires;
+	// 1 (or more) fires every eligible hit, 0 (or less) fires none.
+	Rate float64
+	// Times, when positive, limits firing to the first Times hits of
+	// each enabled site ("fail N times, then recover").
+	Times int
+	// Sites lists the enabled sites; empty enables all of them.
+	Sites []Site
+}
+
+type state struct {
+	hits      [numSites]atomic.Uint64
+	seed      uint64
+	threshold uint64 // fire when hash < threshold
+	times     uint64 // 0 = unlimited
+	enabled   [numSites]bool
+}
+
+var active atomic.Pointer[state]
+
+// Enable installs cfg, replacing any previous configuration and
+// resetting all hit counters.
+func Enable(cfg Config) {
+	s := &state{seed: uint64(cfg.Seed), times: uint64(max(cfg.Times, 0))}
+	switch {
+	case cfg.Rate >= 1:
+		s.threshold = math.MaxUint64
+	case cfg.Rate <= 0:
+		s.threshold = 0
+	default:
+		s.threshold = uint64(cfg.Rate * float64(math.MaxUint64))
+	}
+	if len(cfg.Sites) == 0 {
+		for i := range s.enabled {
+			s.enabled[i] = true
+		}
+	} else {
+		for _, site := range cfg.Sites {
+			if int(site) < int(numSites) {
+				s.enabled[site] = true
+			}
+		}
+	}
+	active.Store(s)
+}
+
+// Disable turns all failpoints off.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether any configuration is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Fail reports whether the failpoint at site fires for this hit. When
+// injection is disabled this is a single atomic load returning false.
+func Fail(site Site) bool {
+	s := active.Load()
+	if s == nil {
+		return false
+	}
+	if !s.enabled[site] {
+		return false
+	}
+	h := s.hits[site].Add(1) - 1
+	if s.times > 0 && h >= s.times {
+		return false
+	}
+	switch s.threshold {
+	case math.MaxUint64:
+		return true
+	case 0:
+		return false
+	}
+	return splitmix64(s.seed^(uint64(site)+1)*0x9E3779B97F4A7C15^h*0xBF58476D1CE4E5B9) < s.threshold
+}
+
+// Hits returns how many times the site's failpoint has been evaluated
+// since Enable (0 when disabled). Intended for tests asserting that a
+// hook is actually wired into the code path under test.
+func Hits(site Site) uint64 {
+	s := active.Load()
+	if s == nil || int(site) >= int(numSites) {
+		return 0
+	}
+	return s.hits[site].Load()
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// high-quality 64-bit mix used to turn (seed, site, hit) into a firing
+// decision.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

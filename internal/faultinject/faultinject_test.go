@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDisabledNeverFires(t *testing.T) {
+	Disable()
+	for i := 0; i < 1000; i++ {
+		if Fail(SiteSimplexPivot) || Fail(SiteCertify) {
+			t.Fatal("disabled failpoint fired")
+		}
+	}
+	if Hits(SiteSimplexPivot) != 0 {
+		t.Fatal("disabled state should not count hits")
+	}
+}
+
+func TestRateOneFiresEveryHit(t *testing.T) {
+	Enable(Config{Rate: 1})
+	defer Disable()
+	for i := 0; i < 100; i++ {
+		if !Fail(SiteDGBuild) {
+			t.Fatalf("hit %d did not fire at rate 1", i)
+		}
+	}
+	if Hits(SiteDGBuild) != 100 {
+		t.Fatalf("hits = %d, want 100", Hits(SiteDGBuild))
+	}
+}
+
+func TestTimesLimitsFiring(t *testing.T) {
+	Enable(Config{Rate: 1, Times: 3})
+	defer Disable()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if Fail(SiteLossLP) {
+			fired++
+			if i >= 3 {
+				t.Fatalf("hit %d fired beyond Times=3", i)
+			}
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+}
+
+func TestSiteFilter(t *testing.T) {
+	Enable(Config{Rate: 1, Sites: []Site{SiteCertify}})
+	defer Disable()
+	if Fail(SiteSimplexPivot) || Fail(SiteDGBuild) {
+		t.Fatal("disabled site fired")
+	}
+	if !Fail(SiteCertify) {
+		t.Fatal("enabled site did not fire")
+	}
+}
+
+// TestSeededScheduleDeterministic runs the same (seed, rate) schedule
+// twice and demands identical decisions hit-for-hit, and a different
+// schedule for a different seed.
+func TestSeededScheduleDeterministic(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		Enable(Config{Seed: seed, Rate: 0.5})
+		defer Disable()
+		out := make([]bool, 256)
+		for i := range out {
+			out[i] = Fail(SiteSimplexPivot)
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identical seeds", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("rate 0.5 fired %d/%d hits — not probabilistic", fires, len(a))
+	}
+	c := schedule(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestConcurrentFail exercises the hot path under the race detector.
+func TestConcurrentFail(t *testing.T) {
+	Enable(Config{Rate: 0.5, Seed: 3})
+	defer Disable()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				Fail(SiteLossLP)
+			}
+		}()
+	}
+	wg.Wait()
+	if Hits(SiteLossLP) != 8000 {
+		t.Fatalf("hits = %d, want 8000", Hits(SiteLossLP))
+	}
+}

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -11,6 +12,7 @@ func TestStatusString(t *testing.T) {
 		Infeasible: "infeasible",
 		Unbounded:  "unbounded",
 		IterLimit:  "iteration-limit",
+		BadProblem: "bad-problem",
 		Status(99): "status(99)",
 	}
 	for s, want := range cases {
@@ -20,20 +22,36 @@ func TestStatusString(t *testing.T) {
 	}
 }
 
-func TestMalformedInputsPanic(t *testing.T) {
-	p := NewProblem(2)
-	for _, f := range []func(){
-		func() { p.SetObjective([]float64{1}, true) },
-		func() { p.AddLE([]float64{1, 2, 3}, 0) },
+func TestMalformedInputsReportBadProblem(t *testing.T) {
+	for name, build := range map[string]func(p *Problem){
+		"short-objective":  func(p *Problem) { p.SetObjective([]float64{1}, true) },
+		"long-constraint":  func(p *Problem) { p.AddLE([]float64{1, 2, 3}, 0) },
+		"short-constraint": func(p *Problem) { p.AddGE([]float64{1}, 0) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("expected panic")
-				}
-			}()
-			f()
-		}()
+		p := NewProblem(2)
+		build(p)
+		if p.Err() == nil {
+			t.Fatalf("%s: Err() = nil, want ErrBadProblem", name)
+		}
+		if !errors.Is(p.Err(), ErrBadProblem) {
+			t.Fatalf("%s: Err() = %v, not ErrBadProblem", name, p.Err())
+		}
+		if s := p.Solve(); s.Status != BadProblem {
+			t.Fatalf("%s: Solve status = %v, want bad-problem", name, s.Status)
+		}
+	}
+}
+
+func TestBadProblemErrIsSticky(t *testing.T) {
+	p := NewProblem(2)
+	p.AddLE([]float64{1}, 0)            // malformed: recorded
+	p.AddLE([]float64{1, 2}, 1)         // well-formed: must not clear the error
+	p.SetObjective([]float64{1}, false) // second error: first one wins
+	if p.Err() == nil || !errors.Is(p.Err(), ErrBadProblem) {
+		t.Fatalf("Err() = %v, want sticky ErrBadProblem", p.Err())
+	}
+	if s := p.Solve(); s.Status != BadProblem {
+		t.Fatalf("Solve status = %v, want bad-problem", s.Status)
 	}
 }
 

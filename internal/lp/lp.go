@@ -32,6 +32,9 @@ const (
 	// IterLimit means the solver hit its iteration cap (should not happen
 	// with Bland's rule; treated as an internal error by callers).
 	IterLimit
+	// BadProblem means the problem was malformed at construction time
+	// (dimension-mismatched objective or constraint, see Problem.Err).
+	BadProblem
 )
 
 func (s Status) String() string {
@@ -44,13 +47,16 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterLimit:
 		return "iteration-limit"
+	case BadProblem:
+		return "bad-problem"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}
 }
 
-// ErrBadProblem is returned for malformed inputs (dimension mismatches,
-// no variables).
+// ErrBadProblem is recorded for malformed inputs (dimension mismatches,
+// no variables); Solve then reports Status BadProblem and Problem.Err
+// returns the detailed cause.
 var ErrBadProblem = errors.New("lp: malformed problem")
 
 // Sense is the direction of a linear constraint.
@@ -79,6 +85,7 @@ type Problem struct {
 	maximize    bool
 	constraints []constraint
 	nonneg      []bool
+	err         error // first construction error; sticky
 }
 
 // NewProblem returns an empty problem over numVars free variables with a
@@ -98,11 +105,19 @@ func (p *Problem) NumVars() int { return p.numVars }
 // NumConstraints returns the number of constraints added so far.
 func (p *Problem) NumConstraints() int { return len(p.constraints) }
 
+// Err returns the first construction error (a dimension-mismatched
+// objective or constraint), or nil for a well-formed problem.
+func (p *Problem) Err() error { return p.err }
+
 // SetObjective sets the objective coefficients; maximize selects the
-// optimization direction.
+// optimization direction. A coefficient vector of the wrong length marks
+// the problem malformed (Solve reports BadProblem) instead of panicking.
 func (p *Problem) SetObjective(coeffs []float64, maximize bool) {
 	if len(coeffs) != p.numVars {
-		panic(ErrBadProblem)
+		if p.err == nil {
+			p.err = fmt.Errorf("%w: objective has %d coefficients, want %d", ErrBadProblem, len(coeffs), p.numVars)
+		}
+		return
 	}
 	p.objective = append([]float64(nil), coeffs...)
 	p.maximize = maximize
@@ -111,10 +126,15 @@ func (p *Problem) SetObjective(coeffs []float64, maximize bool) {
 // SetNonNegative constrains variable i to x_i ≥ 0.
 func (p *Problem) SetNonNegative(i int) { p.nonneg[i] = true }
 
-// AddConstraint appends the constraint coeffs·x (sense) rhs.
+// AddConstraint appends the constraint coeffs·x (sense) rhs. A
+// coefficient vector of the wrong length marks the problem malformed
+// (Solve reports BadProblem) instead of panicking.
 func (p *Problem) AddConstraint(coeffs []float64, sense Sense, rhs float64) {
 	if len(coeffs) != p.numVars {
-		panic(ErrBadProblem)
+		if p.err == nil {
+			p.err = fmt.Errorf("%w: constraint %d has %d coefficients, want %d", ErrBadProblem, len(p.constraints), len(coeffs), p.numVars)
+		}
+		return
 	}
 	p.constraints = append(p.constraints, constraint{
 		coeffs: append([]float64(nil), coeffs...),
@@ -147,8 +167,12 @@ type Solution struct {
 	Farkas []float64
 }
 
-// Solve runs the two-phase simplex method and returns the solution.
+// Solve runs the two-phase simplex method and returns the solution. A
+// problem marked malformed at construction time reports BadProblem.
 func (p *Problem) Solve() Solution {
+	if p.err != nil {
+		return Solution{Status: BadProblem}
+	}
 	if p.numVars == 0 {
 		return Solution{Status: Optimal, X: nil, Value: 0}
 	}

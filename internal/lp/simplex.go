@@ -1,6 +1,10 @@
 package lp
 
-import "math"
+import (
+	"math"
+
+	"mincore/internal/faultinject"
+)
 
 // Dense two-phase primal simplex over the tableau
 //
@@ -218,6 +222,11 @@ func (t *tableau) solve() Status {
 // runSimplex minimizes cost over the current tableau, allowing entering
 // columns only in [0, nCols). Returns status and the final objective value.
 func (t *tableau) runSimplex(cost []float64, nCols int) (Status, float64) {
+	// Failpoint: a numerically stuck pivot surfaces as the iteration
+	// limit, the same way a real degenerate cycle would.
+	if faultinject.Fail(faultinject.SiteSimplexPivot) {
+		return IterLimit, 0
+	}
 	maxIter := iterFactor*(t.m+t.nTotal) + 10000
 	// Reduced costs are computed from scratch each iteration: for our
 	// problem sizes (m ≤ few·10³, n ≤ ~30) this is cheap and avoids

@@ -14,11 +14,24 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"mincore/internal/geom"
 	"mincore/internal/sphere"
+)
+
+// Typed Merge errors, wrapped with detail by Merge and re-exported by
+// the root package for errors.Is checks.
+var (
+	// ErrIncompatible marks summaries built with different parameters
+	// (direction count, dimension, or seed): their champion slots do not
+	// correspond, so merging would silently corrupt the sketch.
+	ErrIncompatible = errors.New("stream: incompatible summaries")
+	// ErrBadMerge marks a structurally invalid merge: a nil summary, or
+	// a summary merged into itself (which would double-count its stream).
+	ErrBadMerge = errors.New("stream: invalid merge")
 )
 
 // Summary is a one-pass coreset summary. Create with NewSummary, feed
@@ -29,7 +42,9 @@ type Summary struct {
 	best  []geom.Vector // champion point per direction (nil until seen)
 	bestV []float64
 	d     int
-	n     int // points consumed
+	n     int   // points consumed
+	m     int   // requested direction count (pre axis augmentation)
+	seed  int64 // direction-net seed
 }
 
 // NewSummary builds a summary over m near-uniform directions in R^d
@@ -51,6 +66,8 @@ func NewSummary(m, d int, seed int64) *Summary {
 		best:  make([]geom.Vector, len(dirs)),
 		bestV: make([]float64, len(dirs)),
 		d:     d,
+		m:     m,
+		seed:  seed,
 	}
 }
 
@@ -107,14 +124,27 @@ func (s *Summary) Coreset() []geom.Vector {
 
 // Merge folds other into s. Both summaries must have been created with
 // identical parameters (same m, d, seed); the merged summary is exactly
-// the summary of the concatenated streams.
+// the summary of the concatenated streams. Structural misuse (nil or
+// self-merge) returns ErrBadMerge; parameter mismatch ErrIncompatible.
 func (s *Summary) Merge(other *Summary) error {
-	if len(s.dirs) != len(other.dirs) || s.d != other.d {
-		return fmt.Errorf("stream: summaries have different direction sets")
+	if other == nil {
+		return fmt.Errorf("%w: nil summary", ErrBadMerge)
+	}
+	if other == s {
+		return fmt.Errorf("%w: summary merged into itself", ErrBadMerge)
+	}
+	if s.d != other.d {
+		return fmt.Errorf("%w: dimension %d vs %d", ErrIncompatible, s.d, other.d)
+	}
+	if s.m != other.m || len(s.dirs) != len(other.dirs) {
+		return fmt.Errorf("%w: direction count %d vs %d", ErrIncompatible, s.m, other.m)
+	}
+	if s.seed != other.seed {
+		return fmt.Errorf("%w: seed %d vs %d", ErrIncompatible, s.seed, other.seed)
 	}
 	for k := range s.dirs {
 		if !geom.Equal(s.dirs[k], other.dirs[k]) {
-			return fmt.Errorf("stream: summaries have different direction sets")
+			return fmt.Errorf("%w: direction sets diverge at slot %d", ErrIncompatible, k)
 		}
 	}
 	for k := range s.dirs {

@@ -38,11 +38,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"mincore/internal/core"
+	"mincore/internal/faultinject"
 	"mincore/internal/geom"
-	"mincore/internal/kernel"
-	"mincore/internal/parallel"
 	"mincore/internal/sphere"
 	"mincore/internal/transform"
 	"mincore/internal/voronoi"
@@ -65,6 +65,10 @@ const (
 	SCMC Algorithm = "scmc"
 	// ANN is the ε-kernel baseline of Yu et al. (no minimality guarantee).
 	ANN Algorithm = "ann"
+	// StreamSketch is the one-pass direction-net champion sketch from the
+	// streaming layer: much larger coresets, but it solves no LPs, making
+	// it the last rung of the repair pipeline's fallback chain.
+	StreamSketch Algorithm = "stream"
 )
 
 // Sentinel errors for errors.Is checks.
@@ -95,6 +99,14 @@ type Options struct {
 	// 0 selects GOMAXPROCS, 1 forces sequential execution. Outputs are
 	// bitwise identical for every worker count.
 	Workers int
+	// MaxRetries bounds the re-seeded perturbation retries per fallback
+	// chain entry in the repair pipeline: 0 selects the default of 1,
+	// negative disables retries.
+	MaxRetries int
+	// SkipCertify disables the verify-and-repair pipeline: builds run
+	// once, attach a report, and return their result even when the
+	// measured loss exceeds ε.
+	SkipCertify bool
 }
 
 // Coreseter is a preprocessed dataset ready to produce coresets at any ε.
@@ -185,7 +197,12 @@ func New(points []Point, opts ...Option) (*Coreseter, error) {
 	pts := make([]geom.Vector, len(points))
 	for i, p := range points {
 		if len(p) != d {
-			return nil, fmt.Errorf("mincore: point %d has dimension %d, want %d", i, len(p), d)
+			return nil, fmt.Errorf("%w: point %d has dimension %d, want %d", ErrInvalidPoint, i, len(p), d)
+		}
+		for j, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: point %d coordinate %d is %v", ErrInvalidPoint, i, j, v)
+			}
 		}
 		pts[i] = geom.Vector(p).Clone()
 	}
@@ -271,8 +288,12 @@ type Coreset struct {
 	Points []Point
 	// Eps is the requested error bound; Loss the measured exact loss.
 	Eps, Loss float64
-	// Algorithm that produced the coreset.
+	// Algorithm that produced the coreset (after any fallback; the
+	// originally requested one is in Report.Requested).
 	Algorithm Algorithm
+	// Report describes the verify-and-repair pipeline's work: certified
+	// loss, attempts, retries, fallbacks, and wall time.
+	Report *BuildReport
 }
 
 // Size returns |Q|.
@@ -291,97 +312,42 @@ func (q *Coreset) Top1(u Point) (int, float64) {
 	return best, bestV
 }
 
-// Coreset computes an ε-coreset with the chosen algorithm and measures
-// its exact loss.
+// Coreset computes an ε-coreset with the chosen algorithm, measures its
+// exact loss, and certifies it against ε (retrying and falling back
+// through other algorithms on failure — see the package's robustness
+// notes and the attached BuildReport).
 func (c *Coreseter) Coreset(eps float64, algo Algorithm) (*Coreset, error) {
 	return c.CoresetCtx(context.Background(), eps, algo)
 }
 
 // CoresetCtx is Coreset with cooperative cancellation: ctx is propagated
 // into the parallel hot paths (dominance-graph LPs, SCMC stages, loss
-// validation), so a long build stops within a few LP solves of ctx being
-// cancelled and returns its error.
+// validation) and into every repair attempt, so a long build stops
+// within a few LP solves of ctx being cancelled and returns its error.
 func (c *Coreseter) CoresetCtx(ctx context.Context, eps float64, algo Algorithm) (*Coreset, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	var idx []int
-	var err error
-	switch algo {
-	case Auto:
-		return c.auto(ctx, eps)
-	case OptMC:
-		idx, err = c.inst.OptMC(eps)
-	case DSMC:
-		var dg *core.DominanceGraph
-		dg, err = c.dominanceGraphCtx(ctx)
-		if err == nil {
-			idx, err = c.inst.DSMCRefinedCtx(ctx, dg, eps, 8)
-		}
-	case SCMC:
-		idx, _, err = c.inst.SCMCCtx(ctx, eps, core.SCMCOptions{Seed: c.opts.Seed})
-	case ANN:
-		idx, err = kernel.ANN(c.inst.Pts, eps, kernel.Options{Seed: c.opts.Seed, Alpha: c.inst.Alpha})
-	default:
-		return nil, fmt.Errorf("%w %q", ErrUnknownAlgorithm, algo)
-	}
-	if err != nil {
+	if err := c.validateRequest(eps, algo); err != nil {
 		return nil, err
 	}
-	return c.wrap(ctx, idx, eps, algo)
-}
-
-func (c *Coreseter) auto(ctx context.Context, eps float64) (*Coreset, error) {
-	if c.Dim() == 1 {
-		// Trivial case (Section 3): the two coordinate extremes are an
-		// optimal 0-coreset.
-		idx, err := c.inst.MC1D()
+	if c.opts.SkipCertify {
+		idx, err := c.buildIndices(ctx, c.inst, eps, algo)
 		if err != nil {
 			return nil, err
 		}
-		return c.wrap(ctx, idx, eps, Auto)
-	}
-	var errOpt error
-	if c.Dim() == 2 {
-		q, err := c.CoresetCtx(ctx, eps, OptMC)
-		if err == nil {
-			return q, nil
+		q, err := c.wrap(ctx, idx, eps, algo)
+		if err != nil {
+			return nil, err
 		}
-		errOpt = err // kept for the composite error below
-	}
-	// DSMC and SCMC are independent — race them on separate goroutines
-	// (each is itself parallel inside) and keep the smaller coreset.
-	// Workers = 1 demands fully sequential execution, so run them
-	// back-to-back in that case.
-	var qd, qs *Coreset
-	var errD, errS error
-	runD := func() { qd, errD = c.CoresetCtx(ctx, eps, DSMC) }
-	runS := func() { qs, errS = c.CoresetCtx(ctx, eps, SCMC) }
-	if parallel.Workers(c.opts.Workers) > 1 {
-		parallel.Do(runD, runS)
-	} else {
-		runD()
-		runS()
-	}
-	switch {
-	case errD == nil && errS == nil:
-		if qd.Size() <= qs.Size() {
-			qd.Algorithm = Auto
-			return qd, nil
+		q.Report = &BuildReport{
+			Requested: algo, Algorithm: algo, Eps: eps,
+			CertifiedLoss: q.Loss, Certified: q.Loss <= eps+certTol,
+			Attempts: 1,
 		}
-		qs.Algorithm = Auto
-		return qs, nil
-	case errD == nil:
-		qd.Algorithm = Auto
-		return qd, nil
-	case errS == nil:
-		qs.Algorithm = Auto
-		return qs, nil
-	default:
-		// Surface every attempted algorithm's failure (including a 2D
-		// OptMC error that preceded the fallback) for errors.Is/As.
-		return nil, fmt.Errorf("mincore: all algorithms failed: %w", errors.Join(errOpt, errD, errS))
+		return q, nil
 	}
+	return c.buildCertified(ctx, eps, algo)
 }
 
 func (c *Coreseter) wrap(ctx context.Context, idx []int, eps float64, algo Algorithm) (*Coreset, error) {
@@ -398,6 +364,12 @@ func (c *Coreseter) wrap(ctx context.Context, idx []int, eps float64, algo Algor
 	if err != nil {
 		return nil, err
 	}
+	if faultinject.Fail(faultinject.SiteCertify) {
+		// A corrupted certification measurement reads as total loss:
+		// conservative, so a fault here can cause spurious repair but
+		// never a spurious certificate.
+		loss = 1
+	}
 	q.Loss = loss
 	return q, nil
 }
@@ -409,9 +381,16 @@ func (c *Coreseter) FixedSize(r int, algo Algorithm) (*Coreset, error) {
 }
 
 // FixedSizeCtx is FixedSize with cooperative cancellation of the binary
-// search and every coreset construction inside it.
+// search and every coreset construction inside it. Each construction
+// runs the full verify-and-repair pipeline; the returned coreset carries
+// a report certifying its measured loss against the ε the search found.
+// A budget no ε ∈ (0,1) can meet returns an error wrapping
+// ErrInfeasible.
 func (c *Coreseter) FixedSizeCtx(ctx context.Context, r int, algo Algorithm) (*Coreset, error) {
+	start := time.Now()
+	attempts := 0
 	solve := func(eps float64) ([]int, error) {
+		attempts++
 		q, err := c.CoresetCtx(ctx, eps, algo)
 		if err != nil {
 			return nil, err
@@ -422,7 +401,21 @@ func (c *Coreseter) FixedSizeCtx(ctx context.Context, r int, algo Algorithm) (*C
 	if err != nil {
 		return nil, err
 	}
-	return c.wrap(ctx, idx, eps, algo)
+	q, err := c.wrap(ctx, idx, eps, algo)
+	if err != nil {
+		return nil, err
+	}
+	rep := &BuildReport{
+		Requested: algo, Algorithm: algo, Eps: eps,
+		CertifiedLoss: q.Loss, Certified: q.Loss <= eps+certTol,
+		Attempts: attempts, Wall: time.Since(start),
+	}
+	q.Report = rep
+	if !rep.Certified && !c.opts.SkipCertify {
+		return nil, &UncertifiedError{Coreset: q, Report: rep,
+			Err: fmt.Errorf("mincore: fixed-size result measured loss %.6g > ε = %g", q.Loss, eps)}
+	}
+	return q, nil
 }
 
 // Loss computes the exact maximum loss of an arbitrary subset (indices
@@ -457,10 +450,12 @@ func (c *Coreseter) dominanceGraphCtx(ctx context.Context) (*core.DominanceGraph
 
 // DominanceGraphStats reports (LPs solved, dominance edges, IPDG edges)
 // after forcing dominance-graph construction; used for Table 1/Figure 9.
-func (c *Coreseter) DominanceGraphStats() (lps, edges, ipdgEdges int) {
+// The error propagates a dominance-graph build failure (e.g. a
+// numerically degenerate edge LP).
+func (c *Coreseter) DominanceGraphStats() (lps, edges, ipdgEdges int, err error) {
 	dg, err := c.dominanceGraphCtx(context.Background())
 	if err != nil {
-		panic(err) // unreachable: background context
+		return 0, 0, 0, err
 	}
-	return dg.NumLPs, dg.NumEdges, dg.IPDGEdges
+	return dg.NumLPs, dg.NumEdges, dg.IPDGEdges, nil
 }

@@ -204,7 +204,10 @@ func TestDominanceGraphStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lps, edges, ipdgEdges := cs.DominanceGraphStats()
+	lps, edges, ipdgEdges, err := cs.DominanceGraphStats()
+	if err != nil {
+		t.Fatal(err)
+	}
 	xi := cs.NumExtreme()
 	if lps <= 0 || lps > xi*(xi-1) {
 		t.Fatalf("lps = %d outside (0, %d]", lps, xi*(xi-1))

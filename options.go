@@ -59,3 +59,17 @@ func WithPerturbScale(scale float64) Option {
 func WithIPDGSamples(n int) Option {
 	return optionFunc(func(o *Options) { o.IPDGSamples = n })
 }
+
+// WithMaxRetries bounds the re-seeded perturbation retries the repair
+// pipeline makes per fallback-chain entry: 0 selects the default of 1,
+// negative disables retries entirely.
+func WithMaxRetries(n int) Option {
+	return optionFunc(func(o *Options) { o.MaxRetries = n })
+}
+
+// WithCertification toggles the verify-and-repair pipeline (on by
+// default). With certification off, builds run once and return their
+// result with a report even when the measured loss exceeds ε.
+func WithCertification(enabled bool) Option {
+	return optionFunc(func(o *Options) { o.SkipCertify = !enabled })
+}

@@ -80,8 +80,8 @@ func TestWorkerCountDeterminism(t *testing.T) {
 		}
 		// The build stats (LPs solved, edges found) must agree too: the
 		// witness prefilter and LP loop are partitioned, not re-ordered.
-		l1, e1, g1 := cs1.DominanceGraphStats()
-		l8, e8, g8 := cs8.DominanceGraphStats()
+		l1, e1, g1, _ := cs1.DominanceGraphStats()
+		l8, e8, g8, _ := cs8.DominanceGraphStats()
 		if l1 != l8 || e1 != e8 || g1 != g8 {
 			t.Fatalf("d=%d: dominance-graph stats differ: (%d,%d,%d) vs (%d,%d,%d)",
 				tc.d, l1, e1, g1, l8, e8, g8)

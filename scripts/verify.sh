@@ -14,4 +14,14 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Fault-injection matrix: the repair pipeline's fallback edges under the
+# race detector, across a sweep of deterministic failure schedules.
+echo "== fault-injection matrix (seeds 1..5)"
+go test -race -count=1 ./internal/faultinject/
+for seed in 1 2 3 4 5; do
+    echo "   -- MINCORE_FAULT_SEED=$seed"
+    MINCORE_FAULT_SEED=$seed go test -race -count=1 \
+        -run 'TestFault|TestExtremeEpsilons|TestFixedSizeExtreme' .
+done
+
 echo "verify: OK"

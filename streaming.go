@@ -1,8 +1,22 @@
 package mincore
 
 import (
+	"fmt"
+
 	"mincore/internal/geom"
 	"mincore/internal/stream"
+)
+
+// Typed Merge errors, re-exported for errors.Is checks against the
+// public package alone.
+var (
+	// ErrIncompatibleSummaries is returned by StreamSummary.Merge for
+	// summaries built with different parameters (dimension, direction
+	// count, or seed).
+	ErrIncompatibleSummaries = stream.ErrIncompatible
+	// ErrBadMerge is returned by StreamSummary.Merge for a structurally
+	// invalid merge: a nil summary or a summary merged into itself.
+	ErrBadMerge = stream.ErrBadMerge
 )
 
 // StreamSummary is a one-pass, mergeable coreset summary for maxima
@@ -54,5 +68,14 @@ func (ss *StreamSummary) Omega(u Point) float64 { return ss.s.Omega(geom.Vector(
 
 // Merge folds another summary (same d, eps, alpha, seed parameters) into
 // this one; the result is exactly the summary of the concatenated
-// streams.
-func (ss *StreamSummary) Merge(other *StreamSummary) error { return ss.s.Merge(other.s) }
+// streams. Merging a nil summary or a summary into itself returns
+// ErrBadMerge; parameter mismatch returns ErrIncompatibleSummaries.
+func (ss *StreamSummary) Merge(other *StreamSummary) error {
+	if other == nil || other.s == nil {
+		return fmt.Errorf("%w: nil summary", ErrBadMerge)
+	}
+	if other == ss {
+		return fmt.Errorf("%w: summary merged into itself", ErrBadMerge)
+	}
+	return ss.s.Merge(other.s)
+}

@@ -1,6 +1,7 @@
 package mincore
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -54,6 +55,53 @@ func TestStreamSummaryMergeFacade(t *testing.T) {
 	mismatch := NewStreamSummary(2, 0.01, 0.5, 9)
 	if err := a.Merge(mismatch); err == nil {
 		t.Fatal("parameter mismatch should error")
+	}
+}
+
+func TestStreamSummaryMergeErrors(t *testing.T) {
+	base := func() *StreamSummary { return NewStreamSummary(3, 0.1, 0.5, 9) }
+	for _, tc := range []struct {
+		name  string
+		other func(ss *StreamSummary) *StreamSummary
+		want  error
+	}{
+		{"nil-summary", func(*StreamSummary) *StreamSummary { return nil }, ErrBadMerge},
+		{"nil-inner", func(*StreamSummary) *StreamSummary { return &StreamSummary{} }, ErrBadMerge},
+		{"self-merge", func(ss *StreamSummary) *StreamSummary { return ss }, ErrBadMerge},
+		{"different-dimension", func(*StreamSummary) *StreamSummary {
+			return NewStreamSummary(2, 0.1, 0.5, 9)
+		}, ErrIncompatibleSummaries},
+		{"different-eps-direction-count", func(*StreamSummary) *StreamSummary {
+			return NewStreamSummary(3, 0.01, 0.5, 9)
+		}, ErrIncompatibleSummaries},
+		{"different-seed", func(*StreamSummary) *StreamSummary {
+			return NewStreamSummary(3, 0.1, 0.5, 10)
+		}, ErrIncompatibleSummaries},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ss := base()
+			ss.Add(Point{1, 2, 3})
+			err := ss.Merge(tc.other(ss))
+			if err == nil {
+				t.Fatalf("merge should fail with %v", tc.want)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want errors.Is %v", err, tc.want)
+			}
+			if ss.N() != 1 {
+				t.Fatalf("failed merge mutated the summary: N = %d", ss.N())
+			}
+		})
+	}
+	// A compatible merge still works and is exact.
+	a, b := base(), base()
+	a.Add(Point{1, 0, 0})
+	b.Add(Point{0, 1, 0})
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("compatible merge: %v", err)
+	}
+	if a.N() != 2 {
+		t.Fatalf("merged N = %d", a.N())
 	}
 }
 
