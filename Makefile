@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-workers faults fuzz
+.PHONY: build test vet race verify bench bench-workers faults fuzz chaos
 
 build:
 	$(GO) build ./...
 
+# Streaming/serving tests run under the race detector with bounded
+# parallelism; the rest of the suite runs plain.
 test:
 	$(GO) test ./...
+	GOMAXPROCS=4 $(GO) test -race -run 'TestServe|TestStream|TestSnapshot' .
+	GOMAXPROCS=4 $(GO) test -race ./internal/stream/ ./internal/snapshot/
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +31,13 @@ faults:
 		MINCORE_FAULT_SEED=$$seed $(GO) test -race -count=1 \
 			-run 'TestFault' . || exit 1; \
 	done
+
+# Seeded kill/restore chaos matrix: crash the ingest service mid-stream
+# under injected snapshot I/O faults and worker panics, then check the
+# recovered coreset's directional loss stays within 2ε. Set
+# MINCORE_CHAOS_SEED=n to replay one schedule.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaosKillRestoreMatrix' -v .
 
 # Short fuzz smoke of the public build pipeline (never panics; nil error
 # implies certified loss ≤ ε).

@@ -1,0 +1,239 @@
+package mincore
+
+// Chaos test for the durable ingest service: a seeded kill/restore
+// matrix that crashes the service at random stream positions while
+// snapshot write, fsync, and read faults are injected, then replays the
+// stream tail from the recovered offset (the producer contract). After
+// every round of abuse the recovered summary must stay a valid
+// mergeable sketch whose measured directional loss is within twice the
+// sketch's ε target — the streaming bound of the paper's §1.1 kernel —
+// and no panic may escape the supervisor (an escaped panic kills the
+// test process outright).
+//
+// Run a single cell of the matrix with MINCORE_CHAOS_SEED=n; `make
+// chaos` runs the full matrix under the race detector.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"mincore/internal/faultinject"
+)
+
+// chaosEps is the sketch ε the chaos services are built with; the
+// acceptance bound is 2×chaosEps.
+const chaosEps = 0.05
+
+// chaosPoisonX marks a sacrificial duplicate point the panic hook blows
+// up on. Poison points are near the origin, strictly inside the ring
+// hull, so whether or not one lands in a shard before the panic fires,
+// it can never become a champion — the summary stays exact.
+const chaosPoisonX = 1.0 / (1 << 20)
+
+func chaosOptions(path string) ServeOptions {
+	return ServeOptions{
+		Dim: 2, Eps: chaosEps, Seed: 7, // stream params fixed across restarts
+		SnapshotPath:       path,
+		CheckpointInterval: -1, // checkpoints driven by the chaos schedule
+		IngestWorkers:      2,
+		QueueSize:          64,
+	}
+}
+
+func TestChaosKillRestoreMatrix(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	if v := os.Getenv("MINCORE_CHAOS_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad MINCORE_CHAOS_SEED %q: %v", v, err)
+		}
+		seeds = []int64{n}
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { chaosRun(t, seed) })
+	}
+}
+
+func chaosRun(t *testing.T, seed int64) {
+	defer faultinject.Disable()
+	rng := rand.New(rand.NewSource(seed))
+	pts := servePoints(3000, 1000+seed) // fat ring stream
+	path := filepath.Join(t.TempDir(), "chaos.snap")
+
+	var panicsInjected, panicsRecovered, kills, failedCkpts int64
+	pos := 0 // durable stream position across crashes
+	for round := 0; pos < len(pts); round++ {
+		svc, err := NewIngestService(chaosOptions(path))
+		if err != nil {
+			t.Fatalf("round %d: restart after crash: %v", round, err)
+		}
+		if got := svc.RestoredPoints(); got != pos {
+			t.Fatalf("round %d: restored position %d, last durable %d", round, got, pos)
+		}
+		svc.panicHook = func(p []float64) {
+			if p[0] == chaosPoisonX {
+				panic("chaos poison")
+			}
+		}
+
+		// Replay everything past the durable position, then advance: the
+		// at-least-once producer contract. Duplicated replay is harmless —
+		// maxima ignore duplicates.
+		stop := pos + 1 + rng.Intn(len(pts)-pos)
+		for lo := pos; lo < stop; lo += 97 {
+			hi := min(lo+97, stop)
+			if err := svc.Feed(pts[lo:hi]...); err != nil {
+				t.Fatalf("round %d: replay feed [%d:%d): %v", round, lo, hi, err)
+			}
+			if rng.Intn(4) == 0 {
+				// A poison batch: the marker leads, so the recovered panic
+				// drops the whole batch — only harmless duplicates ride
+				// behind it and the stream position stays uncontaminated.
+				panicsInjected++
+				if err := svc.Feed(Point{chaosPoisonX, 0}, pts[lo], pts[lo]); err != nil {
+					t.Fatalf("round %d: poison feed: %v", round, err)
+				}
+			}
+		}
+		drainChaos(t, svc, stop-pos)
+
+		// Checkpoint under injected write/fsync faults: a torn or failed
+		// save must leave the previous durable generation intact.
+		ckptFault := rng.Intn(3)
+		switch ckptFault {
+		case 1:
+			faultinject.Enable(faultinject.Config{Seed: seed + int64(round), Rate: 1,
+				Times: 1, Sites: []faultinject.Site{faultinject.SiteSnapshotWrite}})
+		case 2:
+			faultinject.Enable(faultinject.Config{Seed: seed + int64(round), Rate: 1,
+				Times: 1, Sites: []faultinject.Site{faultinject.SiteSnapshotFsync}})
+		}
+		err = svc.Checkpoint()
+		faultinject.Disable()
+		if ckptFault != 0 {
+			if err == nil {
+				t.Fatalf("round %d: checkpoint survived an injected fault", round)
+			}
+			failedCkpts++
+			// The service is degraded but alive; a retry on the healed
+			// "disk" must succeed.
+			if err := svc.Checkpoint(); err != nil {
+				t.Fatalf("round %d: checkpoint retry: %v", round, err)
+			}
+		} else if err != nil {
+			t.Fatalf("round %d: checkpoint: %v", round, err)
+		}
+		pos = stop
+
+		panicsRecovered += svc.Stats().WorkerPanics
+		if rng.Intn(2) == 0 && pos < len(pts) {
+			// Crash: queued batches and everything since the checkpoint
+			// above would be lost — here the checkpoint just ran, so the
+			// durable position is exactly pos.
+			svc.Kill()
+			kills++
+		} else if err := svc.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+
+		// Sometimes the next restart's first read is also faulty: the
+		// loader must fall back to the intact previous generation.
+		if rng.Intn(3) == 0 {
+			faultinject.Enable(faultinject.Config{Seed: seed ^ int64(round), Rate: 1,
+				Times: 1, Sites: []faultinject.Site{faultinject.SiteSnapshotRead}})
+			probe, err := NewIngestService(chaosOptions(path))
+			faultinject.Disable()
+			if err != nil {
+				t.Fatalf("round %d: restart under read fault: %v", round, err)
+			}
+			// Fallback may regress a generation, never past a durable one.
+			// pos stays at the current generation: the probe is killed, and
+			// the next healthy restart reads the intact current file.
+			if got := probe.RestoredPoints(); got > pos {
+				t.Fatalf("round %d: fallback restored %d > durable %d", round, got, pos)
+			}
+			probe.Kill()
+		}
+	}
+
+	// Final recovery: restore, replay the tail once more, and measure.
+	svc, err := NewIngestService(chaosOptions(path))
+	if err != nil {
+		t.Fatalf("final restart: %v", err)
+	}
+	defer svc.Kill()
+	if err := svc.Feed(pts[svc.RestoredPoints():]...); err != nil {
+		t.Fatalf("final replay: %v", err)
+	}
+	drainChaos(t, svc, len(pts)-svc.RestoredPoints())
+
+	ss, err := svc.Summary()
+	if err != nil {
+		t.Fatalf("recovered summary: %v", err)
+	}
+	if loss := directionalLoss(pts, ss); loss > 2*chaosEps {
+		t.Fatalf("recovered summary loss %.4f exceeds 2ε = %.4f after %d kills, %d failed checkpoints",
+			loss, 2*chaosEps, kills, failedCkpts)
+	}
+	// The recovered summary must still merge with a live summary of the
+	// same parameters — mergeability survives every crash.
+	live := NewStreamSummary(2, chaosEps, 0.25, 7)
+	for _, p := range pts[:50] {
+		live.Add(p)
+	}
+	if err := ss.Merge(live); err != nil {
+		t.Fatalf("recovered summary no longer mergeable: %v", err)
+	}
+	if panicsRecovered == 0 && panicsInjected > 0 {
+		t.Fatalf("injected %d poison points, supervisor recorded no panics", panicsInjected)
+	}
+	t.Logf("seed %d: %d kills, %d failed checkpoints, %d/%d panics recovered, final loss within bound",
+		seed, kills, failedCkpts, panicsRecovered, panicsInjected)
+}
+
+// drainChaos waits until the service has ingested the n real stream
+// points fed this round. Poison batches contribute nothing: the panic
+// fires on the leading marker and drops the whole batch.
+func drainChaos(t *testing.T, svc *IngestService, n int) {
+	t.Helper()
+	want := int64(n)
+	for i := 0; i < 10000; i++ {
+		if svc.Stats().Ingested >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("chaos ingest stalled: %d/%d", svc.Stats().Ingested, n)
+}
+
+// directionalLoss measures max over a dense direction sweep of the
+// relative regret 1 − ω(Q,u)/ω(P,u) — the loss the streaming guarantee
+// bounds for a fat stream.
+func directionalLoss(pts []Point, ss *StreamSummary) float64 {
+	worst := 0.0
+	for k := 0; k < 720; k++ {
+		th := 2 * math.Pi * float64(k) / 720
+		u := Point{math.Cos(th), math.Sin(th)}
+		wp := math.Inf(-1)
+		for _, p := range pts {
+			if v := p[0]*u[0] + p[1]*u[1]; v > wp {
+				wp = v
+			}
+		}
+		wq := ss.Omega(u)
+		if wp <= 0 {
+			continue // not a fat direction; the bound is relative
+		}
+		if loss := 1 - wq/wp; loss > worst {
+			worst = loss
+		}
+	}
+	return worst
+}
+

@@ -1,0 +1,219 @@
+// Command mcserve runs the supervised, durable ingest service as an
+// HTTP endpoint: points stream in, crash-safe snapshots stream out, and
+// certified coresets are served under admission control.
+//
+// Usage:
+//
+//	mcserve -addr :8080 -dim 3 -snapshot /var/lib/mincore/stream.snap
+//
+// Endpoints:
+//
+//	POST /ingest      {"points": [[...], ...]} → 202 {"ingested": n}
+//	                  400 on invalid points, 503 when shedding load
+//	GET  /coreset     ?eps=0.05&algo=auto&timeout=5s → certified coreset
+//	                  + build report (503 when builds are saturated)
+//	GET  /summary     current sketch champions (no build)
+//	GET  /stats       service counters, checkpoint state, last error
+//	POST /checkpoint  force a durable snapshot now
+//	GET  /healthz     liveness
+//
+// On restart the service recovers the newest decodable snapshot
+// generation and reports the restored stream position in /stats
+// ("restored_points"); producers should replay their stream from that
+// offset — replaying more is harmless, maxima ignore duplicates.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mincore"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dim := flag.Int("dim", 0, "point dimension of the stream (required)")
+	eps := flag.Float64("eps", 0.05, "target sketch loss ε used to size the direction net")
+	alpha := flag.Float64("alpha", 0.25, "assumed stream fatness α for sketch sizing")
+	seed := flag.Int64("seed", 1, "random seed (direction net and builds)")
+	snapshotPath := flag.String("snapshot", "", "snapshot path for crash-safe checkpoints (empty = no durability)")
+	ckptEvery := flag.Duration("checkpoint-every", 10*time.Second, "base interval between automatic checkpoints")
+	workers := flag.Int("ingest-workers", 2, "ingest worker goroutines (one summary shard each)")
+	queue := flag.Int("queue", 256, "ingest queue capacity in batches (full queue sheds with 503)")
+	inflight := flag.Int("max-inflight-builds", 2, "concurrent coreset builds admitted (excess sheds with 503)")
+	buildWorkers := flag.Int("build-workers", 0, "worker-pool size for builds (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if *dim < 1 {
+		fmt.Fprintln(os.Stderr, "mcserve: -dim is required")
+		os.Exit(2)
+	}
+	svc, err := mincore.NewIngestService(mincore.ServeOptions{
+		Dim: *dim, Eps: *eps, Alpha: *alpha, Seed: *seed,
+		SnapshotPath: *snapshotPath, CheckpointInterval: *ckptEvery,
+		IngestWorkers: *workers, QueueSize: *queue,
+		MaxInflightBuilds: *inflight, BuildWorkers: *buildWorkers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcserve:", err)
+		os.Exit(1)
+	}
+	if n := svc.RestoredPoints(); n > 0 {
+		log.Printf("recovered snapshot: stream position %d — replay from there", n)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Points []mincore.Point `json:"points"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := svc.Feed(req.Points...); err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]int{"ingested": len(req.Points)})
+	})
+
+	mux.HandleFunc("GET /coreset", func(w http.ResponseWriter, r *http.Request) {
+		epsQ := 0.05
+		if v := r.URL.Query().Get("eps"); v != "" {
+			if _, err := fmt.Sscanf(v, "%g", &epsQ); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad eps %q", v))
+				return
+			}
+		}
+		algo := mincore.Auto
+		if v := r.URL.Query().Get("algo"); v != "" {
+			algo = mincore.Algorithm(v)
+		}
+		ctx := r.Context() // client disconnect cancels the build
+		if v := r.URL.Query().Get("timeout"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q", v))
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		q, err := svc.Coreset(ctx, epsQ, algo)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"size": q.Size(), "eps": q.Eps, "loss": q.Loss,
+			"algorithm": q.Algorithm, "points": q.Points, "report": q.Report,
+		})
+	})
+
+	mux.HandleFunc("GET /summary", func(w http.ResponseWriter, r *http.Request) {
+		ss, err := svc.Summary()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"n": ss.N(), "size": ss.Size(), "points": ss.Coreset(),
+		})
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		st := svc.Stats()
+		resp := map[string]any{
+			"ingested": st.Ingested, "rejected": st.Rejected, "invalid": st.Invalid,
+			"worker_panics": st.WorkerPanics,
+			"builds":        st.Builds, "builds_shed": st.BuildsShed,
+			"restored_points":       st.RestoredPoints,
+			"stream_n":              svc.StreamN(),
+			"checkpoint_generation": st.CheckpointGeneration,
+			"checkpoint_points":     st.CheckpointPoints,
+			"checkpoint_failures":   st.CheckpointFailures,
+		}
+		if !st.LastCheckpoint.IsZero() {
+			resp["last_checkpoint"] = st.LastCheckpoint.Format(time.RFC3339Nano)
+		}
+		if st.LastError != nil {
+			resp["last_error"] = st.LastError.Error()
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+
+	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if err := svc.Checkpoint(); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		st := svc.Stats()
+		json.NewEncoder(w).Encode(map[string]any{
+			"generation": st.CheckpointGeneration, "points": st.CheckpointPoints,
+		})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down: draining ingest queue and writing final checkpoint")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := svc.Close(); err != nil && !errors.Is(err, mincore.ErrServiceClosed) {
+			log.Printf("final checkpoint failed: %v", err)
+		}
+	}()
+	log.Printf("mcserve listening on %s (dim=%d, snapshot=%q)", *addr, *dim, *snapshotPath)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+// statusFor maps the service's typed errors onto HTTP semantics: shed →
+// 503 + Retry-After handled by httpError, bad input → 400, deadline →
+// 504.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, mincore.ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, mincore.ErrInvalidPoint), errors.Is(err, mincore.ErrUnknownAlgorithm):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, mincore.ErrServiceClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

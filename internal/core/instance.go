@@ -67,12 +67,19 @@ func NewInstance(pts []geom.Vector, opts ...hull.Option) (*Instance, error) {
 	d := pts[0].Dim()
 	inst := &Instance{Pts: pts, D: d}
 
-	inst.X = hull.ExtremePoints(pts, opts...)
+	var err error
+	inst.X, err = hull.ExtremePoints(pts, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if d == 2 {
 		// Hull2D yields CCW order starting from the lexicographic minimum;
 		// re-sort by polar angle as Algorithm 1 expects (valid because the
 		// set is fat, i.e. the origin is interior).
-		inst.X = hull.SortCCWByAngle(pts, inst.X)
+		inst.X, err = hull.SortCCWByAngle(pts, inst.X)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 	inst.ExtPts = make([]geom.Vector, len(inst.X))
 	for i, id := range inst.X {

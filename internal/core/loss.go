@@ -69,12 +69,18 @@ func (inst *Instance) LossExact2DCtx(ctx context.Context, q []int) (float64, err
 	}
 	// Upper envelope of Q is realized by the hull of Q; its boundary
 	// vectors are the argmax breakpoints.
-	qh := hull.Hull2D(qpts)
+	qh, err := hull.Hull2D(qpts)
+	if err != nil {
+		return 0, fmt.Errorf("core: loss evaluation: %w", err)
+	}
 	qExt := make([]geom.Vector, len(qh))
 	for i, id := range qh {
 		qExt[i] = qpts[id]
 	}
-	qExtSorted := hull.SortCCWByAngle(qExt, identity(len(qExt)))
+	qExtSorted, err := hull.SortCCWByAngle(qExt, identity(len(qExt)))
+	if err != nil {
+		return 0, fmt.Errorf("core: loss evaluation: %w", err)
+	}
 	ordered := make([]geom.Vector, len(qExtSorted))
 	for i, id := range qExtSorted {
 		ordered[i] = qExt[id]
@@ -96,7 +102,7 @@ func (inst *Instance) LossExact2DCtx(ctx context.Context, q []int) (float64, err
 
 	qTree := mips.NewKDTree(ordered)
 	losses := make([]float64, len(candidates))
-	err := parallel.For(ctx, inst.Workers, len(candidates), func(k int) {
+	err = parallel.For(ctx, inst.Workers, len(candidates), func(k int) {
 		u := candidates[k]
 		wp := inst.Omega(u)
 		if wp <= 0 {
@@ -149,7 +155,10 @@ func (inst *Instance) LossExactLPCtx(ctx context.Context, q []int) (float64, err
 		qpts[i] = inst.Pts[id]
 	}
 	// Restrict to the hull of Q: interior points never realize ω(Q,u).
-	qh := hull.ExtremePoints(qpts)
+	qh, err := hull.ExtremePoints(qpts)
+	if err != nil {
+		return 0, fmt.Errorf("core: loss evaluation: %w", err)
+	}
 	qx := make([]geom.Vector, len(qh))
 	for i, id := range qh {
 		qx[i] = qpts[id]
@@ -162,7 +171,7 @@ func (inst *Instance) LossExactLPCtx(ctx context.Context, q []int) (float64, err
 	vals := make([]float64, len(inst.ExtPts))
 	errs := make([]error, len(inst.ExtPts))
 	var lossOne atomic.Bool
-	err := parallel.For(ctx, inst.Workers, len(inst.ExtPts), func(k int) {
+	err = parallel.For(ctx, inst.Workers, len(inst.ExtPts), func(k int) {
 		if lossOne.Load() {
 			return
 		}

@@ -100,7 +100,10 @@ func TestRealStandIns(t *testing.T) {
 
 func TestFourSquareHullProfile(t *testing.T) {
 	ds := FourSquare("NYC", 37000, 1)
-	h := hull.Hull2D(ds.Points)
+	h, err := hull.Hull2D(ds.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Paper: ξ = 50. City-model stand-in should land in the same regime.
 	if len(h) < 15 || len(h) > 150 {
 		t.Fatalf("FourSquare hull size %d outside the paper regime (≈50)", len(h))

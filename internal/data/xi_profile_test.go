@@ -28,7 +28,10 @@ func TestXiProfiles(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		x := hull.ExtremePoints(ds.Points)
+		x, err := hull.ExtremePoints(ds.Points)
+		if err != nil {
+			t.Fatal(err)
+		}
 		fmt.Printf("%s n=%d d=%d xi=%d (paper: %d at n=%d)\n",
 			ds.Name, c.n, ds.D, len(x), ds.PaperXi, ds.PaperN)
 		if len(x) > c.maxXi {

@@ -2,8 +2,9 @@
 // exercising the library's repair and fallback paths under test.
 //
 // Production code hosts named failpoints (Fail calls at the simplex
-// pivot, the loss-LP oracle, the dominance-graph build, and the
-// certification check). Injection is off by default: a disabled check is
+// pivot, the loss-LP oracle, the dominance-graph build, the
+// certification check, and the snapshot I/O path: write, fsync, and
+// read). Injection is off by default: a disabled check is
 // a single atomic pointer load, so hot loops pay no measurable cost.
 // Tests call Enable with a Config to make a chosen subset of sites fire
 // deterministically, then Disable when done.
@@ -36,6 +37,16 @@ const (
 	// SiteCertify corrupts the certification oracle's measured loss,
 	// simulating a build that silently violates its ε contract.
 	SiteCertify
+	// SiteSnapshotWrite fails a snapshot payload write (disk full, EIO),
+	// before any byte reaches the temp file's final position.
+	SiteSnapshotWrite
+	// SiteSnapshotFsync fails the fsync that makes a snapshot durable —
+	// the torn-write window: the rename may never happen, or happen with
+	// unflushed data, so recovery must fall back a generation.
+	SiteSnapshotFsync
+	// SiteSnapshotRead fails a snapshot read, as a lost sector or a
+	// truncated file would at restore time.
+	SiteSnapshotRead
 
 	numSites
 )
@@ -50,6 +61,12 @@ func (s Site) String() string {
 		return "dg-build"
 	case SiteCertify:
 		return "certify"
+	case SiteSnapshotWrite:
+		return "snapshot-write"
+	case SiteSnapshotFsync:
+		return "snapshot-fsync"
+	case SiteSnapshotRead:
+		return "snapshot-read"
 	default:
 		return fmt.Sprintf("site(%d)", int(s))
 	}

@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestAddEdgeBadVertex(t *testing.T) {
+	g := NewDigraph(3)
+	for _, e := range [][2]int{{-1, 0}, {0, -1}, {3, 0}, {0, 3}} {
+		if err := g.AddEdge(e[0], e[1]); !errors.Is(err, ErrBadVertex) {
+			t.Errorf("AddEdge(%d,%d) = %v, want ErrBadVertex", e[0], e[1], err)
+		}
+	}
+	for u := 0; u < 3; u++ {
+		if len(g.Neighbors(u)) != 0 {
+			t.Fatalf("graph mutated by rejected edge: vertex %d has neighbors", u)
+		}
+	}
+}
+
+func TestAddWeightedEdgeBadWeight(t *testing.T) {
+	g := NewDigraph(2)
+	for _, w := range []float64{math.NaN(), -1, math.Inf(-1)} {
+		if err := g.AddWeightedEdge(0, 1, w); !errors.Is(err, ErrBadWeight) {
+			t.Errorf("AddWeightedEdge(0,1,%v) = %v, want ErrBadWeight", w, err)
+		}
+	}
+	if g.HasEdge(0, 1) {
+		t.Fatal("rejected weight still inserted the edge")
+	}
+	if err := g.AddWeightedEdge(0, 1, 2.5); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+}
+
+func TestShortestPathBadSource(t *testing.T) {
+	g := NewDigraph(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Dijkstra(-1); !errors.Is(err, ErrBadVertex) {
+		t.Errorf("Dijkstra(-1) err = %v, want ErrBadVertex", err)
+	}
+	if _, _, err := g.Dijkstra(4); !errors.Is(err, ErrBadVertex) {
+		t.Errorf("Dijkstra(4) err = %v, want ErrBadVertex", err)
+	}
+	if _, _, err := g.BFS(7); !errors.Is(err, ErrBadVertex) {
+		t.Errorf("BFS(7) err = %v, want ErrBadVertex", err)
+	}
+	if _, _, err := g.BFS(0); err != nil {
+		t.Errorf("BFS(0) err = %v, want nil", err)
+	}
+}
+
+func TestAccessorsOutOfRange(t *testing.T) {
+	g := NewDigraph(2)
+	if n := g.Neighbors(-1); n != nil {
+		t.Errorf("Neighbors(-1) = %v, want nil", n)
+	}
+	if n := g.Neighbors(2); n != nil {
+		t.Errorf("Neighbors(2) = %v, want nil", n)
+	}
+	if g.HasEdge(-1, 0) || g.HasEdge(0, 5) {
+		t.Error("HasEdge out of range should be false")
+	}
+}

@@ -5,7 +5,23 @@
 // components.
 package graph
 
-import "sort"
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Typed input errors, matching the taxonomy of the core package: bad
+// input is reported, never panicked on, so a malformed graph built from
+// untrusted data degrades the caller instead of the process.
+var (
+	// ErrBadVertex marks a vertex index outside [0, N).
+	ErrBadVertex = errors.New("graph: vertex out of range")
+	// ErrBadWeight marks an edge weight the shortest-path routines
+	// cannot process: NaN or negative.
+	ErrBadWeight = errors.New("graph: invalid edge weight")
+)
 
 // Digraph is a directed graph on vertices 0..N−1 with adjacency lists.
 // Edges may carry weights; unweighted algorithms ignore them.
@@ -37,20 +53,43 @@ func (g *Digraph) M() int {
 	return m
 }
 
-// AddEdge appends the edge u→v with weight 1.
-func (g *Digraph) AddEdge(u, v int) { g.AddWeightedEdge(u, v, 1) }
+// AddEdge appends the edge u→v with weight 1. Out-of-range endpoints
+// return ErrBadVertex and leave the graph unchanged.
+func (g *Digraph) AddEdge(u, v int) error { return g.AddWeightedEdge(u, v, 1) }
 
-// AddWeightedEdge appends the edge u→v with weight w. Negative weights are
-// not supported by the shortest-path routines.
-func (g *Digraph) AddWeightedEdge(u, v int, w float64) {
+// AddWeightedEdge appends the edge u→v with weight w. Out-of-range
+// endpoints return ErrBadVertex; NaN or negative weights (which the
+// shortest-path routines cannot process) return ErrBadWeight. The graph
+// is unchanged on error.
+func (g *Digraph) AddWeightedEdge(u, v int, w float64) error {
+	if u < 0 || u >= g.n {
+		return fmt.Errorf("%w: source %d not in [0,%d)", ErrBadVertex, u, g.n)
+	}
+	if v < 0 || v >= g.n {
+		return fmt.Errorf("%w: target %d not in [0,%d)", ErrBadVertex, v, g.n)
+	}
+	if math.IsNaN(w) || w < 0 {
+		return fmt.Errorf("%w: %v on edge %d→%d", ErrBadWeight, w, u, v)
+	}
 	g.adj[u] = append(g.adj[u], Edge{To: v, W: w})
+	return nil
 }
 
-// Neighbors returns the adjacency list of u (shared, not a copy).
-func (g *Digraph) Neighbors(u int) []Edge { return g.adj[u] }
+// Neighbors returns the adjacency list of u (shared, not a copy); nil
+// for an out-of-range vertex.
+func (g *Digraph) Neighbors(u int) []Edge {
+	if u < 0 || u >= g.n {
+		return nil
+	}
+	return g.adj[u]
+}
 
-// HasEdge reports whether an edge u→v exists.
+// HasEdge reports whether an edge u→v exists (false for out-of-range
+// vertices).
 func (g *Digraph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n {
+		return false
+	}
 	for _, e := range g.adj[u] {
 		if e.To == v {
 			return true

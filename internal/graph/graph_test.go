@@ -23,7 +23,10 @@ func TestDijkstraLine(t *testing.T) {
 	g.AddWeightedEdge(0, 1, 1)
 	g.AddWeightedEdge(1, 2, 2)
 	g.AddWeightedEdge(2, 3, 3)
-	dist, pred := g.Dijkstra(0)
+	dist, pred, err := g.Dijkstra(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []float64{0, 1, 3, 6}
 	for i, w := range want {
 		if dist[i] != w {
@@ -40,7 +43,10 @@ func TestDijkstraPicksShorter(t *testing.T) {
 	g.AddWeightedEdge(0, 2, 10)
 	g.AddWeightedEdge(0, 1, 1)
 	g.AddWeightedEdge(1, 2, 2)
-	dist, _ := g.Dijkstra(0)
+	dist, _, err := g.Dijkstra(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if dist[2] != 3 {
 		t.Fatalf("dist[2] = %v want 3", dist[2])
 	}
@@ -48,7 +54,10 @@ func TestDijkstraPicksShorter(t *testing.T) {
 
 func TestDijkstraUnreachable(t *testing.T) {
 	g := NewDigraph(2)
-	dist, _ := g.Dijkstra(0)
+	dist, _, err := g.Dijkstra(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !math.IsInf(dist[1], 1) {
 		t.Fatalf("dist[1] = %v want +Inf", dist[1])
 	}
@@ -60,12 +69,18 @@ func TestBFS(t *testing.T) {
 	g.AddEdge(0, 2)
 	g.AddEdge(1, 3)
 	g.AddEdge(2, 3)
-	dist, _ := g.BFS(0)
+	dist, _, err := g.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if dist[3] != 2 || dist[0] != 0 {
 		t.Fatalf("dist = %v", dist)
 	}
 	g2 := NewDigraph(2)
-	d2, _ := g2.BFS(0)
+	d2, _, err2 := g2.BFS(0)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
 	if d2[1] != -1 {
 		t.Fatal("unreachable should be -1")
 	}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
 )
 
@@ -29,8 +30,20 @@ func (q *pq) Pop() interface{} {
 }
 
 // Dijkstra returns shortest-path distances from src and a predecessor
-// array (−1 for src/unreachable). All edge weights must be nonnegative.
-func (g *Digraph) Dijkstra(src int) (dist []float64, pred []int) {
+// array (−1 for src/unreachable). An out-of-range source returns
+// ErrBadVertex. All edge weights are nonnegative by construction
+// (AddWeightedEdge rejects the rest).
+func (g *Digraph) Dijkstra(src int) ([]float64, []int, error) {
+	if src < 0 || src >= g.n {
+		return nil, nil, fmt.Errorf("%w: Dijkstra source %d not in [0,%d)", ErrBadVertex, src, g.n)
+	}
+	dist, pred := g.dijkstraFrom(src)
+	return dist, pred, nil
+}
+
+// dijkstraFrom is Dijkstra for a source already known to be in range
+// (the per-vertex loops of the cycle routines).
+func (g *Digraph) dijkstraFrom(src int) (dist []float64, pred []int) {
 	dist = make([]float64, g.n)
 	pred = make([]int, g.n)
 	for i := range dist {
@@ -56,8 +69,17 @@ func (g *Digraph) Dijkstra(src int) (dist []float64, pred []int) {
 }
 
 // BFS returns hop-count distances from src (−1 for unreachable) and a
-// predecessor array.
-func (g *Digraph) BFS(src int) (dist []int, pred []int) {
+// predecessor array. An out-of-range source returns ErrBadVertex.
+func (g *Digraph) BFS(src int) ([]int, []int, error) {
+	if src < 0 || src >= g.n {
+		return nil, nil, fmt.Errorf("%w: BFS source %d not in [0,%d)", ErrBadVertex, src, g.n)
+	}
+	dist, pred := g.bfsFrom(src)
+	return dist, pred, nil
+}
+
+// bfsFrom is BFS for a source already known to be in range.
+func (g *Digraph) bfsFrom(src int) (dist []int, pred []int) {
 	dist = make([]int, g.n)
 	pred = make([]int, g.n)
 	for i := range dist {
@@ -100,7 +122,7 @@ func (g *Digraph) ShortestCycle() []int {
 	best := -1
 	var bestCycle []int
 	for s := 0; s < g.n; s++ {
-		dist, pred := g.BFS(s)
+		dist, pred := g.bfsFrom(s)
 		// The shortest cycle through s is min over edges u→s of
 		// dist(s→u) + 1.
 		for u := 0; u < g.n; u++ {
@@ -133,7 +155,7 @@ func (g *Digraph) ShortestWeightedCycle() ([]int, float64) {
 	bestW := Inf
 	var bestCycle []int
 	for s := 0; s < g.n; s++ {
-		dist, pred := g.Dijkstra(s)
+		dist, pred := g.dijkstraFrom(s)
 		for u := 0; u < g.n; u++ {
 			if math.IsInf(dist[u], 1) {
 				continue

@@ -1,6 +1,7 @@
 package hull
 
 import (
+	"fmt"
 	"math/rand"
 
 	"mincore/internal/geom"
@@ -45,23 +46,30 @@ func WithTolerance(t float64) Option { return func(o *options) { o.tol = t } }
 // ExtremePoints returns the indices of the vertices of conv(pts), i.e. the
 // set X of extreme points of Section 4 of the paper: points p for which
 // the Voronoi cell R(p) is non-empty. The result is unordered for d ≥ 3
-// and in counterclockwise hull order for d = 2.
+// and in counterclockwise hull order for d = 2. Mixed-dimension or
+// non-finite input returns ErrBadInput.
 //
 // The input should be in general position (use geom.Perturb on degenerate
 // data); exact duplicates are handled, but collinear/coplanar boundary
 // points may be classified arbitrarily within tolerance.
-func ExtremePoints(pts []geom.Vector, opts ...Option) []int {
+func ExtremePoints(pts []geom.Vector, opts ...Option) ([]int, error) {
 	if len(pts) == 0 {
-		return nil
+		return nil, nil
 	}
 	d := pts[0].Dim()
+	if d < 1 {
+		return nil, fmt.Errorf("%w: zero-dimensional points", ErrBadInput)
+	}
+	if err := checkDim(pts, d); err != nil {
+		return nil, err
+	}
 	switch {
 	case d == 1:
-		return extreme1D(pts)
+		return extreme1D(pts), nil
 	case d == 2:
 		return Hull2D(pts)
 	default:
-		return clarkson(pts, opts...)
+		return clarkson(pts, opts...), nil
 	}
 }
 

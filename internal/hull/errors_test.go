@@ -1,0 +1,63 @@
+package hull
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mincore/internal/geom"
+)
+
+func TestHull2DBadInput(t *testing.T) {
+	cases := map[string][]geom.Vector{
+		"ragged": {{0, 0}, {1, 0, 0}, {0, 1}},
+		"nan":    {{0, 0}, {math.NaN(), 1}, {1, 1}},
+		"inf":    {{0, 0}, {1, math.Inf(1)}, {1, 1}},
+		"dim3":   {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}},
+	}
+	for name, pts := range cases {
+		if _, err := Hull2D(pts); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s: Hull2D err = %v, want ErrBadInput", name, err)
+		}
+	}
+	if h, err := Hull2D(nil); err != nil || h != nil {
+		t.Errorf("empty input: got (%v, %v), want (nil, nil)", h, err)
+	}
+}
+
+func TestExtremePointsBadInput(t *testing.T) {
+	if _, err := ExtremePoints([]geom.Vector{{}}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero-dim err = %v, want ErrBadInput", err)
+	}
+	ragged := []geom.Vector{{0, 0, 0}, {1, 1}, {0, 1, 0}, {1, 0, 0}, {0.2, 0.2, 0.2}}
+	if _, err := ExtremePoints(ragged); !errors.Is(err, ErrBadInput) {
+		t.Errorf("ragged 3D err = %v, want ErrBadInput", err)
+	}
+	nan := []geom.Vector{{0, 0, 0}, {math.NaN(), 0, 0}, {0, 1, 0}, {1, 0, 0}}
+	if _, err := ExtremePoints(nan); !errors.Is(err, ErrBadInput) {
+		t.Errorf("NaN 3D err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestSortCCWBadIDs(t *testing.T) {
+	pts := []geom.Vector{{1, 0}, {0, 1}, {-1, 0}, {0, -1}}
+	for _, ids := range [][]int{{0, 4}, {-1, 0}} {
+		if _, err := SortCCWByAngle(pts, ids); !errors.Is(err, ErrBadInput) {
+			t.Errorf("ids %v: err = %v, want ErrBadInput", ids, err)
+		}
+	}
+	if _, err := SortCCWByAngle([]geom.Vector{{1, 0}, {math.NaN(), 1}}, []int{0, 1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("NaN coord: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestHull3DBadInput(t *testing.T) {
+	ragged := []geom.Vector{{0, 0, 0}, {1, 0}, {0, 1, 0}, {0, 0, 1}}
+	if _, err := Hull3D(ragged); !errors.Is(err, ErrBadInput) {
+		t.Errorf("ragged err = %v, want ErrBadInput", err)
+	}
+	dim2 := []geom.Vector{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	if _, err := Hull3D(dim2); !errors.Is(err, ErrBadInput) {
+		t.Errorf("2D input err = %v, want ErrBadInput", err)
+	}
+}

@@ -39,7 +39,10 @@ func Hull3D(pts []geom.Vector) (*Mesh3D, error) {
 		return nil, fmt.Errorf("hull: Hull3D needs ≥ 4 points, got %d", n)
 	}
 	if pts[0].Dim() != 3 {
-		return nil, fmt.Errorf("hull: Hull3D needs 3D points, got dim %d", pts[0].Dim())
+		return nil, fmt.Errorf("%w: Hull3D needs 3D points, got dim %d", ErrBadInput, pts[0].Dim())
+	}
+	if err := checkDim(pts, 3); err != nil {
+		return nil, err
 	}
 	const eps = 1e-12
 

@@ -30,7 +30,7 @@ func squarePlus(inner int, rng *rand.Rand) []geom.Vector {
 func TestHull2DSquare(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	pts := squarePlus(50, rng)
-	h := Hull2D(pts)
+	h := mustHull2D(t, pts)
 	if len(h) != 4 {
 		t.Fatalf("hull size = %d want 4 (%v)", len(h), h)
 	}
@@ -48,7 +48,7 @@ func TestHull2DCCWOrder(t *testing.T) {
 	for i := range pts {
 		pts[i] = geom.Vector{rng.NormFloat64(), rng.NormFloat64()}
 	}
-	h := Hull2D(pts)
+	h := mustHull2D(t, pts)
 	if len(h) < 3 {
 		t.Fatalf("degenerate hull %v", h)
 	}
@@ -69,7 +69,7 @@ func TestHull2DContainsAllPoints(t *testing.T) {
 		for i := range pts {
 			pts[i] = geom.Vector{rng.NormFloat64(), rng.NormFloat64()}
 		}
-		h := Hull2D(pts)
+		h := mustHull2D(t, pts)
 		if len(h) < 3 {
 			continue
 		}
@@ -87,20 +87,20 @@ func TestHull2DContainsAllPoints(t *testing.T) {
 
 func TestHull2DDegenerate(t *testing.T) {
 	// Single point.
-	if h := Hull2D([]geom.Vector{{1, 2}}); len(h) != 1 {
+	if h := mustHull2D(t, []geom.Vector{{1, 2}}); len(h) != 1 {
 		t.Fatalf("single point: %v", h)
 	}
 	// Two points.
-	if h := Hull2D([]geom.Vector{{0, 0}, {1, 1}}); len(h) != 2 {
+	if h := mustHull2D(t, []geom.Vector{{0, 0}, {1, 1}}); len(h) != 2 {
 		t.Fatalf("two points: %v", h)
 	}
 	// Duplicates collapse.
-	if h := Hull2D([]geom.Vector{{1, 1}, {1, 1}, {1, 1}}); len(h) != 1 {
+	if h := mustHull2D(t, []geom.Vector{{1, 1}, {1, 1}, {1, 1}}); len(h) != 1 {
 		t.Fatalf("duplicates: %v", h)
 	}
 	// Collinear points: only the two endpoints are vertices.
 	pts := []geom.Vector{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
-	h := Hull2D(pts)
+	h := mustHull2D(t, pts)
 	if len(h) != 2 {
 		t.Fatalf("collinear: %v", h)
 	}
@@ -109,7 +109,7 @@ func TestHull2DDegenerate(t *testing.T) {
 		t.Fatalf("collinear endpoints wrong: %v", h)
 	}
 	// Empty input.
-	if h := Hull2D(nil); h != nil {
+	if h := mustHull2D(t, nil); h != nil {
 		t.Fatalf("empty: %v", h)
 	}
 }
@@ -122,7 +122,7 @@ func TestHull2DMatchesDirectionScan(t *testing.T) {
 	for i := range pts {
 		pts[i] = geom.Vector{rng.NormFloat64(), rng.NormFloat64()}
 	}
-	h := Hull2D(pts)
+	h := mustHull2D(t, pts)
 	hset := map[int]bool{}
 	for _, i := range h {
 		hset[i] = true
@@ -144,7 +144,7 @@ func TestHull2DMatchesDirectionScan(t *testing.T) {
 
 func TestSortCCWByAngle(t *testing.T) {
 	pts := []geom.Vector{{1, 0}, {0, 1}, {-1, 0}, {0, -1}}
-	ids := SortCCWByAngle(pts, []int{2, 0, 3, 1})
+	ids := mustSortCCW(t, pts, []int{2, 0, 3, 1})
 	want := []int{0, 1, 2, 3}
 	for i := range want {
 		if ids[i] != want[i] {
@@ -155,12 +155,12 @@ func TestSortCCWByAngle(t *testing.T) {
 
 func TestExtremePoints1D(t *testing.T) {
 	pts := []geom.Vector{{3}, {1}, {7}, {5}}
-	x := ExtremePoints(pts)
+	x := mustExtremePoints(t, pts)
 	sort.Ints(x)
 	if len(x) != 2 || x[0] != 1 || x[1] != 2 {
 		t.Fatalf("1D extremes = %v", x)
 	}
-	if x := ExtremePoints([]geom.Vector{{2}, {2}}); len(x) != 1 {
+	if x := mustExtremePoints(t, []geom.Vector{{2}, {2}}); len(x) != 1 {
 		t.Fatalf("identical 1D points: %v", x)
 	}
 }
@@ -179,7 +179,7 @@ func TestClarksonMatchesHull2DLifted(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Hull3D: %v", err)
 		}
-		ext := ExtremePoints(pts, WithSeed(int64(trial)))
+		ext := mustExtremePoints(t, pts, WithSeed(int64(trial)))
 		sort.Ints(ext)
 		if len(ext) != len(mesh.Vertices) {
 			t.Fatalf("trial %d: Clarkson %d vertices vs Hull3D %d\n%v\n%v",
@@ -216,7 +216,7 @@ func TestClarksonCubeCorners(t *testing.T) {
 		}
 		pts = append(pts, v)
 	}
-	x := ExtremePoints(pts)
+	x := mustExtremePoints(t, pts)
 	if len(x) != 16 {
 		t.Fatalf("extremes = %d want 16: %v", len(x), x)
 	}
@@ -237,7 +237,7 @@ func TestClarksonEveryDirectionMaxIsExtreme(t *testing.T) {
 				pts[i][j] = rng.NormFloat64()
 			}
 		}
-		x := ExtremePoints(pts)
+		x := mustExtremePoints(t, pts)
 		xset := map[int]bool{}
 		for _, i := range x {
 			xset[i] = true
@@ -259,7 +259,7 @@ func TestClarksonSphereShell(t *testing.T) {
 	for i := range pts {
 		pts[i] = sphere.RandomDirection(rng, 3)
 	}
-	x := ExtremePoints(pts)
+	x := mustExtremePoints(t, pts)
 	if len(x) != 100 {
 		t.Fatalf("on-sphere extremes = %d want 100", len(x))
 	}
@@ -354,7 +354,7 @@ func TestHull3DCube(t *testing.T) {
 }
 
 func TestExtremePointsEmpty(t *testing.T) {
-	if x := ExtremePoints(nil); x != nil {
+	if x := mustExtremePoints(t, nil); x != nil {
 		t.Fatalf("empty input: %v", x)
 	}
 }
@@ -400,7 +400,7 @@ func TestClarksonDuplicatePoints(t *testing.T) {
 	pts := []geom.Vector{
 		{1, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {-1, -1, -1}, {0.1, 0.1, 0.1},
 	}
-	x := ExtremePoints(pts)
+	x := mustExtremePoints(t, pts)
 	// Exactly one copy of the duplicate pair may be reported; the interior
 	// point must not be.
 	for _, i := range x {
@@ -423,8 +423,37 @@ func TestHull2DNumericRobustness(t *testing.T) {
 		pts[i] = geom.Vector{math.Cos(th), math.Sin(th)}
 	}
 	pts = append(pts, geom.Vector{-1, 0})
-	h := Hull2D(pts)
+	h := mustHull2D(t, pts)
 	if len(h) < 3 {
 		t.Fatalf("hull too small: %v", h)
 	}
+}
+
+// must-helpers: unwrap the error-returning hull APIs for the many test
+// sites built on well-formed input.
+func mustHull2D(t testing.TB, pts []geom.Vector) []int {
+	t.Helper()
+	h, err := Hull2D(pts)
+	if err != nil {
+		t.Fatalf("Hull2D: %v", err)
+	}
+	return h
+}
+
+func mustExtremePoints(t testing.TB, pts []geom.Vector, opts ...Option) []int {
+	t.Helper()
+	x, err := ExtremePoints(pts, opts...)
+	if err != nil {
+		t.Fatalf("ExtremePoints: %v", err)
+	}
+	return x
+}
+
+func mustSortCCW(t testing.TB, pts []geom.Vector, ids []int) []int {
+	t.Helper()
+	out, err := SortCCWByAngle(pts, ids)
+	if err != nil {
+		t.Fatalf("SortCCWByAngle: %v", err)
+	}
+	return out
 }

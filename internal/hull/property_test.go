@@ -19,7 +19,7 @@ func TestPropertyHull2DContainment(t *testing.T) {
 		for i := range pts {
 			pts[i] = geom.Vector{rng.NormFloat64(), rng.NormFloat64()}
 		}
-		h := Hull2D(pts)
+		h := mustHull2D(t, pts)
 		for _, id := range h {
 			if id < 0 || id >= n {
 				return false
@@ -56,9 +56,9 @@ func TestPropertyExtremeInvariantUnderDuplication(t *testing.T) {
 				pts[i][j] = rng.NormFloat64()
 			}
 		}
-		x1 := ExtremePoints(pts, WithSeed(seed))
+		x1 := mustExtremePoints(t, pts, WithSeed(seed))
 		dup := append(append([]geom.Vector(nil), pts...), pts[:10]...)
-		x2 := ExtremePoints(dup, WithSeed(seed))
+		x2 := mustExtremePoints(t, dup, WithSeed(seed))
 		// Compare as coordinate sets (duplicates may swap which copy is
 		// reported).
 		set1 := make(map[string]bool)
@@ -107,8 +107,8 @@ func TestPropertyHull2DTranslationInvariant(t *testing.T) {
 			pts[i] = geom.Vector{rng.NormFloat64(), rng.NormFloat64()}
 			moved[i] = geom.Vector{pts[i][0] + dx, pts[i][1] + dy}
 		}
-		h1 := Hull2D(pts)
-		h2 := Hull2D(moved)
+		h1 := mustHull2D(t, pts)
+		h2 := mustHull2D(t, moved)
 		if len(h1) != len(h2) {
 			return false
 		}

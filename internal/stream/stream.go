@@ -32,6 +32,15 @@ var (
 	// ErrBadMerge marks a structurally invalid merge: a nil summary, or
 	// a summary merged into itself (which would double-count its stream).
 	ErrBadMerge = errors.New("stream: invalid merge")
+	// ErrInvalidPoint marks a stream point rejected by Feed: a NaN or
+	// infinite coordinate, or a dimension that does not match the
+	// summary's. Invalid points would otherwise corrupt the champion
+	// slots silently (an Inf coordinate wins every direction forever).
+	ErrInvalidPoint = errors.New("stream: invalid point")
+	// ErrBadState marks a summary state that cannot be restored: slot
+	// indices out of range, wrong point dimensions, or non-finite
+	// champion data. Snapshot loading wraps it after CRC/framing checks.
+	ErrBadState = errors.New("stream: invalid summary state")
 )
 
 // Summary is a one-pass coreset summary. Create with NewSummary, feed
@@ -71,10 +80,18 @@ func NewSummary(m, d int, seed int64) *Summary {
 	}
 }
 
-// Add consumes one stream point in O(m·d) time.
-func (s *Summary) Add(p geom.Vector) {
+// Feed validates and consumes one stream point in O(m·d) time. A point
+// with the wrong dimension or a NaN/Inf coordinate is rejected with
+// ErrInvalidPoint and leaves the summary untouched — invalid input must
+// never corrupt a summary that may already persist days of stream.
+func (s *Summary) Feed(p geom.Vector) error {
 	if p.Dim() != s.d {
-		panic(fmt.Sprintf("stream: point dimension %d, summary dimension %d", p.Dim(), s.d))
+		return fmt.Errorf("%w: dimension %d, summary dimension %d", ErrInvalidPoint, p.Dim(), s.d)
+	}
+	for j, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: coordinate %d is %v", ErrInvalidPoint, j, v)
+		}
 	}
 	for k, u := range s.dirs {
 		v := geom.Dot(p, u)
@@ -84,6 +101,16 @@ func (s *Summary) Add(p geom.Vector) {
 		}
 	}
 	s.n++
+	return nil
+}
+
+// Add consumes one pre-validated stream point; it panics on input Feed
+// would reject. Internal callers feed instance points that New already
+// validated; external ingest goes through Feed.
+func (s *Summary) Add(p geom.Vector) {
+	if err := s.Feed(p); err != nil {
+		panic(err.Error())
+	}
 }
 
 // AddAll consumes a batch of points.
@@ -95,6 +122,9 @@ func (s *Summary) AddAll(pts []geom.Vector) {
 
 // N returns the number of points consumed.
 func (s *Summary) N() int { return s.n }
+
+// Dim returns the point dimension the summary was built for.
+func (s *Summary) Dim() int { return s.d }
 
 // Size returns the number of distinct champion points currently held —
 // the coreset size, at most the number of directions.
@@ -184,6 +214,79 @@ func vecKey(v geom.Vector) string {
 		}
 	}
 	return string(b)
+}
+
+// Slot is one non-empty champion slot of a summary state: the direction
+// index, the champion point, and its inner product with that direction.
+type Slot struct {
+	Index int
+	Value float64
+	Point geom.Vector
+}
+
+// State is the complete serializable state of a Summary. The direction
+// net itself is not part of the state: it is a pure function of
+// (M, D, Seed), so FromState rebuilds it deterministically and restored
+// summaries Merge with any live summary built from the same parameters.
+type State struct {
+	M    int // requested direction count (pre axis augmentation)
+	D    int
+	Seed int64
+	N    int
+	// Slots holds the non-empty champion slots in ascending index order.
+	Slots []Slot
+}
+
+// State captures a deep copy of the summary's state for serialization.
+func (s *Summary) State() State {
+	st := State{M: s.m, D: s.d, Seed: s.seed, N: s.n}
+	for k, p := range s.best {
+		if p == nil {
+			continue
+		}
+		st.Slots = append(st.Slots, Slot{Index: k, Value: s.bestV[k], Point: p.Clone()})
+	}
+	return st
+}
+
+// FromState restores a summary from a captured state, rebuilding the
+// direction net from (M, D, Seed). The restored summary is bitwise
+// identical to the one State was called on. Structurally invalid states
+// — out-of-range slot indices, wrong point dimensions, non-finite
+// champion data, a negative point count — return ErrBadState.
+func FromState(st State) (*Summary, error) {
+	if st.D < 1 {
+		return nil, fmt.Errorf("%w: dimension %d", ErrBadState, st.D)
+	}
+	if st.N < 0 {
+		return nil, fmt.Errorf("%w: negative point count %d", ErrBadState, st.N)
+	}
+	s := NewSummary(st.M, st.D, st.Seed)
+	prev := -1
+	for _, sl := range st.Slots {
+		if sl.Index < 0 || sl.Index >= len(s.dirs) {
+			return nil, fmt.Errorf("%w: slot index %d out of range [0,%d)", ErrBadState, sl.Index, len(s.dirs))
+		}
+		if sl.Index <= prev {
+			return nil, fmt.Errorf("%w: slot indices not strictly ascending at %d", ErrBadState, sl.Index)
+		}
+		prev = sl.Index
+		if sl.Point.Dim() != st.D {
+			return nil, fmt.Errorf("%w: slot %d point dimension %d, want %d", ErrBadState, sl.Index, sl.Point.Dim(), st.D)
+		}
+		if math.IsNaN(sl.Value) || math.IsInf(sl.Value, 0) {
+			return nil, fmt.Errorf("%w: slot %d value is %v", ErrBadState, sl.Index, sl.Value)
+		}
+		for j, v := range sl.Point {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: slot %d coordinate %d is %v", ErrBadState, sl.Index, j, v)
+			}
+		}
+		s.best[sl.Index] = sl.Point.Clone()
+		s.bestV[sl.Index] = sl.Value
+	}
+	s.n = st.N
+	return s, nil
 }
 
 // SuggestDirections returns the direction count needed for a target loss

@@ -1,0 +1,40 @@
+package voronoi
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestIPDGAddEdgeBadVertex(t *testing.T) {
+	g := NewIPDG(3)
+	for _, e := range [][2]int{{-1, 0}, {0, -1}, {3, 0}, {0, 3}} {
+		if err := g.AddEdge(e[0], e[1]); !errors.Is(err, ErrBadVertex) {
+			t.Errorf("AddEdge(%d,%d) = %v, want ErrBadVertex", e[0], e[1], err)
+		}
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("rejected edges still inserted: %d edges", g.NumEdges())
+	}
+	if err := g.AddEdge(1, 1); err != nil {
+		t.Errorf("self-loop should be a no-op, got %v", err)
+	}
+	if err := g.AddEdge(0, 2); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+}
+
+func TestIPDGAccessorsOutOfRange(t *testing.T) {
+	g := NewIPDG(2)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(-1, 0) || g.HasEdge(2, 0) {
+		t.Error("HasEdge out of range should be false")
+	}
+	if n := g.Neighbors(5); n != nil {
+		t.Errorf("Neighbors(5) = %v, want nil", n)
+	}
+	if d := g.Degree(-3); d != 0 {
+		t.Errorf("Degree(-3) = %d, want 0", d)
+	}
+}

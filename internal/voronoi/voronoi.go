@@ -7,6 +7,7 @@
 package voronoi
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -15,6 +16,11 @@ import (
 	"mincore/internal/hull"
 	"mincore/internal/sphere"
 )
+
+// ErrBadVertex marks an IPDG vertex index outside [0, N). The accessors
+// degrade gracefully (no edge, empty neighborhood); only mutation
+// reports the error, so a corrupt index can never grow the graph.
+var ErrBadVertex = errors.New("voronoi: vertex out of range")
 
 // InApproxCell reports whether direction u lies in the ε-approximate
 // Voronoi cell R_ε(p), given ω = ω(P,u): ⟨p,u⟩ ≥ (1−ε)·ω.
@@ -61,19 +67,35 @@ func NewIPDG(n int) *IPDG {
 }
 
 // AddEdge inserts the undirected edge {i,j}; self-loops are ignored.
-func (g *IPDG) AddEdge(i, j int) {
+// Out-of-range endpoints return ErrBadVertex and leave the graph
+// unchanged.
+func (g *IPDG) AddEdge(i, j int) error {
+	if i < 0 || i >= g.N || j < 0 || j >= g.N {
+		return fmt.Errorf("%w: edge {%d,%d} on %d vertices", ErrBadVertex, i, j, g.N)
+	}
 	if i == j {
-		return
+		return nil
 	}
 	g.adj[i][j] = true
 	g.adj[j][i] = true
+	return nil
 }
 
-// HasEdge reports whether {i,j} is an edge.
-func (g *IPDG) HasEdge(i, j int) bool { return g.adj[i][j] }
+// HasEdge reports whether {i,j} is an edge (false for out-of-range
+// vertices).
+func (g *IPDG) HasEdge(i, j int) bool {
+	if i < 0 || i >= g.N {
+		return false
+	}
+	return g.adj[i][j]
+}
 
-// Neighbors returns the sorted neighbor list N(i).
+// Neighbors returns the sorted neighbor list N(i); nil for an
+// out-of-range vertex.
 func (g *IPDG) Neighbors(i int) []int {
+	if i < 0 || i >= g.N {
+		return nil
+	}
 	out := make([]int, 0, len(g.adj[i]))
 	for j := range g.adj[i] {
 		out = append(out, j)
@@ -82,8 +104,13 @@ func (g *IPDG) Neighbors(i int) []int {
 	return out
 }
 
-// Degree returns |N(i)|.
-func (g *IPDG) Degree(i int) int { return len(g.adj[i]) }
+// Degree returns |N(i)| (0 for an out-of-range vertex).
+func (g *IPDG) Degree(i int) int {
+	if i < 0 || i >= g.N {
+		return 0
+	}
+	return len(g.adj[i])
+}
 
 // MaxDegree returns Δ = max_i |N(i)| (0 for the empty graph).
 func (g *IPDG) MaxDegree() int {
@@ -134,7 +161,11 @@ func Exact3D(ext []geom.Vector) (*IPDG, error) {
 	}
 	g := NewIPDG(len(ext))
 	for _, e := range mesh.Edges {
-		g.AddEdge(e[0], e[1])
+		// Mesh edges index the input; a malformed mesh is reported, not
+		// panicked on.
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("voronoi: hull mesh edge %v: %w", e, err)
+		}
 	}
 	return g, nil
 }

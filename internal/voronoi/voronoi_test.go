@@ -135,7 +135,10 @@ func TestApproxMatchesExact2D(t *testing.T) {
 	for i := range pts {
 		pts[i] = geom.Vector{rng.NormFloat64(), rng.NormFloat64()}
 	}
-	hidx := hull.Hull2D(pts)
+	hidx, err := hull.Hull2D(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ext := make([]geom.Vector, len(hidx))
 	for i, id := range hidx {
 		ext[i] = pts[id]

@@ -57,6 +57,29 @@ type BuildReport struct {
 	Fallbacks []string
 	// Wall is the total wall-clock time of the pipeline.
 	Wall time.Duration
+	// Checkpoint is the durable-snapshot provenance of the stream state
+	// a build was served from; nil for plain batch builds.
+	Checkpoint *CheckpointMeta
+}
+
+// CheckpointMeta describes the durable checkpoint backing a coreset
+// served by the ingest service: which snapshot generation existed when
+// the build ran, and how far the live stream had advanced past it. The
+// gap StreamN − Points is the window a crash at build time would lose
+// (and producers would replay).
+type CheckpointMeta struct {
+	// Path is the snapshot location ("" when durability is disabled).
+	Path string
+	// Generation and SavedAt identify the last durable generation
+	// (Generation 0 = none written yet).
+	Generation uint64
+	SavedAt    time.Time
+	// Points is the stream position captured in that generation;
+	// StreamN the live position the build saw.
+	Points, StreamN int
+	// RestoredN is the stream position recovered at service start
+	// (0 = fresh start).
+	RestoredN int
 }
 
 // UncertifiedError is returned when the repair pipeline exhausts every

@@ -24,4 +24,10 @@ for seed in 1 2 3 4 5; do
         -run 'TestFault|TestExtremeEpsilons|TestFixedSizeExtreme' .
 done
 
+# Durability: seeded kill/restore chaos matrix — crash-and-recover the
+# ingest service under injected snapshot I/O faults and worker panics;
+# the recovered coreset must keep its 2ε loss bound.
+echo "== chaos kill/restore matrix"
+go test -race -count=1 -run 'TestChaosKillRestoreMatrix' .
+
 echo "verify: OK"

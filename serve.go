@@ -1,0 +1,621 @@
+package mincore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mincore/internal/geom"
+	"mincore/internal/snapshot"
+	"mincore/internal/stream"
+)
+
+// The supervised long-running ingest mode. An IngestService owns a
+// sharded streaming summary (one shard per ingest worker — summaries are
+// mergeable, so shards compose exactly at read time), makes it durable
+// through periodic crash-safe snapshots, and serves certified coreset
+// builds from it under admission control. The design goals, in order:
+//
+//   - never die: worker panics are converted into typed ErrWorkerPanic
+//     values and counted; the service degrades (that batch is lost until
+//     replayed) but keeps ingesting,
+//   - never lose more than the checkpoint window: snapshots are written
+//     atomically with fsync and two on-disk generations; recovery falls
+//     back a generation on a torn write and reports the restored point
+//     count so producers can replay the tail (replay is idempotent —
+//     directional maxima are unaffected by duplicates),
+//   - never collapse under load: the ingest queue and the build
+//     semaphore are bounded, and both shed with typed ErrOverloaded
+//     instead of queueing without bound,
+//   - never block past a caller's deadline: build requests propagate
+//     their context into CoresetCtx, cancelling mid-build within a few
+//     LP solves.
+
+// Typed service errors.
+var (
+	// ErrOverloaded is the shed response: the ingest queue or the
+	// in-flight build limit is full. The caller should back off and
+	// retry; nothing was ingested or built.
+	ErrOverloaded = errors.New("mincore: service overloaded")
+	// ErrWorkerPanic marks a panic recovered inside an ingest worker
+	// (wrapped by *WorkerPanicError). The service stays alive; the batch
+	// being ingested when the panic fired may be partially applied.
+	ErrWorkerPanic = errors.New("mincore: ingest worker panicked")
+	// ErrServiceClosed is returned by every operation after Close or
+	// Kill.
+	ErrServiceClosed = errors.New("mincore: ingest service closed")
+	// ErrSnapshotIncompatible is returned by NewIngestService when the
+	// restored snapshot was built with different stream parameters
+	// (dimension, direction count, or seed) than the service is
+	// configured for — merging would silently corrupt the sketch, so the
+	// operator must either match the old parameters or move the
+	// snapshot aside.
+	ErrSnapshotIncompatible = errors.New("mincore: snapshot incompatible with service parameters")
+)
+
+// WorkerPanicError carries a panic recovered inside an ingest worker.
+// It unwraps to ErrWorkerPanic.
+type WorkerPanicError struct {
+	// Worker is the index of the panicking worker.
+	Worker int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at recovery time.
+	Stack []byte
+}
+
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("%v: worker %d: %v", ErrWorkerPanic, e.Worker, e.Value)
+}
+
+// Unwrap exposes ErrWorkerPanic to errors.Is.
+func (e *WorkerPanicError) Unwrap() error { return ErrWorkerPanic }
+
+// ServeOptions configures NewIngestService. Zero values select the
+// documented defaults; Dim is required.
+type ServeOptions struct {
+	// Dim is the point dimension of the stream (required).
+	Dim int
+	// Eps is the target stream-sketch loss used to size the direction
+	// net (default 0.05). The end-to-end loss of a served coreset
+	// composes the sketch loss with the build's certified ε.
+	Eps float64
+	// Alpha is the assumed stream fatness for sketch sizing (default
+	// 0.25, the same default the one-shot streaming API uses).
+	Alpha float64
+	// Directions overrides the sketch's direction count entirely
+	// (0 = derive from Eps/Alpha/Dim via the β²/α relation).
+	Directions int
+	// Seed drives the direction net and all build randomness.
+	Seed int64
+	// SnapshotPath is where checkpoints are written (two generations:
+	// the path itself and path+".prev"). Empty disables durability.
+	SnapshotPath string
+	// CheckpointInterval is the base period between automatic
+	// checkpoints (default 10s; < 0 disables the loop — Checkpoint can
+	// still be called manually).
+	CheckpointInterval time.Duration
+	// CheckpointBackoffMax caps the exponential backoff applied to the
+	// checkpoint period while saves fail (default 16× the interval).
+	CheckpointBackoffMax time.Duration
+	// IngestWorkers is the number of ingest goroutines, each owning one
+	// summary shard (default 1).
+	IngestWorkers int
+	// QueueSize bounds the batch queue feeding the workers; a full
+	// queue sheds with ErrOverloaded (default 256 batches).
+	QueueSize int
+	// MaxInflightBuilds bounds concurrent Coreset builds; excess
+	// requests shed with ErrOverloaded (default 2).
+	MaxInflightBuilds int
+	// BuildWorkers is the Options.Workers value for served builds
+	// (0 = GOMAXPROCS).
+	BuildWorkers int
+}
+
+func (o *ServeOptions) withDefaults() (ServeOptions, error) {
+	v := *o
+	if v.Dim < 1 {
+		return v, fmt.Errorf("mincore: ingest service requires Dim ≥ 1, got %d", v.Dim)
+	}
+	if v.Eps <= 0 || v.Eps >= 1 {
+		v.Eps = 0.05
+	}
+	if v.Alpha <= 0 {
+		v.Alpha = 0.25
+	}
+	if v.Directions <= 0 {
+		v.Directions = stream.SuggestDirections(v.Eps, v.Alpha, v.Dim)
+	}
+	if v.CheckpointInterval == 0 {
+		v.CheckpointInterval = 10 * time.Second
+	}
+	if v.CheckpointBackoffMax <= 0 {
+		v.CheckpointBackoffMax = 16 * v.CheckpointInterval
+	}
+	if v.IngestWorkers < 1 {
+		v.IngestWorkers = 1
+	}
+	if v.QueueSize < 1 {
+		v.QueueSize = 256
+	}
+	if v.MaxInflightBuilds < 1 {
+		v.MaxInflightBuilds = 2
+	}
+	return v, nil
+}
+
+// ServiceStats is a point-in-time snapshot of the service's counters.
+type ServiceStats struct {
+	// Ingested counts points applied to a shard; Rejected counts points
+	// shed with ErrOverloaded; Invalid counts points rejected with
+	// ErrInvalidPoint.
+	Ingested, Rejected, Invalid int64
+	// WorkerPanics counts panics recovered by the ingest supervisor.
+	WorkerPanics int64
+	// Builds counts accepted Coreset requests; BuildsShed the ones
+	// rejected by admission control.
+	Builds, BuildsShed int64
+	// RestoredPoints is the stream position recovered from the snapshot
+	// at startup (0 for a fresh start): producers should replay their
+	// stream from this offset after a crash.
+	RestoredPoints int
+	// CheckpointGeneration and CheckpointPoints describe the last
+	// durable generation; CheckpointFailures counts consecutive save
+	// failures (resets on success).
+	CheckpointGeneration uint64
+	CheckpointPoints     int
+	CheckpointFailures   int
+	// LastCheckpoint is when the last durable generation was written.
+	LastCheckpoint time.Time
+	// LastError is the most recent worker panic or checkpoint failure
+	// (nil when healthy).
+	LastError error
+}
+
+// shard is one worker's private summary; the lock serializes the
+// owner's writes with merge-time reads.
+type shard struct {
+	mu  sync.Mutex
+	sum *stream.Summary
+}
+
+// IngestService is a supervised, durable, resource-bounded ingest loop
+// over the streaming summary. Create with NewIngestService, feed with
+// Feed, query with Coreset/Summary, and stop with Close (graceful:
+// drains the queue and writes a final checkpoint) or Kill (simulated
+// crash: abandons everything unflushed).
+type IngestService struct {
+	opts ServeOptions
+
+	queue    chan [][]float64
+	buildSem chan struct{}
+
+	base      *stream.Summary // restored snapshot, read-only (nil = fresh)
+	restoredN int
+	shards    []*shard
+	store     *snapshot.Store // nil when durability is disabled
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	workerWG sync.WaitGroup
+	ckptWG   sync.WaitGroup
+
+	feedMu sync.RWMutex // closed+queue lifecycle vs concurrent Feed
+	closed bool
+
+	ckptMu       sync.Mutex
+	lastCkpt     snapshot.Meta
+	lastCkptN    int
+	ckptFailures int
+
+	ingested, rejected, invalid atomic.Int64
+	panics, builds, shed        atomic.Int64
+	lastErr                     atomic.Pointer[errBox]
+
+	// panicHook, when set (tests only), runs inside the worker for every
+	// point before it is fed — the injection point for supervision tests.
+	panicHook func([]float64)
+}
+
+type errBox struct{ err error }
+
+// NewIngestService validates opts, restores the newest decodable
+// snapshot generation when SnapshotPath names one (falling back a
+// generation on a torn write), and starts the ingest workers and the
+// checkpoint loop. A snapshot written with different stream parameters
+// returns ErrSnapshotIncompatible; a present-but-unusable snapshot pair
+// returns the loader's typed error so the operator decides rather than
+// silently starting empty.
+func NewIngestService(opts ServeOptions) (*IngestService, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &IngestService{
+		opts:     o,
+		queue:    make(chan [][]float64, o.QueueSize),
+		buildSem: make(chan struct{}, o.MaxInflightBuilds),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+
+	if o.SnapshotPath != "" {
+		s.store = snapshot.NewStore(o.SnapshotPath)
+		sum, meta, err := s.store.Load()
+		switch {
+		case err == nil:
+			// The restored summary must merge with live shards: probe
+			// against a fresh summary of the configured parameters.
+			probe := stream.NewSummary(o.Directions, o.Dim, o.Seed)
+			if merr := probe.Merge(sum); merr != nil {
+				return nil, fmt.Errorf("%w: %v", ErrSnapshotIncompatible, merr)
+			}
+			s.base = sum
+			s.restoredN = sum.N()
+			s.ckptMu.Lock()
+			s.lastCkpt = meta
+			s.lastCkptN = sum.N()
+			s.ckptMu.Unlock()
+		case errors.Is(err, os.ErrNotExist):
+			// Fresh start.
+		default:
+			return nil, err
+		}
+	}
+
+	s.shards = make([]*shard, o.IngestWorkers)
+	for i := range s.shards {
+		s.shards[i] = &shard{sum: stream.NewSummary(o.Directions, o.Dim, o.Seed)}
+	}
+	for i := range s.shards {
+		s.workerWG.Add(1)
+		go s.worker(i)
+	}
+	if s.store != nil && o.CheckpointInterval > 0 {
+		s.ckptWG.Add(1)
+		go s.checkpointLoop()
+	}
+	return s, nil
+}
+
+// Feed validates and enqueues a batch of points for ingestion. Points
+// are deep-copied before return, so the caller may reuse its buffers.
+// A NaN/Inf coordinate or a point of the wrong dimension rejects the
+// whole batch with ErrInvalidPoint (nothing is enqueued); a full queue
+// sheds the batch with ErrOverloaded. Ingestion is asynchronous —
+// durability of a fed point begins at the next checkpoint.
+func (s *IngestService) Feed(pts ...Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	batch := make([][]float64, len(pts))
+	for i, p := range pts {
+		if err := validatePoint(p, s.opts.Dim, i); err != nil {
+			s.invalid.Add(int64(len(pts)))
+			return err
+		}
+		batch[i] = geom.Vector(p).Clone()
+	}
+	s.feedMu.RLock()
+	defer s.feedMu.RUnlock()
+	if s.closed {
+		return ErrServiceClosed
+	}
+	select {
+	case s.queue <- batch:
+		return nil
+	default:
+		s.rejected.Add(int64(len(pts)))
+		return fmt.Errorf("%w: ingest queue full (%d batches)", ErrOverloaded, s.opts.QueueSize)
+	}
+}
+
+// validatePoint applies New's input contract to one stream point.
+func validatePoint(p Point, d, i int) error {
+	if len(p) != d {
+		return fmt.Errorf("%w: point %d has dimension %d, want %d", ErrInvalidPoint, i, len(p), d)
+	}
+	for j, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: point %d coordinate %d is %v", ErrInvalidPoint, i, j, v)
+		}
+	}
+	return nil
+}
+
+// worker is one supervised ingest goroutine: it applies batches to its
+// own shard and converts panics into typed, counted errors instead of
+// letting them tear the process down.
+func (s *IngestService) worker(i int) {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case batch, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.ingestBatch(i, batch)
+		}
+	}
+}
+
+// ingestBatch applies one batch under the shard lock, recovering any
+// panic into a *WorkerPanicError. The shard summary stays valid after a
+// panic — champion slots are monotone, so a partially applied point can
+// only strengthen the sketch — but the rest of the batch is dropped and
+// should be replayed by the producer.
+func (s *IngestService) ingestBatch(i int, batch [][]float64) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.lastErr.Store(&errBox{err: &WorkerPanicError{Worker: i, Value: r, Stack: debug.Stack()}})
+		}
+	}()
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, p := range batch {
+		if s.panicHook != nil {
+			s.panicHook(p)
+		}
+		if err := sh.sum.Feed(p); err != nil {
+			// Feed pre-validated the batch; a rejection here means the
+			// point mutated in flight — count it, keep the shard sound.
+			s.invalid.Add(1)
+			continue
+		}
+		s.ingested.Add(1)
+	}
+}
+
+// mergedSummary composes the restored base and every live shard into a
+// fresh summary — the mergeable-coreset property makes the composition
+// exact regardless of how points were routed across shards.
+func (s *IngestService) mergedSummary() (*stream.Summary, error) {
+	out := stream.NewSummary(s.opts.Directions, s.opts.Dim, s.opts.Seed)
+	if s.base != nil {
+		if err := out.Merge(s.base); err != nil {
+			return nil, err
+		}
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		err := out.Merge(sh.sum)
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Summary returns the current merged stream summary as a StreamSummary
+// (a private copy; feeding it does not affect the service).
+func (s *IngestService) Summary() (*StreamSummary, error) {
+	sum, err := s.mergedSummary()
+	if err != nil {
+		return nil, err
+	}
+	return &StreamSummary{s: sum}, nil
+}
+
+// StreamN returns the total stream position: points restored from the
+// snapshot plus points ingested since.
+func (s *IngestService) StreamN() int {
+	n := s.restoredN
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.sum.N()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// RestoredPoints returns the stream position recovered from the
+// snapshot at startup; producers should replay from this offset after a
+// crash (replay past it is harmless — maxima are duplicate-insensitive).
+func (s *IngestService) RestoredPoints() int { return s.restoredN }
+
+// Checkpoint writes the current merged summary as the next durable
+// generation. It is safe to call concurrently with ingestion and with
+// the automatic checkpoint loop. Returns nil when durability is
+// disabled.
+func (s *IngestService) Checkpoint() error {
+	if s.store == nil {
+		return nil
+	}
+	sum, err := s.mergedSummary()
+	if err != nil {
+		return err
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	meta, err := s.store.Save(sum)
+	if err != nil {
+		s.ckptFailures++
+		s.lastErr.Store(&errBox{err: fmt.Errorf("mincore: checkpoint: %w", err)})
+		return err
+	}
+	s.lastCkpt = meta
+	s.lastCkptN = sum.N()
+	s.ckptFailures = 0
+	return nil
+}
+
+// checkpointLoop drives periodic checkpoints, doubling the period after
+// each failed save (up to CheckpointBackoffMax) so a sick disk is not
+// hammered, and restoring the base period on success.
+func (s *IngestService) checkpointLoop() {
+	defer s.ckptWG.Done()
+	base := s.opts.CheckpointInterval
+	interval := base
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-timer.C:
+			if err := s.supervisedCheckpoint(); err != nil {
+				interval *= 2
+				if interval > s.opts.CheckpointBackoffMax {
+					interval = s.opts.CheckpointBackoffMax
+				}
+			} else {
+				interval = base
+			}
+			timer.Reset(interval)
+		}
+	}
+}
+
+// supervisedCheckpoint isolates panics out of the checkpoint loop the
+// same way ingestBatch does for workers.
+func (s *IngestService) supervisedCheckpoint() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			pe := &WorkerPanicError{Worker: -1, Value: r, Stack: debug.Stack()}
+			s.lastErr.Store(&errBox{err: pe})
+			err = pe
+		}
+	}()
+	return s.Checkpoint()
+}
+
+// Coreset builds a certified ε-coreset of the stream seen so far, under
+// admission control: at most MaxInflightBuilds run concurrently and
+// excess requests shed immediately with ErrOverloaded. ctx — including
+// its deadline — propagates into the whole verify-and-repair pipeline
+// via CoresetCtx. The returned report carries the durable-checkpoint
+// provenance of the stream state it was built from.
+//
+// The build refines the sketch's champion points with the batch
+// algorithms, so the end-to-end loss against the full stream composes
+// the sketch's bound with the certified ε of the build.
+func (s *IngestService) Coreset(ctx context.Context, eps float64, algo Algorithm) (*Coreset, error) {
+	s.feedMu.RLock()
+	closed := s.closed
+	s.feedMu.RUnlock()
+	if closed {
+		return nil, ErrServiceClosed
+	}
+	select {
+	case s.buildSem <- struct{}{}:
+	default:
+		s.shed.Add(1)
+		return nil, fmt.Errorf("%w: %d builds in flight", ErrOverloaded, s.opts.MaxInflightBuilds)
+	}
+	defer func() { <-s.buildSem }()
+	s.builds.Add(1)
+
+	sum, err := s.mergedSummary()
+	if err != nil {
+		return nil, err
+	}
+	champs := sum.Coreset()
+	if len(champs) == 0 {
+		return nil, fmt.Errorf("%w: no points ingested yet", ErrEmptyInput)
+	}
+	pts := make([]Point, len(champs))
+	for i, p := range champs {
+		pts[i] = Point(p)
+	}
+	cs, err := New(pts, WithSeed(s.opts.Seed), WithWorkers(s.opts.BuildWorkers))
+	if err != nil {
+		return nil, err
+	}
+	q, err := cs.CoresetCtx(ctx, eps, algo)
+	meta := s.checkpointMeta(sum.N())
+	if q != nil && q.Report != nil {
+		q.Report.Checkpoint = meta
+	}
+	var ue *UncertifiedError
+	if errors.As(err, &ue) && ue.Report != nil {
+		ue.Report.Checkpoint = meta
+	}
+	return q, err
+}
+
+// checkpointMeta captures the current durability provenance.
+func (s *IngestService) checkpointMeta(streamN int) *CheckpointMeta {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	m := &CheckpointMeta{
+		Generation: s.lastCkpt.Generation,
+		SavedAt:    s.lastCkpt.SavedAt,
+		Points:     s.lastCkptN,
+		StreamN:    streamN,
+		RestoredN:  s.restoredN,
+	}
+	if s.store != nil {
+		m.Path = s.store.Path()
+	}
+	return m
+}
+
+// Stats returns a point-in-time snapshot of the service counters.
+func (s *IngestService) Stats() ServiceStats {
+	st := ServiceStats{
+		Ingested:       s.ingested.Load(),
+		Rejected:       s.rejected.Load(),
+		Invalid:        s.invalid.Load(),
+		WorkerPanics:   s.panics.Load(),
+		Builds:         s.builds.Load(),
+		BuildsShed:     s.shed.Load(),
+		RestoredPoints: s.restoredN,
+	}
+	s.ckptMu.Lock()
+	st.CheckpointGeneration = s.lastCkpt.Generation
+	st.CheckpointPoints = s.lastCkptN
+	st.CheckpointFailures = s.ckptFailures
+	st.LastCheckpoint = s.lastCkpt.SavedAt
+	s.ckptMu.Unlock()
+	if box := s.lastErr.Load(); box != nil {
+		st.LastError = box.err
+	}
+	return st
+}
+
+// Close shuts the service down gracefully: no new feeds or builds are
+// accepted, queued batches are drained into the shards, and a final
+// checkpoint is written (its error is returned). Safe to call once;
+// later calls return ErrServiceClosed.
+func (s *IngestService) Close() error {
+	s.feedMu.Lock()
+	if s.closed {
+		s.feedMu.Unlock()
+		return ErrServiceClosed
+	}
+	s.closed = true
+	close(s.queue)
+	s.feedMu.Unlock()
+
+	s.workerWG.Wait() // drain the queue
+	s.cancel()        // stop the checkpoint loop
+	s.ckptWG.Wait()
+	return s.Checkpoint()
+}
+
+// Kill abandons the service as a crash would: goroutines stop as soon
+// as they notice, queued batches are dropped, and no final checkpoint
+// is written — everything after the last durable generation is lost,
+// exactly the window recovery is designed for. Used by the chaos tests;
+// production shutdown should use Close.
+func (s *IngestService) Kill() {
+	s.feedMu.Lock()
+	s.closed = true
+	s.feedMu.Unlock()
+	// The queue channel is abandoned, not closed: Feed callers racing
+	// Kill see the closed flag first, and unread batches become garbage.
+	s.cancel()
+	s.workerWG.Wait()
+	s.ckptWG.Wait()
+}

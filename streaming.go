@@ -2,12 +2,15 @@ package mincore
 
 import (
 	"fmt"
+	"io"
+	"math"
 
 	"mincore/internal/geom"
+	"mincore/internal/snapshot"
 	"mincore/internal/stream"
 )
 
-// Typed Merge errors, re-exported for errors.Is checks against the
+// Typed streaming errors, re-exported for errors.Is checks against the
 // public package alone.
 var (
 	// ErrIncompatibleSummaries is returned by StreamSummary.Merge for
@@ -17,6 +20,11 @@ var (
 	// ErrBadMerge is returned by StreamSummary.Merge for a structurally
 	// invalid merge: a nil summary or a summary merged into itself.
 	ErrBadMerge = stream.ErrBadMerge
+	// ErrBadSnapshot is returned by ReadStreamSummary (and the ingest
+	// service's recovery path) for a snapshot that cannot be decoded:
+	// wrong magic, unsupported version, truncated or torn payload, CRC
+	// mismatch, or a structurally invalid summary state.
+	ErrBadSnapshot = snapshot.ErrBadSnapshot
 )
 
 // StreamSummary is a one-pass, mergeable coreset summary for maxima
@@ -44,7 +52,24 @@ func NewStreamSummary(d int, eps, alpha float64, seed int64) *StreamSummary {
 	return &StreamSummary{s: stream.NewSummary(m, d, seed)}
 }
 
-// Add consumes one stream point.
+// Feed validates and consumes one stream point. A NaN or infinite
+// coordinate, or a point of the wrong dimension, is rejected with
+// ErrInvalidPoint and leaves the summary untouched — the validation New
+// applies to batch input, applied at ingest time.
+func (ss *StreamSummary) Feed(p Point) error {
+	if len(p) != ss.s.Dim() {
+		return fmt.Errorf("%w: point has dimension %d, summary dimension %d", ErrInvalidPoint, len(p), ss.s.Dim())
+	}
+	for j, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: coordinate %d is %v", ErrInvalidPoint, j, v)
+		}
+	}
+	return ss.s.Feed(geom.Vector(p))
+}
+
+// Add consumes one pre-validated stream point; invalid input panics
+// (the historical contract). Use Feed to reject bad points gracefully.
 func (ss *StreamSummary) Add(p Point) { ss.s.Add(geom.Vector(p)) }
 
 // N returns the number of points consumed.
@@ -78,4 +103,25 @@ func (ss *StreamSummary) Merge(other *StreamSummary) error {
 		return fmt.Errorf("%w: summary merged into itself", ErrBadMerge)
 	}
 	return ss.s.Merge(other.s)
+}
+
+// WriteSnapshot serializes the summary to w in the versioned snapshot
+// format (magic, format version, parameter header, champion payload,
+// CRC-32 trailer). The encoding is bitwise exact: ReadStreamSummary
+// restores a summary with identical champions that merges with any live
+// summary of the same parameters. For crash-safe on-disk checkpointing
+// with generation fallback, use the ingest service instead.
+func (ss *StreamSummary) WriteSnapshot(w io.Writer) error {
+	return snapshot.Encode(w, ss.s, snapshot.Meta{})
+}
+
+// ReadStreamSummary restores a summary serialized by WriteSnapshot.
+// Malformed input of any kind returns an error wrapping ErrBadSnapshot;
+// it never panics.
+func ReadStreamSummary(r io.Reader) (*StreamSummary, error) {
+	s, _, err := snapshot.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamSummary{s: s}, nil
 }

@@ -1,7 +1,9 @@
 package mincore
 
 import (
+	"bytes"
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -110,5 +112,76 @@ func TestStreamSummaryDefaultAlpha(t *testing.T) {
 	ss.Add(Point{1, 0})
 	if ss.Size() != 1 {
 		t.Fatalf("size = %d", ss.Size())
+	}
+}
+
+func TestStreamSummaryFeedValidation(t *testing.T) {
+	ss := NewStreamSummary(2, 0.1, 0.5, 3)
+	bad := []Point{
+		{math.NaN(), 0},
+		{0, math.Inf(1)},
+		{1, 2, 3}, // wrong dimension
+		{1},
+	}
+	for _, p := range bad {
+		if err := ss.Feed(p); !errors.Is(err, ErrInvalidPoint) {
+			t.Errorf("Feed(%v) = %v, want ErrInvalidPoint", p, err)
+		}
+	}
+	if ss.N() != 0 {
+		t.Fatalf("rejected points were ingested: N = %d", ss.N())
+	}
+	if err := ss.Feed(Point{0.5, -0.25}); err != nil {
+		t.Fatalf("valid point rejected: %v", err)
+	}
+	if ss.N() != 1 {
+		t.Fatalf("N = %d after one valid Feed", ss.N())
+	}
+}
+
+func TestStreamSummarySnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ss := NewStreamSummary(2, 0.1, 0.5, 11)
+	for i := 0; i < 500; i++ {
+		ss.Add(Point{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	var buf bytes.Buffer
+	if err := ss.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStreamSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != ss.N() || got.Size() != ss.Size() {
+		t.Fatalf("restored N=%d Size=%d, want N=%d Size=%d",
+			got.N(), got.Size(), ss.N(), ss.Size())
+	}
+	// Restored summaries stay mergeable with live ones of the same
+	// parameters, and the coreset survives bitwise.
+	want := ss.Coreset()
+	have := got.Coreset()
+	for i := range want {
+		for j := range want[i] {
+			if want[i][j] != have[i][j] {
+				t.Fatalf("champion %d differs after round trip", i)
+			}
+		}
+	}
+	live := NewStreamSummary(2, 0.1, 0.5, 11)
+	live.Add(Point{3, 3})
+	if err := got.Merge(live); err != nil {
+		t.Fatalf("restored summary should merge with live: %v", err)
+	}
+
+	// Corrupt trailer: flip a byte and expect a decode error.
+	var buf2 bytes.Buffer
+	if err := ss.WriteSnapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf2.Bytes()
+	raw[len(raw)-1] ^= 0xFF
+	if _, err := ReadStreamSummary(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt snapshot should fail to decode")
 	}
 }
