@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-workers faults fuzz chaos
+.PHONY: build test vet race verify bench bench-workers bench-json faults fuzz chaos
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,7 @@ test:
 	$(GO) test ./...
 	GOMAXPROCS=4 $(GO) test -race -run 'TestServe|TestStream|TestSnapshot' .
 	GOMAXPROCS=4 $(GO) test -race ./internal/stream/ ./internal/snapshot/
+	GOMAXPROCS=4 $(GO) test -race ./internal/obs/ ./cmd/mcserve/
 
 vet:
 	$(GO) vet ./...
@@ -51,3 +52,9 @@ bench:
 # The Workers=1 vs Workers=N dominance-graph scaling comparison.
 bench-workers:
 	$(GO) test -bench 'DominanceGraphWorkers|DGBuildWorkers' -benchtime 3x -run '^$$' ./...
+
+# Regenerate the committed machine-readable benchmark snapshot
+# (BENCH_observability.json): hot-path timings, the observability
+# disabled-vs-enabled overhead, and the post-run metric counters.
+bench-json:
+	./scripts/bench_json.sh

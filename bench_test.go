@@ -316,6 +316,49 @@ func BenchmarkAblationKernelGrid(b *testing.B) {
 	})
 }
 
+// --- Streaming path ---
+
+// BenchmarkStreamFeed measures per-point ingest into the streaming
+// sketch — the service's hot write path (validation + champion update).
+func BenchmarkStreamFeed(b *testing.B) {
+	ds := data.Normal(100000, 4, 7)
+	pts := make([]mincore.Point, len(ds.Points))
+	for i, p := range ds.Points {
+		pts[i] = mincore.Point(p)
+	}
+	ss := mincore.NewStreamSummary(4, 0.1, 0.25, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ss.Feed(pts[i%len(pts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamCoresetBuild measures certified builds from a warmed
+// stream sketch — the service's read path minus HTTP.
+func BenchmarkStreamCoresetBuild(b *testing.B) {
+	ds := data.Normal(5000, 3, 7)
+	ss := mincore.NewStreamSummary(3, 0.1, 0.25, 7)
+	for _, p := range ds.Points {
+		if err := ss.Feed(mincore.Point(p)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sketch := ss.Coreset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, err := mincore.New(sketch, mincore.WithSeed(7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cs.Coreset(0.15, mincore.Auto); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTop1Query measures query answering from a coreset vs the full
 // dataset — the end-to-end payoff of the summary.
 func BenchmarkTop1Query(b *testing.B) {

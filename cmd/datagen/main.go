@@ -5,6 +5,9 @@
 //
 //	datagen -data normal-6d -n 100000 > normal6.csv
 //	datagen -data colors -out colors.csv
+//
+// Diagnostics go to stderr as structured logs (-log-level/-log-format),
+// so stdout stays pure CSV for piping.
 package main
 
 import (
@@ -12,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 
 	"mincore/internal/data"
+	"mincore/internal/obs"
 )
 
 func main() {
@@ -23,15 +28,24 @@ func main() {
 	n := flag.Int("n", 0, "number of points (0 = dataset default)")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "", "output file (default stdout)")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "log format: text|json")
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(2)
+	}
+	log := obs.Component(logger, "datagen")
+
 	if *name == "" {
-		fmt.Fprintln(os.Stderr, "datagen: -data is required")
+		log.Error("-data is required")
 		os.Exit(1)
 	}
 	ds, err := data.ByName(*name, *n, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "datagen:", err)
+		log.Error("dataset generation failed", slog.Any("error", err))
 		os.Exit(1)
 	}
 
@@ -39,7 +53,7 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "datagen:", err)
+			log.Error("create output file", slog.Any("error", err))
 			os.Exit(1)
 		}
 		defer f.Close()
@@ -56,5 +70,9 @@ func main() {
 		}
 		bw.WriteByte('\n')
 	}
-	fmt.Fprintf(os.Stderr, "datagen: wrote %s (n=%d, d=%d)\n", ds.Name, len(ds.Points), ds.D)
+	log.Info("dataset written",
+		slog.String("dataset", ds.Name),
+		slog.Int("n", len(ds.Points)),
+		slog.Int("d", ds.D),
+		slog.String("out", *out))
 }

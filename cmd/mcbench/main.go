@@ -8,17 +8,23 @@
 //	mcbench -exp fig4              # Figure 4 (2D, size/time vs ε)
 //	mcbench -exp all               # everything, in paper order
 //	mcbench -exp fig8 -full        # paper-scale sizes (n up to 10⁷)
+//	mcbench -exp table1 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // The default profile scales datasets down to finish on a single core;
 // see EXPERIMENTS.md for recorded paper-vs-measured comparisons.
+// -cpuprofile and -memprofile write pprof files analyzable with
+// `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mincore/internal/experiments"
+	"mincore/internal/obs"
 )
 
 func main() {
@@ -27,11 +33,47 @@ func main() {
 	tiny := flag.Bool("tiny", false, "run at quarter scale (quick smoke of every figure)")
 	seed := flag.Int64("seed", 1, "random seed for dataset generation and sampling")
 	steps := flag.Int("eps-steps", 0, "trim ε sweeps to the largest k values (0 = full sweep)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	cfg := experiments.Config{Full: *full, Tiny: *tiny, Seed: *seed, MaxEpsSteps: *steps}
-	if err := experiments.Run(*exp, os.Stdout, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "mcbench:", err)
-		os.Exit(1)
+	obs.Enable()
+	os.Exit(run(*exp, *full, *tiny, *seed, *steps, *cpuprofile, *memprofile))
+}
+
+// run is main minus os.Exit, so the profile writers' defers always fire.
+func run(exp string, full, tiny bool, seed int64, steps int, cpuprofile, memprofile string) int {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
+	code := 0
+	cfg := experiments.Config{Full: full, Tiny: tiny, Seed: seed, MaxEpsSteps: steps}
+	if err := experiments.Run(exp, os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbench:", err)
+		code = 1
+	}
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC() // materialize the retained heap before sampling
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mcbench:", err)
+			return 1
+		}
+	}
+	return code
 }

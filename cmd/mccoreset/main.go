@@ -25,6 +25,7 @@ import (
 
 	"mincore"
 	"mincore/internal/data"
+	"mincore/internal/obs"
 )
 
 func plural(n int, one, many string) string {
@@ -46,8 +47,11 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit)")
 	certify := flag.Bool("certify", true, "verify the result against ε and repair (retry, fall back) on failure")
 	maxRetries := flag.Int("max-retries", 0, "re-seeded retries per repair step (0 = default of 1, negative = none)")
+	trace := flag.Bool("trace", false, "print the phase-span tree of the build (durations per phase)")
 	out := flag.String("out", "", "write coreset points to this CSV file")
 	flag.Parse()
+
+	obs.Enable() // collect solver metrics; the trace is always recorded
 
 	pts, name, err := loadPoints(*dataset, *in, *n, *seed)
 	if err != nil {
@@ -81,6 +85,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mccoreset: %v\n", err)
 			fmt.Fprintf(os.Stderr, "mccoreset: best-effort coreset: %d points, measured loss %.6f (target ε=%.4f)\n",
 				ue.Coreset.Size(), ue.Coreset.Loss, *eps)
+			if *trace && ue.Report != nil && ue.Report.Trace != nil {
+				fmt.Fprintln(os.Stderr, "phase trace:")
+				ue.Report.Trace.Write(os.Stderr)
+			}
 			os.Exit(1)
 		}
 		fatal(err)
@@ -106,6 +114,14 @@ func main() {
 	}
 	fmt.Printf("preprocessing:  %v\n", prepTime.Round(time.Millisecond))
 	fmt.Printf("solve time:     %v\n", solveTime.Round(time.Millisecond))
+	if *trace {
+		if q.Report != nil && q.Report.Trace != nil {
+			fmt.Println("phase trace:")
+			q.Report.Trace.Write(os.Stdout)
+		} else {
+			fmt.Println("phase trace:   (none recorded)")
+		}
+	}
 
 	if *out != "" {
 		if err := writeCSV(*out, q.Points); err != nil {

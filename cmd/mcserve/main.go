@@ -8,14 +8,21 @@
 //
 // Endpoints:
 //
-//	POST /ingest      {"points": [[...], ...]} → 202 {"ingested": n}
-//	                  400 on invalid points, 503 when shedding load
-//	GET  /coreset     ?eps=0.05&algo=auto&timeout=5s → certified coreset
-//	                  + build report (503 when builds are saturated)
-//	GET  /summary     current sketch champions (no build)
-//	GET  /stats       service counters, checkpoint state, last error
-//	POST /checkpoint  force a durable snapshot now
-//	GET  /healthz     liveness
+//	POST /ingest       {"points": [[...], ...]} → 202 {"ingested": n}
+//	                   400 on invalid points, 503 when shedding load
+//	GET  /coreset      ?eps=0.05&algo=auto&timeout=5s → certified coreset
+//	                   + build report with phase trace (503 when
+//	                   builds are saturated)
+//	GET  /summary      current sketch champions (no build)
+//	GET  /stats        service counters, checkpoint state + lag, last error
+//	POST /checkpoint   force a durable snapshot now
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus text-format metrics (solver + service)
+//	GET  /debug/vars   expvar JSON (includes the metric registry)
+//	GET  /debug/pprof/ runtime profiling (CPU, heap, goroutines, ...)
+//
+// Structured logs go to stderr; tune with -log-level (debug|info|warn|
+// error) and -log-format (text|json).
 //
 // On restart the service recovers the newest decodable snapshot
 // generation and reports the restored stream position in /stats
@@ -27,16 +34,19 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"mincore"
+	"mincore/internal/obs"
 )
 
 func main() {
@@ -51,26 +61,67 @@ func main() {
 	queue := flag.Int("queue", 256, "ingest queue capacity in batches (full queue sheds with 503)")
 	inflight := flag.Int("max-inflight-builds", 2, "concurrent coreset builds admitted (excess sheds with 503)")
 	buildWorkers := flag.Int("build-workers", 0, "worker-pool size for builds (0 = GOMAXPROCS)")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "log format: text|json")
 	flag.Parse()
 
 	if *dim < 1 {
 		fmt.Fprintln(os.Stderr, "mcserve: -dim is required")
 		os.Exit(2)
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcserve:", err)
+		os.Exit(2)
+	}
+	obs.Enable()
+	obs.Default.PublishExpvar("mincore_metrics")
+
 	svc, err := mincore.NewIngestService(mincore.ServeOptions{
 		Dim: *dim, Eps: *eps, Alpha: *alpha, Seed: *seed,
 		SnapshotPath: *snapshotPath, CheckpointInterval: *ckptEvery,
 		IngestWorkers: *workers, QueueSize: *queue,
 		MaxInflightBuilds: *inflight, BuildWorkers: *buildWorkers,
+		Logger: logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcserve:", err)
 		os.Exit(1)
 	}
+	log := obs.Component(logger, "mcserve")
 	if n := svc.RestoredPoints(); n > 0 {
-		log.Printf("recovered snapshot: stream position %d — replay from there", n)
+		log.Info("recovered snapshot; replay from restored position",
+			slog.Int("restored_points", n))
 	}
 
+	srv := &http.Server{Addr: *addr, Handler: newMux(svc, log)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Info("shutting down: draining ingest queue and writing final checkpoint")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := svc.Close(); err != nil && !errors.Is(err, mincore.ErrServiceClosed) {
+			log.Error("final checkpoint failed", slog.Any("error", err))
+		}
+	}()
+	log.Info("mcserve listening",
+		slog.String("addr", *addr), slog.Int("dim", *dim),
+		slog.String("snapshot", *snapshotPath))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("listen failed", slog.Any("error", err))
+		os.Exit(1)
+	}
+	<-done
+}
+
+// newMux builds the full route table. Split from main so the smoke
+// tests can drive the handlers through httptest without a listener.
+func newMux(svc *mincore.IngestService, log *slog.Logger) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -84,8 +135,7 @@ func main() {
 			httpError(w, statusFor(err), err)
 			return
 		}
-		w.WriteHeader(http.StatusAccepted)
-		json.NewEncoder(w).Encode(map[string]int{"ingested": len(req.Points)})
+		writeJSON(w, http.StatusAccepted, map[string]int{"ingested": len(req.Points)})
 	})
 
 	mux.HandleFunc("GET /coreset", func(w http.ResponseWriter, r *http.Request) {
@@ -116,7 +166,18 @@ func main() {
 			httpError(w, statusFor(err), err)
 			return
 		}
-		json.NewEncoder(w).Encode(map[string]any{
+		if rep := q.Report; rep != nil {
+			log.Info("build served",
+				slog.String("algorithm", string(rep.Algorithm)),
+				slog.Float64("eps", rep.Eps),
+				slog.Float64("certified_loss", rep.CertifiedLoss),
+				slog.Bool("certified", rep.Certified),
+				slog.Int("size", q.Size()),
+				slog.Int("attempts", rep.Attempts),
+				slog.Duration("wall", rep.Wall),
+				slog.String("spans", rep.Trace.Summary()))
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
 			"size": q.Size(), "eps": q.Eps, "loss": q.Loss,
 			"algorithm": q.Algorithm, "points": q.Points, "report": q.Report,
 		})
@@ -128,7 +189,7 @@ func main() {
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
-		json.NewEncoder(w).Encode(map[string]any{
+		writeJSON(w, http.StatusOK, map[string]any{
 			"n": ss.N(), "size": ss.Size(), "points": ss.Coreset(),
 		})
 	})
@@ -147,11 +208,12 @@ func main() {
 		}
 		if !st.LastCheckpoint.IsZero() {
 			resp["last_checkpoint"] = st.LastCheckpoint.Format(time.RFC3339Nano)
+			resp["checkpoint_lag_seconds"] = st.CheckpointLag.Seconds()
 		}
 		if st.LastError != nil {
 			resp["last_error"] = st.LastError.Error()
 		}
-		json.NewEncoder(w).Encode(resp)
+		writeJSON(w, http.StatusOK, resp)
 	})
 
 	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
@@ -160,7 +222,7 @@ func main() {
 			return
 		}
 		st := svc.Stats()
-		json.NewEncoder(w).Encode(map[string]any{
+		writeJSON(w, http.StatusOK, map[string]any{
 			"generation": st.CheckpointGeneration, "points": st.CheckpointPoints,
 		})
 	})
@@ -170,26 +232,21 @@ func main() {
 		fmt.Fprintln(w, "ok")
 	})
 
-	srv := &http.Server{Addr: *addr, Handler: mux}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		log.Printf("shutting down: draining ingest queue and writing final checkpoint")
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		srv.Shutdown(ctx)
-		if err := svc.Close(); err != nil && !errors.Is(err, mincore.ErrServiceClosed) {
-			log.Printf("final checkpoint failed: %v", err)
-		}
-	}()
-	log.Printf("mcserve listening on %s (dim=%d, snapshot=%q)", *addr, *dim, *snapshotPath)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
-	}
-	<-done
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.Default.WritePrometheus(w)
+	})
+
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	// net/http/pprof registers on DefaultServeMux; mount its handlers
+	// explicitly since this mux is not the default one.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
+	return mux
 }
 
 // statusFor maps the service's typed errors onto HTTP semantics: shed →
@@ -210,10 +267,17 @@ func statusFor(err error) int {
 	}
 }
 
+// writeJSON sets the JSON content type before the status line — every
+// JSON-producing handler funnels through here or httpError.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
 func httpError(w http.ResponseWriter, code int, err error) {
 	if code == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mincore"
+	"mincore/internal/obs"
+)
+
+// newTestServer builds the real route table over a live ingest service,
+// exactly as main() does minus the listener and signal handling.
+func newTestServer(t *testing.T, opts mincore.ServeOptions) (*httptest.Server, *mincore.IngestService) {
+	t.Helper()
+	obs.Enable()
+	svc, err := mincore.NewIngestService(opts)
+	if err != nil {
+		t.Fatalf("NewIngestService: %v", err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	ts := httptest.NewServer(newMux(svc, obs.Discard()))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func feedPoints(t *testing.T, ts *httptest.Server, pts [][]float64) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"points": pts})
+	resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /ingest: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /ingest: status %d", resp.StatusCode)
+	}
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, mincore.ServeOptions{Dim: 2, Eps: 0.1, Seed: 7})
+
+	pts := make([][]float64, 0, 64)
+	for i := 0; i < 64; i++ {
+		pts = append(pts, []float64{float64(i%17) / 17, float64((i*7)%13) / 13})
+	}
+	feedPoints(t, ts, pts)
+
+	// A build exercises the solver metric families before the scrape.
+	resp, err := http.Get(ts.URL + "/coreset?eps=0.2")
+	if err != nil {
+		t.Fatalf("GET /coreset: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /coreset: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain prefix", ct)
+	}
+	samples, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v", err)
+	}
+	fams := map[string]bool{}
+	for k := range samples {
+		name, _, _ := strings.Cut(k, "{")
+		name = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if strings.HasPrefix(name, "mincore_") {
+			fams[name] = true
+		}
+	}
+	if len(fams) < 10 {
+		t.Errorf("scrape exposes %d mincore_ families, want >= 10: %v", len(fams), fams)
+	}
+	for _, want := range []string{"mincore_ingest_points_total", "mincore_serve_build_requests_total"} {
+		found := false
+		for k := range samples {
+			if strings.HasPrefix(k, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+}
+
+func TestServeJSONContentType(t *testing.T) {
+	ts, _ := newTestServer(t, mincore.ServeOptions{Dim: 2, Eps: 0.1, Seed: 7})
+	feedPoints(t, ts, [][]float64{{0.2, 0.9}, {0.9, 0.2}, {0.6, 0.6}})
+
+	for _, tc := range []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{"GET", "/stats", http.StatusOK},
+		{"GET", "/summary", http.StatusOK},
+		{"GET", "/coreset?eps=0.3", http.StatusOK},
+		{"POST", "/checkpoint", http.StatusOK},
+		{"GET", "/coreset?eps=nope", http.StatusBadRequest}, // error path too
+	} {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", tc.method, tc.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s %s: Content-Type = %q, want application/json", tc.method, tc.path, ct)
+		}
+	}
+}
+
+func TestServeStatsCheckpointLag(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := newTestServer(t, mincore.ServeOptions{
+		Dim: 2, Eps: 0.1, Seed: 7,
+		SnapshotPath:       dir + "/stream.snap",
+		CheckpointInterval: time.Hour, // only explicit checkpoints
+	})
+	feedPoints(t, ts, [][]float64{{0.1, 0.8}, {0.8, 0.1}})
+
+	get := func() map[string]any {
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatalf("GET /stats: %v", err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("decode /stats: %v", err)
+		}
+		return m
+	}
+
+	if m := get(); m["checkpoint_lag_seconds"] != nil {
+		t.Errorf("checkpoint_lag_seconds present before any checkpoint: %v", m)
+	}
+	resp, err := http.Post(ts.URL+"/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST /checkpoint: %v", err)
+	}
+	resp.Body.Close()
+	m := get()
+	lag, ok := m["checkpoint_lag_seconds"].(float64)
+	if !ok {
+		t.Fatalf("checkpoint_lag_seconds missing after checkpoint: %v", m)
+	}
+	if lag < 0 || lag > 60 {
+		t.Errorf("checkpoint_lag_seconds = %v, want small non-negative", lag)
+	}
+}
+
+func TestServePprofAndExpvar(t *testing.T) {
+	ts, _ := newTestServer(t, mincore.ServeOptions{Dim: 2, Eps: 0.1, Seed: 7})
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/vars"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServeCoresetReportHasTrace(t *testing.T) {
+	ts, _ := newTestServer(t, mincore.ServeOptions{Dim: 2, Eps: 0.1, Seed: 7})
+	pts := make([][]float64, 0, 32)
+	for i := 0; i < 32; i++ {
+		pts = append(pts, []float64{float64(i) / 32, float64((i*11)%32) / 32})
+	}
+	feedPoints(t, ts, pts)
+
+	resp, err := http.Get(ts.URL + "/coreset?eps=0.2")
+	if err != nil {
+		t.Fatalf("GET /coreset: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /coreset: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Report struct {
+			Trace *struct {
+				Root *struct {
+					Name     string            `json:"Name"`
+					Children []json.RawMessage `json:"Children"`
+				} `json:"Root"`
+			} `json:"trace"`
+		} `json:"report"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode /coreset: %v", err)
+	}
+	tr := out.Report.Trace
+	if tr == nil || tr.Root == nil {
+		t.Fatal("build report has no trace")
+	}
+	if tr.Root.Name != "build" {
+		t.Errorf("trace root = %q, want \"build\"", tr.Root.Name)
+	}
+	if len(tr.Root.Children) == 0 {
+		t.Error("trace root has no child spans")
+	}
+}
+
+func TestStatusForMapping(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{mincore.ErrOverloaded, http.StatusServiceUnavailable},
+		{mincore.ErrInvalidPoint, http.StatusBadRequest},
+		{fmt.Errorf("wrapped: %w", mincore.ErrServiceClosed), http.StatusServiceUnavailable},
+	} {
+		if got := statusFor(tc.err); got != tc.want {
+			t.Errorf("statusFor(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mincore/internal/geom"
+	"mincore/internal/obs"
 )
 
 func benchGaussianInstance(b *testing.B, n, d int) *Instance {
@@ -49,6 +50,38 @@ func BenchmarkDGBuildWorkers(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			inst.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst.BuildDominanceGraph(ipdg)
+			}
+		})
+	}
+}
+
+// BenchmarkDGBuildObsOverhead gates the observability tax on the DG hot
+// loop: the metric sites are per-build (recorded once from the merged
+// worker stats) plus one atomic add per LP solve, so obs=on must stay
+// within ~2% of obs=off. Compare the two sub-benchmark ns/op values.
+func BenchmarkDGBuildObsOverhead(b *testing.B) {
+	inst := benchGaussianInstance(b, 5000, 5)
+	ipdg := inst.BuildIPDG(0, 1)
+	inst.Workers = 1 // sequential: no scheduler noise in the comparison
+	defer func() { inst.Workers = 0 }()
+	for _, enabled := range []bool{false, true} {
+		b.Run(fmt.Sprintf("obs=%v", enabled), func(b *testing.B) {
+			was := obs.On()
+			if enabled {
+				obs.Enable()
+			} else {
+				obs.Disable()
+			}
+			defer func() {
+				if was {
+					obs.Enable()
+				} else {
+					obs.Disable()
+				}
+			}()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				inst.BuildDominanceGraph(ipdg)

@@ -8,6 +8,7 @@ import (
 	"mincore/internal/faultinject"
 	"mincore/internal/geom"
 	"mincore/internal/lp"
+	"mincore/internal/obs"
 	"mincore/internal/parallel"
 	"mincore/internal/setcover"
 	"mincore/internal/sphere"
@@ -184,6 +185,12 @@ func (inst *Instance) BuildDominanceGraphCtx(ctx context.Context, ipdg *voronoi.
 	for _, s := range stats {
 		dg.NumLPs += s.lps
 		dg.NumEdges += s.edges
+	}
+	if obs.On() {
+		mDGBuilds.Inc()
+		mDGCells.Add(uint64(xi))
+		mDGLPs.Add(uint64(dg.NumLPs))
+		mDGEdges.Add(uint64(dg.NumEdges))
 	}
 	return dg, nil
 }

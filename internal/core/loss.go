@@ -11,6 +11,7 @@ import (
 	"mincore/internal/hull"
 	"mincore/internal/lp"
 	"mincore/internal/mips"
+	"mincore/internal/obs"
 	"mincore/internal/parallel"
 	"mincore/internal/sphere"
 	"mincore/internal/voronoi"
@@ -57,6 +58,9 @@ func (inst *Instance) LossExact2D(q []int) float64 {
 
 // LossExact2DCtx is LossExact2D with cooperative cancellation.
 func (inst *Instance) LossExact2DCtx(ctx context.Context, q []int) (float64, error) {
+	if obs.On() {
+		mLossExact2D.Inc()
+	}
 	if inst.D != 2 {
 		return 0, fmt.Errorf("core: LossExact2D on %dD instance", inst.D)
 	}
@@ -146,6 +150,9 @@ func (inst *Instance) LossExactLP(q []int) float64 {
 // remaining LPs are skipped (the result is 1 regardless of which owners
 // were skipped, so the early exit preserves determinism).
 func (inst *Instance) LossExactLPCtx(ctx context.Context, q []int) (float64, error) {
+	if obs.On() {
+		mLossExactLP.Inc()
+	}
 	if len(q) == 0 {
 		return 1, nil
 	}
@@ -286,6 +293,9 @@ func (inst *Instance) LossSampled(q []int, dirs []geom.Vector) []float64 {
 // LossSampledCtx is LossSampled with cooperative cancellation; each
 // direction's loss is written to its own slot.
 func (inst *Instance) LossSampledCtx(ctx context.Context, q []int, dirs []geom.Vector) ([]float64, error) {
+	if obs.On() {
+		mLossSampled.Inc()
+	}
 	qpts := make([]geom.Vector, len(q))
 	for i, id := range q {
 		qpts[i] = inst.Pts[id]

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"mincore/internal/geom"
+	"mincore/internal/obs"
 	"mincore/internal/parallel"
 	"mincore/internal/setcover"
 	"mincore/internal/sphere"
@@ -67,6 +68,9 @@ func (inst *Instance) SCMCCtx(ctx context.Context, eps float64, opts SCMCOptions
 	m := opts.InitSamples
 	seed := opts.Seed
 	for {
+		if obs.On() {
+			mSCMCRounds.Inc()
+		}
 		dirs := sphere.RandomDirections(m, inst.D, seed+int64(m))
 		q, err := inst.scmcSolveCtx(ctx, dirs, opts.Gamma)
 		if err != nil {

@@ -17,6 +17,8 @@ package lp
 import (
 	"errors"
 	"fmt"
+
+	"mincore/internal/obs"
 )
 
 // Status reports the outcome of Solve.
@@ -171,13 +173,27 @@ type Solution struct {
 // problem marked malformed at construction time reports BadProblem.
 func (p *Problem) Solve() Solution {
 	if p.err != nil {
+		if obs.On() {
+			mSolves.Inc()
+			mFailures.Inc()
+		}
 		return Solution{Status: BadProblem}
 	}
 	if p.numVars == 0 {
+		if obs.On() {
+			mSolves.Inc()
+		}
 		return Solution{Status: Optimal, X: nil, Value: 0}
 	}
 	t := newTableau(p)
 	st := t.solve()
+	if obs.On() {
+		mSolves.Inc()
+		mPivots.Add(uint64(t.pivots))
+		if st == IterLimit {
+			mFailures.Inc()
+		}
+	}
 	if st == Infeasible {
 		return Solution{Status: st, Farkas: t.farkas}
 	}

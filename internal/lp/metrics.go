@@ -1,0 +1,15 @@
+package lp
+
+import "mincore/internal/obs"
+
+// Solver metrics. Solve is the hottest instrumented call site in the
+// repo (ξ² invocations per dominance-graph build), so every update is
+// behind the obs.On() gate: one atomic load when observability is off.
+var (
+	mSolves = obs.Default.Counter("mincore_lp_solves_total",
+		"Two-phase simplex solves attempted.", nil)
+	mPivots = obs.Default.Counter("mincore_lp_pivots_total",
+		"Simplex pivot operations across all solves.", nil)
+	mFailures = obs.Default.Counter("mincore_lp_failures_total",
+		"Solves ending in iteration-limit or bad-problem status.", nil)
+)

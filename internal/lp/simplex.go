@@ -41,6 +41,8 @@ type tableau struct {
 	farkas  []float64 // infeasibility certificate in original row order
 
 	inBasis []bool // column membership in the basis, kept in sync with basis
+
+	pivots int // pivot operations performed, for the obs metrics
 }
 
 func newTableau(p *Problem) *tableau {
@@ -306,6 +308,7 @@ func (t *tableau) objective(cost []float64) float64 {
 
 // pivot makes column enter basic in row leave.
 func (t *tableau) pivot(leave, enter int) {
+	t.pivots++
 	piv := t.a[leave][enter]
 	inv := 1 / piv
 	row := t.a[leave]

@@ -1,0 +1,62 @@
+// Package obs is the stdlib-only observability layer: a lock-free
+// metrics registry with Prometheus text-format and expvar/JSON
+// exposition, phase-level build traces, and log/slog helpers shared by
+// the solver and serving layers.
+//
+// # Metrics
+//
+// Metrics are registered once (typically in a package-level var block)
+// against a Registry — usually Default — and updated with plain atomic
+// operations:
+//
+//	var solves = obs.Default.Counter("mincore_lp_solves_total",
+//	        "LP solves attempted.", nil)
+//	...
+//	solves.Inc()
+//
+// Counters, gauges, and fixed-bucket histograms are supported. The
+// update path is lock-free (one atomic RMW per update; histograms add a
+// CAS loop for the sum) and the registry itself is only locked on the
+// cold registration and exposition paths.
+//
+// # The enable gate
+//
+// Call sites on hot loops — per-LP-solve, per-loss-oracle-call — guard
+// their updates with On(), a single atomic load that defaults to false,
+// so a library user who never calls Enable pays one predictable branch
+// per solve and no shared-cache traffic. The binaries (mcserve,
+// mccoreset, mcbench) call Enable at startup. Coarse per-build and
+// per-checkpoint events are recorded unconditionally.
+//
+// # Traces
+//
+// A Trace is a tree of timed spans recording what a build did and where
+// the time went (dominance-graph construction, each per-algorithm
+// attempt, loss certification, repair retries). Builds attach their
+// trace to the public BuildReport; mccoreset -trace renders the tree
+// and mcserve returns it inside build responses.
+//
+// # Logging
+//
+// NewLogger builds a slog.Logger from the conventional -log-level /
+// -log-format flag values; Component derives per-component child
+// loggers, and Discard is the library default so instrumented packages
+// stay silent until a caller opts in.
+package obs
+
+import "sync/atomic"
+
+// on is the global hot-path instrumentation gate (see the package
+// comment); it guards only the per-solve/per-call metric updates, never
+// registration, exposition, traces, or logging.
+var on atomic.Bool
+
+// Enable turns hot-path metric collection on.
+func Enable() { on.Store(true) }
+
+// Disable turns hot-path metric collection off (the default).
+func Disable() { on.Store(false) }
+
+// On reports whether hot-path metric collection is enabled. It is a
+// single atomic load, cheap enough for per-LP-solve call sites.
+func On() bool { return on.Load() }

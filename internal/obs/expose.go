@@ -1,0 +1,388 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE lines per
+// family, cumulative _bucket/_sum/_count samples for histograms, and
+// escaped help text and label values. Output order is deterministic
+// (families by name, series by sorted label key).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := r.snapshotLocked()
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.k)
+		for _, s := range f.series {
+			switch f.k {
+			case kindCounter:
+				writeSample(bw, f.name, s.labels, "", "", strconv.FormatUint(s.counter.Value(), 10))
+			case kindGauge:
+				writeSample(bw, f.name, s.labels, "", "", strconv.FormatInt(s.gauge.Value(), 10))
+			case kindHistogram:
+				h := s.hist
+				var cum uint64
+				for i, b := range h.bounds {
+					cum += h.buckets[i].Load()
+					writeSample(bw, f.name+"_bucket", s.labels, "le", formatFloat(b),
+						strconv.FormatUint(cum, 10))
+				}
+				cum += h.buckets[len(h.bounds)].Load()
+				writeSample(bw, f.name+"_bucket", s.labels, "le", "+Inf",
+					strconv.FormatUint(cum, 10))
+				writeSample(bw, f.name+"_sum", s.labels, "", "", formatFloat(h.Sum()))
+				writeSample(bw, f.name+"_count", s.labels, "", "", strconv.FormatUint(h.Count(), 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels} value` line; extraK/extraV append
+// a synthetic label (the histogram `le` bound) after the series labels.
+func writeSample(w io.Writer, name string, labels Labels, extraK, extraV, value string) {
+	io.WriteString(w, name)
+	if len(labels) > 0 || extraK != "" {
+		io.WriteString(w, "{")
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		first := true
+		for _, k := range keys {
+			if !first {
+				io.WriteString(w, ",")
+			}
+			first = false
+			fmt.Fprintf(w, `%s="%s"`, k, escapeLabelValue(labels[k]))
+		}
+		if extraK != "" {
+			if !first {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, `%s="%s"`, extraK, escapeLabelValue(extraV))
+		}
+		io.WriteString(w, "}")
+	}
+	io.WriteString(w, " ")
+	io.WriteString(w, value)
+	io.WriteString(w, "\n")
+}
+
+// escapeHelp escapes backslash and newline, per the text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline, per
+// the text format's label-value grammar. ParsePrometheus inverts this.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SeriesJSON is one time series in the JSON exposition. For counters
+// and gauges Value carries the sample; for histograms Value is the sum,
+// Count the observation count, and Buckets the cumulative counts keyed
+// by upper bound ("+Inf" included).
+type SeriesJSON struct {
+	Labels  Labels            `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Count   uint64            `json:"count,omitempty"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// FamilyJSON is one metric family in the JSON exposition.
+type FamilyJSON struct {
+	Type   string       `json:"type"`
+	Help   string       `json:"help,omitempty"`
+	Series []SeriesJSON `json:"series"`
+}
+
+// Snapshot returns a point-in-time copy of every metric, keyed by
+// family name — the JSON/expvar exposition payload.
+func (r *Registry) Snapshot() map[string]FamilyJSON {
+	r.mu.Lock()
+	fams := r.snapshotLocked()
+	r.mu.Unlock()
+
+	out := make(map[string]FamilyJSON, len(fams))
+	for _, f := range fams {
+		fj := FamilyJSON{Type: f.k.String(), Help: f.help}
+		for _, s := range f.series {
+			sj := SeriesJSON{Labels: cloneLabels(s.labels)}
+			switch f.k {
+			case kindCounter:
+				sj.Value = float64(s.counter.Value())
+			case kindGauge:
+				sj.Value = float64(s.gauge.Value())
+			case kindHistogram:
+				h := s.hist
+				sj.Value = h.Sum()
+				sj.Count = h.Count()
+				sj.Buckets = make(map[string]uint64, len(h.bounds)+1)
+				var cum uint64
+				for i, b := range h.bounds {
+					cum += h.buckets[i].Load()
+					sj.Buckets[formatFloat(b)] = cum
+				}
+				cum += h.buckets[len(h.bounds)].Load()
+				sj.Buckets["+Inf"] = cum
+			}
+			fj.Series = append(fj.Series, sj)
+		}
+		out[f.name] = fj
+	}
+	return out
+}
+
+// WriteJSON writes the Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Flatten returns scalar samples keyed the way they appear on the
+// Prometheus wire: `name` or `name{k="v",...}`; histograms contribute
+// their _sum and _count. Useful for tests and bench snapshots.
+func (r *Registry) Flatten() map[string]float64 {
+	r.mu.Lock()
+	fams := r.snapshotLocked()
+	r.mu.Unlock()
+
+	out := map[string]float64{}
+	for _, f := range fams {
+		for _, s := range f.series {
+			switch f.k {
+			case kindCounter:
+				out[sampleKey(f.name, s.labels)] = float64(s.counter.Value())
+			case kindGauge:
+				out[sampleKey(f.name, s.labels)] = float64(s.gauge.Value())
+			case kindHistogram:
+				out[sampleKey(f.name+"_sum", s.labels)] = s.hist.Sum()
+				out[sampleKey(f.name+"_count", s.labels)] = float64(s.hist.Count())
+			}
+		}
+	}
+	return out
+}
+
+func sampleKey(name string, labels Labels) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	writeSampleKey(&b, name, labels)
+	return b.String()
+}
+
+func writeSampleKey(b *strings.Builder, name string, labels Labels) {
+	b.WriteString(name)
+	if len(labels) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, `%s="%s"`, k, escapeLabelValue(labels[k]))
+	}
+	b.WriteByte('}')
+}
+
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar publishes the registry's Snapshot under the given name
+// in the process-wide expvar namespace (served at /debug/vars).
+// Publishing the same name twice is a no-op rather than the panic
+// expvar.Publish would raise.
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// ParsePrometheus parses text-format exposition back into flat samples
+// keyed exactly as Flatten produces them. It validates the grammar —
+// well-formed HELP/TYPE comments, brace- and quote-balanced label sets,
+// numeric sample values — and errors on the first malformed line. It is
+// the validation half of the /metrics smoke test.
+func ParsePrometheus(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		key, val, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func checkComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validName(fields[2], true) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !validName(fields[2], true) {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+// parseSample parses `name[{k="v",...}] value` into a canonical flat
+// key (labels re-sorted) and the numeric value.
+func parseSample(line string) (string, float64, error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name := line[:i]
+	if !validName(name, true) {
+		return "", 0, fmt.Errorf("invalid metric name in %q", line)
+	}
+	labels := Labels{}
+	if i < len(line) && line[i] == '{' {
+		var err error
+		i, err = parseLabels(line, i+1, labels)
+		if err != nil {
+			return "", 0, err
+		}
+	}
+	rest := strings.TrimSpace(line[i:])
+	if rest == "" {
+		return "", 0, fmt.Errorf("missing value in %q", line)
+	}
+	// A timestamp may follow the value; we never emit one but accept it.
+	valueField := strings.Fields(rest)[0]
+	val, err := strconv.ParseFloat(valueField, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad sample value %q: %w", valueField, err)
+	}
+	return sampleKey(name, labels), val, nil
+}
+
+// parseLabels parses from just past '{' to just past '}', filling
+// labels, and returns the index after the closing brace.
+func parseLabels(line string, i int, labels Labels) (int, error) {
+	for {
+		for i < len(line) && (line[i] == ' ' || line[i] == ',') {
+			i++
+		}
+		if i < len(line) && line[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(line) && line[i] != '=' {
+			i++
+		}
+		if i >= len(line) {
+			return 0, fmt.Errorf("unterminated label in %q", line)
+		}
+		lname := strings.TrimSpace(line[start:i])
+		if !validName(lname, false) {
+			return 0, fmt.Errorf("invalid label name %q in %q", lname, line)
+		}
+		i++ // past '='
+		if i >= len(line) || line[i] != '"' {
+			return 0, fmt.Errorf("label value not quoted in %q", line)
+		}
+		i++ // past opening quote
+		var val strings.Builder
+		for {
+			if i >= len(line) {
+				return 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			c := line[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(line) {
+					return 0, fmt.Errorf("dangling escape in %q", line)
+				}
+				switch line[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("bad escape \\%c in %q", line[i+1], line)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[lname] = val.String()
+	}
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+var discardLogger = slog.New(slog.DiscardHandler)
+
+// Discard returns a logger that drops every record — the library
+// default, so instrumented packages stay silent unless the embedding
+// binary wires in a real logger.
+func Discard() *slog.Logger { return discardLogger }
+
+// NewLogger builds a slog.Logger from the conventional flag values:
+// level is one of "debug", "info", "warn", "error" ("" = info) and
+// format is "text" or "json" ("" = text).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// Component derives a child logger tagged with a component attribute
+// ("ingest", "checkpoint", "build", ...). A nil parent yields the
+// discard logger so callers can chain unconditionally.
+func Component(l *slog.Logger, name string) *slog.Logger {
+	if l == nil {
+		return discardLogger
+	}
+	return l.With(slog.String("component", name))
+}

@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels are constant per-series labels fixed at registration time.
+// Label values may contain any UTF-8 text; exposition escapes them.
+type Labels map[string]string
+
+// A Counter is a monotonically increasing metric backed by a single
+// atomic word.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// A Gauge is an instantaneous integer value (queue depth, generation).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// A Histogram counts observations into fixed buckets chosen at
+// registration. Buckets are upper bounds with Prometheus semantics: an
+// observation v lands in the first bucket with v <= bound, or in the
+// implicit +Inf bucket past the last bound. Observe is lock-free: two
+// atomic adds plus a CAS loop for the floating-point sum.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefBuckets are default duration buckets in seconds, spanning sub-ms
+// LP solves to multi-second full builds.
+var DefBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 10, 60}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one (metric name, label set) time series.
+type series struct {
+	labels Labels
+	key    string // canonical sorted label key, for dedup and ordering
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family groups every series sharing a metric name. All series of a
+// histogram family share the same bucket bounds.
+type family struct {
+	name   string
+	help   string
+	k      kind
+	bounds []float64
+	series []*series
+}
+
+// A Registry holds metric families and exposes them in Prometheus text
+// or JSON form. Registration and exposition take a mutex; metric
+// updates never do — callers hold direct pointers to the atomics.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: map[string]*family{}} }
+
+// Default is the process-wide registry the solver and service packages
+// register into.
+var Default = NewRegistry()
+
+// Counter registers (or looks up) a counter series. Registration is
+// idempotent: the same name+labels returns the same *Counter, so
+// package-level var blocks in independently-initialized packages are
+// safe. Re-registering a name as a different metric type panics — that
+// is an init-time programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.register(name, help, kindCounter, nil, labels).counter
+}
+
+// Gauge registers (or looks up) a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.register(name, help, kindGauge, nil, labels).gauge
+}
+
+// Histogram registers (or looks up) a histogram series. bounds must be
+// strictly increasing and finite; nil selects DefBuckets. Bounds are
+// fixed by the first registration of the family.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels) *Histogram {
+	return r.register(name, help, kindHistogram, bounds, labels).hist
+}
+
+func (r *Registry) register(name, help string, k kind, bounds []float64, labels Labels) *series {
+	mustValidMetricName(name)
+	for ln := range labels {
+		mustValidLabelName(name, ln)
+	}
+	key := labelKey(labels)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, k: k}
+		if k == kindHistogram {
+			if bounds == nil {
+				bounds = DefBuckets
+			}
+			mustValidBounds(name, bounds)
+			f.bounds = append([]float64(nil), bounds...)
+		}
+		r.fams[name] = f
+	} else if f.k != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, re-registered as %s", name, f.k, k))
+	}
+	for _, s := range f.series {
+		if s.key == key {
+			return s
+		}
+	}
+	s := &series{labels: cloneLabels(labels), key: key}
+	switch k {
+	case kindCounter:
+		s.counter = &Counter{}
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		s.hist = &Histogram{
+			bounds:  f.bounds,
+			buckets: make([]atomic.Uint64, len(f.bounds)+1),
+		}
+	}
+	f.series = append(f.series, s)
+	return s
+}
+
+// sorted returns families ordered by name and, within each, series
+// ordered by label key, for deterministic exposition.
+func (r *Registry) snapshotLocked() []*family {
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].key < f.series[j].key })
+	}
+	return fams
+}
+
+func cloneLabels(l Labels) Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// labelKey is the canonical sorted k=v encoding used to dedup series.
+func labelKey(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(l[k])
+	}
+	return b.String()
+}
+
+func mustValidMetricName(name string) {
+	if !validName(name, true) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+func mustValidLabelName(metric, label string) {
+	if !validName(label, false) || strings.HasPrefix(label, "__") {
+		panic(fmt.Sprintf("obs: metric %q: invalid label name %q", metric, label))
+	}
+}
+
+// validName checks the Prometheus identifier grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* (colons allowed in metric names only).
+func validName(s string, allowColon bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		case c == ':' && allowColon:
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func mustValidBounds(name string, bounds []float64) {
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram %q: bucket bound %v is not finite", name, b))
+		}
+		if i > 0 && bounds[i-1] >= b {
+			panic(fmt.Sprintf("obs: histogram %q: bucket bounds not strictly increasing at index %d", name, i))
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops", nil)
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("test_depth", "depth", nil)
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "h", Labels{"k": "v"})
+	b := r.Counter("test_total", "h", Labels{"k": "v"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	other := r.Counter("test_total", "h", Labels{"k": "w"})
+	if a == other {
+		t.Fatal("distinct label values share a series")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "h", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_total", "h", nil)
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	for _, bad := range []string{"", "0starts_with_digit", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("metric name %q did not panic", bad)
+				}
+			}()
+			NewRegistry().Counter(bad, "h", nil)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("label name with colon did not panic")
+			}
+		}()
+		NewRegistry().Counter("ok_total", "h", Labels{"bad:label": "v"})
+	}()
+}
+
+// TestPrometheusExposition is the table-driven text-format check:
+// help/label escaping, type lines, histogram bucket layout.
+func TestPrometheusExposition(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(r *Registry)
+		want  []string // exact lines that must appear
+	}{
+		{
+			name: "plain counter",
+			build: func(r *Registry) {
+				r.Counter("mc_ops_total", "Total ops.", nil).Add(3)
+			},
+			want: []string{
+				"# HELP mc_ops_total Total ops.",
+				"# TYPE mc_ops_total counter",
+				"mc_ops_total 3",
+			},
+		},
+		{
+			name: "labeled counter with escaping",
+			build: func(r *Registry) {
+				r.Counter("mc_calls_total", "Calls.", Labels{"evaluator": `ex"act\lp` + "\n2d"}).Inc()
+			},
+			want: []string{
+				`mc_calls_total{evaluator="ex\"act\\lp\n2d"} 1`,
+			},
+		},
+		{
+			name: "help escaping",
+			build: func(r *Registry) {
+				r.Gauge("mc_depth", "Line one\nline \\ two.", nil).Set(-5)
+			},
+			want: []string{
+				`# HELP mc_depth Line one\nline \\ two.`,
+				"# TYPE mc_depth gauge",
+				"mc_depth -5",
+			},
+		},
+		{
+			name: "histogram cumulative buckets",
+			build: func(r *Registry) {
+				h := r.Histogram("mc_dur_seconds", "Duration.", []float64{0.1, 1, 10}, nil)
+				h.Observe(0.05) // bucket 0.1
+				h.Observe(0.1)  // le is inclusive: still bucket 0.1
+				h.Observe(5)    // bucket 10
+				h.Observe(99)   // +Inf only
+			},
+			want: []string{
+				"# TYPE mc_dur_seconds histogram",
+				`mc_dur_seconds_bucket{le="0.1"} 2`,
+				`mc_dur_seconds_bucket{le="1"} 2`,
+				`mc_dur_seconds_bucket{le="10"} 3`,
+				`mc_dur_seconds_bucket{le="+Inf"} 4`,
+				"mc_dur_seconds_sum 104.15",
+				"mc_dur_seconds_count 4",
+			},
+		},
+		{
+			name: "labeled histogram keeps le last",
+			build: func(r *Registry) {
+				r.Histogram("mc_lat_seconds", "Latency.", []float64{1}, Labels{"op": "build"}).Observe(0.5)
+			},
+			want: []string{
+				`mc_lat_seconds_bucket{op="build",le="1"} 1`,
+				`mc_lat_seconds_bucket{op="build",le="+Inf"} 1`,
+				`mc_lat_seconds_sum{op="build"} 0.5`,
+				`mc_lat_seconds_count{op="build"} 1`,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			tc.build(r)
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Fatalf("WritePrometheus: %v", err)
+			}
+			got := b.String()
+			lines := map[string]bool{}
+			for _, ln := range strings.Split(got, "\n") {
+				lines[ln] = true
+			}
+			for _, w := range tc.want {
+				if !lines[w] {
+					t.Errorf("missing line %q in exposition:\n%s", w, got)
+				}
+			}
+			// Every exposition must parse back cleanly.
+			if _, err := ParsePrometheus(strings.NewReader(got)); err != nil {
+				t.Errorf("ParsePrometheus rejected own exposition: %v\n%s", err, got)
+			}
+		})
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mc_a_total", "a", nil).Add(7)
+	r.Counter("mc_b_total", "b", Labels{"k": `v"w\x` + "\ny"}).Add(2)
+	r.Gauge("mc_g", "g", nil).Set(-3)
+	r.Histogram("mc_h_seconds", "h", []float64{1, 2}, nil).Observe(1.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v\n%s", err, b.String())
+	}
+	flat := r.Flatten()
+	if len(flat) == 0 {
+		t.Fatal("Flatten returned nothing")
+	}
+	for k, v := range flat {
+		got, ok := parsed[k]
+		if !ok {
+			t.Errorf("parsed output missing %q; have %v", k, parsed)
+			continue
+		}
+		if math.Abs(got-v) > 1e-9 {
+			t.Errorf("%s: parsed %v, flattened %v", k, got, v)
+		}
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"mc_ok 1\n0bad_name 2\n",
+		"mc_ok{unclosed=\"v\" 1\n",
+		"mc_ok{k=\"v\"} notanumber\n",
+		"mc_ok{k=unquoted} 1\n",
+		"# TYPE mc_ok wat\n",
+		"mc_ok{k=\"v\\q\"} 1\n", // bad escape
+	}
+	for _, in := range bad {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("ParsePrometheus accepted malformed input %q", in)
+		}
+	}
+}
+
+// TestHistogramInvariants checks the cumulative-bucket and +Inf
+// invariants against a spread of observations.
+func TestHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mc_inv_seconds", "inv", []float64{0.01, 0.1, 1, 10}, nil)
+	vals := []float64{0.001, 0.01, 0.05, 0.5, 0.99, 1.0, 2, 100, 1e6, 0}
+	var sum float64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != uint64(len(vals)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(vals))
+	}
+	if math.Abs(h.Sum()-sum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), sum)
+	}
+	snap := r.Snapshot()["mc_inv_seconds"]
+	buckets := snap.Series[0].Buckets
+	prev := uint64(0)
+	for _, le := range []string{"0.01", "0.1", "1", "10", "+Inf"} {
+		c, ok := buckets[le]
+		if !ok {
+			t.Fatalf("missing bucket le=%s", le)
+		}
+		if c < prev {
+			t.Fatalf("bucket le=%s count %d < previous %d (not cumulative)", le, c, prev)
+		}
+		prev = c
+	}
+	if buckets["+Inf"] != h.Count() {
+		t.Fatalf("+Inf bucket %d != count %d", buckets["+Inf"], h.Count())
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, gauge, and histogram from
+// many goroutines; totals must be exact. Run under -race in CI.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mc_conc_total", "c", nil)
+	g := r.Gauge("mc_conc_depth", "g", nil)
+	h := r.Histogram("mc_conc_seconds", "h", []float64{0.5}, nil)
+
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(w%2) * 0.75) // half ≤0.5, half +Inf
+				// Concurrent registration of the same series must be safe too.
+				if i%500 == 0 {
+					r.Counter("mc_conc_total", "c", nil)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %d, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	wantSum := float64(workers/2*per) * 0.75
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("histogram sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+func TestEnableGate(t *testing.T) {
+	defer Disable()
+	Disable()
+	if On() {
+		t.Fatal("gate on after Disable")
+	}
+	Enable()
+	if !On() {
+		t.Fatal("gate off after Enable")
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mc_j_total", "j", Labels{"k": "v"}).Add(5)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"mc_j_total"`, `"counter"`, `"value": 5`} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("JSON exposition missing %s:\n%s", want, b.String())
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// A Span is one timed phase of a build: dominance-graph construction, a
+// per-algorithm attempt, loss certification, a repair retry. Spans form
+// a tree; children are appended in start order and may be started from
+// concurrent goroutines (the auto-mode DSMC/SCMC race). Exported fields
+// marshal to JSON inside BuildReport; mutate them only through the
+// methods, which are safe on a nil receiver so call sites never need
+// nil checks.
+type Span struct {
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*Span           `json:"children,omitempty"`
+
+	mu   sync.Mutex
+	done bool
+}
+
+// A Trace is the span tree attached to a BuildReport.
+type Trace struct {
+	Root *Span `json:"root"`
+}
+
+// NewTrace starts a trace whose root span begins now.
+func NewTrace(name string) *Trace {
+	return &Trace{Root: &Span{Name: name, Start: time.Now()}}
+}
+
+// StartChild starts a child span beginning now.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now()}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End fixes the span's duration. Only the first call takes effect.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done {
+		s.done = true
+		s.Duration = time.Since(s.Start)
+	}
+	s.mu.Unlock()
+}
+
+// Ended reports whether End has been called.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
+// SetAttr records a key attribute (requested algorithm, measured loss,
+// error text) on the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string)
+	}
+	s.Attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Attr returns the value recorded for key, or "".
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Attrs[key]
+}
+
+// SpanCount returns the total number of spans in the trace.
+func (t *Trace) SpanCount() int {
+	if t == nil || t.Root == nil {
+		return 0
+	}
+	return countSpans(t.Root)
+}
+
+func countSpans(s *Span) int {
+	s.mu.Lock()
+	kids := s.Children
+	s.mu.Unlock()
+	n := 1
+	for _, c := range kids {
+		n += countSpans(c)
+	}
+	return n
+}
+
+// Find returns the first span (pre-order) whose name matches exactly,
+// or nil.
+func (t *Trace) Find(name string) *Span {
+	if t == nil || t.Root == nil {
+		return nil
+	}
+	return findSpan(t.Root, name)
+}
+
+func findSpan(s *Span, name string) *Span {
+	if s.Name == name {
+		return s
+	}
+	s.mu.Lock()
+	kids := s.Children
+	s.mu.Unlock()
+	for _, c := range kids {
+		if m := findSpan(c, name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// Summary returns a compact one-line digest of the root's direct
+// children — "attempt(optmc)#1=1.2ms attempt(dsmc)#1=3.4ms" — for
+// per-build log lines.
+func (t *Trace) Summary() string {
+	if t == nil || t.Root == nil {
+		return ""
+	}
+	t.Root.mu.Lock()
+	kids := t.Root.Children
+	t.Root.mu.Unlock()
+	parts := make([]string, 0, len(kids))
+	for _, c := range kids {
+		parts = append(parts, fmt.Sprintf("%s=%s", c.Name, roundDur(c.Duration)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Write renders the span tree with box-drawing connectors, durations,
+// and [k=v] attributes — the mccoreset -trace output.
+func (t *Trace) Write(w io.Writer) {
+	if t == nil || t.Root == nil {
+		return
+	}
+	writeSpanTree(w, t.Root, "", "")
+}
+
+// String renders the tree as Write does.
+func (t *Trace) String() string {
+	var b strings.Builder
+	t.Write(&b)
+	return b.String()
+}
+
+func writeSpanTree(w io.Writer, s *Span, connector, childPrefix string) {
+	s.mu.Lock()
+	name := s.Name
+	dur := s.Duration
+	done := s.done
+	attrs := s.Attrs
+	kids := s.Children
+	s.mu.Unlock()
+
+	io.WriteString(w, connector)
+	io.WriteString(w, name)
+	if len(attrs) > 0 {
+		keys := make([]string, 0, len(attrs))
+		for k := range attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		io.WriteString(w, " [")
+		for i, k := range keys {
+			if i > 0 {
+				io.WriteString(w, " ")
+			}
+			fmt.Fprintf(w, "%s=%s", k, attrs[k])
+		}
+		io.WriteString(w, "]")
+	}
+	if done {
+		fmt.Fprintf(w, " %s", roundDur(dur))
+	} else {
+		io.WriteString(w, " (unfinished)")
+	}
+	io.WriteString(w, "\n")
+
+	for i, c := range kids {
+		if i == len(kids)-1 {
+			writeSpanTree(w, c, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			writeSpanTree(w, c, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}
+
+// roundDur trims durations to a readable precision.
+func roundDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+}

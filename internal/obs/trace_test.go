@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	tr := NewTrace("build")
+	a := tr.Root.StartChild("attempt(optmc)#1")
+	b1 := a.StartChild("build-indices")
+	time.Sleep(time.Millisecond)
+	b1.End()
+	c1 := a.StartChild("certify")
+	c1.SetAttr("loss", "0.03")
+	c1.End()
+	a.End()
+	b := tr.Root.StartChild("attempt(dsmc)#1")
+	b.End()
+	tr.Root.End()
+
+	if got := tr.SpanCount(); got != 5 {
+		t.Fatalf("SpanCount = %d, want 5", got)
+	}
+	kids := tr.Root.Children
+	if len(kids) != 2 || kids[0].Name != "attempt(optmc)#1" || kids[1].Name != "attempt(dsmc)#1" {
+		t.Fatalf("root children out of order: %+v", kids)
+	}
+	if names := []string{kids[0].Children[0].Name, kids[0].Children[1].Name}; names[0] != "build-indices" || names[1] != "certify" {
+		t.Fatalf("nested children out of order: %v", names)
+	}
+	if b1.Duration < time.Millisecond {
+		t.Fatalf("build-indices duration %v < sleep", b1.Duration)
+	}
+	if a.Duration < b1.Duration {
+		t.Fatalf("parent duration %v < child %v", a.Duration, b1.Duration)
+	}
+	if got := c1.Attr("loss"); got != "0.03" {
+		t.Fatalf("certify loss attr = %q", got)
+	}
+	if sp := tr.Find("certify"); sp != c1 {
+		t.Fatal("Find(certify) did not return the span")
+	}
+	if tr.Find("nope") != nil {
+		t.Fatal("Find of absent name returned a span")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTrace("build")
+	sp := tr.Root.StartChild("x")
+	sp.End()
+	d := sp.Duration
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if sp.Duration != d {
+		t.Fatal("second End changed the duration")
+	}
+	if !sp.Ended() {
+		t.Fatal("Ended false after End")
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var s *Span
+	if c := s.StartChild("x"); c != nil {
+		t.Fatal("StartChild on nil returned non-nil")
+	}
+	s.End()
+	s.SetAttr("k", "v")
+	if s.Attr("k") != "" || s.Ended() {
+		t.Fatal("nil span leaked state")
+	}
+	var tr *Trace
+	if tr.SpanCount() != 0 || tr.Summary() != "" || tr.String() != "" || tr.Find("x") != nil {
+		t.Fatal("nil trace leaked state")
+	}
+}
+
+func TestTraceRender(t *testing.T) {
+	tr := NewTrace("build")
+	tr.Root.SetAttr("eps", "0.05")
+	a := tr.Root.StartChild("attempt(auto)#1")
+	a.StartChild("dg-build").End()
+	a.StartChild("certify").End()
+	a.End()
+	tr.Root.End()
+
+	out := tr.String()
+	for _, want := range []string{"build [eps=0.05]", "└─ attempt(auto)#1", "├─ dg-build", "└─ certify"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	unfinished := NewTrace("build")
+	unfinished.Root.StartChild("hang")
+	if !strings.Contains(unfinished.String(), "(unfinished)") {
+		t.Errorf("unfinished span not marked:\n%s", unfinished.String())
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	tr := NewTrace("build")
+	tr.Root.StartChild("attempt(optmc)#1").End()
+	tr.Root.StartChild("attempt(dsmc)#1").End()
+	tr.Root.End()
+	sum := tr.Summary()
+	if !strings.Contains(sum, "attempt(optmc)#1=") || !strings.Contains(sum, "attempt(dsmc)#1=") {
+		t.Fatalf("Summary = %q", sum)
+	}
+}
+
+func TestTraceJSON(t *testing.T) {
+	tr := NewTrace("build")
+	tr.Root.StartChild("certify").SetAttr("loss", "0.1")
+	tr.Root.End()
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Root struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name  string            `json:"name"`
+				Attrs map[string]string `json:"attrs"`
+			} `json:"children"`
+		} `json:"root"`
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Root.Name != "build" || len(back.Root.Children) != 1 ||
+		back.Root.Children[0].Name != "certify" || back.Root.Children[0].Attrs["loss"] != "0.1" {
+		t.Fatalf("JSON round trip mangled trace: %s", raw)
+	}
+}
+
+// TestConcurrentChildren mirrors the auto-mode DSMC/SCMC race: children
+// started and annotated from concurrent goroutines. Run under -race.
+func TestConcurrentChildren(t *testing.T) {
+	tr := NewTrace("build")
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := tr.Root.StartChild("racer")
+			sp.SetAttr("i", "x")
+			sp.StartChild("inner").End()
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	tr.Root.End()
+	if got := tr.SpanCount(); got != 1+2*n {
+		t.Fatalf("SpanCount = %d, want %d", got, 1+2*n)
+	}
+}

@@ -1,0 +1,13 @@
+package stream
+
+import "mincore/internal/obs"
+
+// Hot-path counters for the per-point champion update. Feed counts the
+// improvements locally and records them with two atomic adds per point,
+// behind the obs.On() gate: one atomic load when observability is off.
+var (
+	mPoints = obs.Default.Counter("mincore_stream_points_total",
+		"Points consumed by streaming summaries.", nil)
+	mChampionUpdates = obs.Default.Counter("mincore_stream_champion_updates_total",
+		"Direction-champion slots improved by an incoming point.", nil)
+)

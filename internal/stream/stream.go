@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 
+	"mincore/internal/obs"
+
 	"mincore/internal/geom"
 	"mincore/internal/sphere"
 )
@@ -93,14 +95,20 @@ func (s *Summary) Feed(p geom.Vector) error {
 			return fmt.Errorf("%w: coordinate %d is %v", ErrInvalidPoint, j, v)
 		}
 	}
+	updates := 0
 	for k, u := range s.dirs {
 		v := geom.Dot(p, u)
 		if s.best[k] == nil || v > s.bestV[k] {
 			s.best[k] = p.Clone()
 			s.bestV[k] = v
+			updates++
 		}
 	}
 	s.n++
+	if obs.On() {
+		mPoints.Inc()
+		mChampionUpdates.Add(uint64(updates))
+	}
 	return nil
 }
 

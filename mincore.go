@@ -43,6 +43,7 @@ import (
 	"mincore/internal/core"
 	"mincore/internal/faultinject"
 	"mincore/internal/geom"
+	"mincore/internal/obs"
 	"mincore/internal/sphere"
 	"mincore/internal/transform"
 	"mincore/internal/voronoi"
@@ -332,18 +333,31 @@ func (c *Coreseter) CoresetCtx(ctx context.Context, eps float64, algo Algorithm)
 		return nil, err
 	}
 	if c.opts.SkipCertify {
-		idx, err := c.buildIndices(ctx, c.inst, eps, algo)
+		tr := obs.NewTrace("build")
+		tr.Root.SetAttr("requested", string(algo))
+		tr.Root.SetAttr("eps", fmt.Sprintf("%g", eps))
+		sp := tr.Root.StartChild(fmt.Sprintf("attempt(%s)#1", algo))
+		bsp := sp.StartChild("build-indices")
+		idx, err := c.buildIndices(ctx, c.inst, eps, algo, bsp)
+		bsp.End()
 		if err != nil {
 			return nil, err
 		}
+		// The loss is still measured (it is part of the result), just not
+		// enforced; the span keeps the name so traces read uniformly.
+		msp := sp.StartChild("measure-loss")
 		q, err := c.wrap(ctx, idx, eps, algo)
+		msp.End()
 		if err != nil {
 			return nil, err
 		}
+		msp.SetAttr("loss", fmt.Sprintf("%.6g", q.Loss))
+		sp.End()
+		tr.Root.End()
 		q.Report = &BuildReport{
 			Requested: algo, Algorithm: algo, Eps: eps,
 			CertifiedLoss: q.Loss, Certified: q.Loss <= eps+certTol,
-			Attempts: 1,
+			Attempts: 1, Trace: tr,
 		}
 		return q, nil
 	}
@@ -388,27 +402,41 @@ func (c *Coreseter) FixedSize(r int, algo Algorithm) (*Coreset, error) {
 // ErrInfeasible.
 func (c *Coreseter) FixedSizeCtx(ctx context.Context, r int, algo Algorithm) (*Coreset, error) {
 	start := time.Now()
+	tr := obs.NewTrace("fixed-size-build")
+	tr.Root.SetAttr("requested", string(algo))
+	tr.Root.SetAttr("budget", fmt.Sprintf("%d", r))
 	attempts := 0
 	solve := func(eps float64) ([]int, error) {
 		attempts++
+		psp := tr.Root.StartChild(fmt.Sprintf("probe#%d", attempts))
+		psp.SetAttr("eps", fmt.Sprintf("%.6g", eps))
 		q, err := c.CoresetCtx(ctx, eps, algo)
+		psp.End()
 		if err != nil {
+			psp.SetAttr("error", err.Error())
 			return nil, err
 		}
+		psp.SetAttr("size", fmt.Sprintf("%d", len(q.Indices)))
 		return q.Indices, nil
 	}
 	idx, eps, err := core.DualSolve(r, solve, 20)
 	if err != nil {
+		tr.Root.End()
 		return nil, err
 	}
+	csp := tr.Root.StartChild("certify")
 	q, err := c.wrap(ctx, idx, eps, algo)
+	csp.End()
 	if err != nil {
+		tr.Root.End()
 		return nil, err
 	}
+	csp.SetAttr("loss", fmt.Sprintf("%.6g", q.Loss))
+	tr.Root.End()
 	rep := &BuildReport{
 		Requested: algo, Algorithm: algo, Eps: eps,
 		CertifiedLoss: q.Loss, Certified: q.Loss <= eps+certTol,
-		Attempts: attempts, Wall: time.Since(start),
+		Attempts: attempts, Wall: time.Since(start), Trace: tr,
 	}
 	q.Report = rep
 	if !rep.Certified && !c.opts.SkipCertify {

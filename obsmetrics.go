@@ -1,0 +1,48 @@
+package mincore
+
+import "mincore/internal/obs"
+
+// Build-pipeline metrics. These sit on per-build boundaries — a handful
+// of updates per certification run, never inside the LP or pair loops —
+// so they are recorded unconditionally rather than behind obs.On().
+var (
+	mBuildAttempts = obs.Default.Counter("mincore_build_attempts_total",
+		"Build attempts across first tries, retries, and fallbacks.", nil)
+	mBuildRetries = obs.Default.Counter("mincore_build_retries_total",
+		"Re-seeded perturbation retries taken by the repair pipeline.", nil)
+	mFallbackHops = obs.Default.Counter("mincore_build_fallback_hops_total",
+		"Fallback-chain hops to a different algorithm.", nil)
+	mBuildsCertified = obs.Default.Counter("mincore_builds_total",
+		"Completed certification pipelines by outcome.", obs.Labels{"outcome": "certified"})
+	mBuildsUncertified = obs.Default.Counter("mincore_builds_total",
+		"Completed certification pipelines by outcome.", obs.Labels{"outcome": "uncertified"})
+)
+
+// Ingest-service metrics. Like the build metrics these are per-batch /
+// per-checkpoint / per-request events, so they record unconditionally.
+var (
+	mIngestBatches = obs.Default.Counter("mincore_ingest_batches_total",
+		"Batches accepted into the ingest queue.", nil)
+	mIngestPoints = obs.Default.Counter("mincore_ingest_points_total",
+		"Points applied to a summary shard.", nil)
+	mIngestShed = obs.Default.Counter("mincore_ingest_shed_points_total",
+		"Points shed because the ingest queue was full.", nil)
+	mIngestInvalid = obs.Default.Counter("mincore_ingest_invalid_points_total",
+		"Points rejected as invalid (NaN/Inf or wrong dimension).", nil)
+	mQueueDepth = obs.Default.Gauge("mincore_ingest_queue_depth",
+		"Batches currently waiting in the ingest queue.", nil)
+	mWorkerPanics = obs.Default.Counter("mincore_worker_panics_total",
+		"Panics recovered by the ingest and checkpoint supervisors.", nil)
+	mCkptSaves = obs.Default.Counter("mincore_checkpoint_saves_total",
+		"Durable checkpoint generations written.", nil)
+	mCkptFailures = obs.Default.Counter("mincore_checkpoint_failures_total",
+		"Checkpoint save attempts that failed.", nil)
+	mCkptDuration = obs.Default.Histogram("mincore_checkpoint_duration_seconds",
+		"Wall time of checkpoint saves (merge + atomic write), in seconds.", nil, nil)
+	mServeBuilds = obs.Default.Counter("mincore_serve_build_requests_total",
+		"Coreset build requests admitted by the service.", nil)
+	mServeShed = obs.Default.Counter("mincore_serve_builds_shed_total",
+		"Coreset build requests shed by admission control.", nil)
+	mServeBuildDuration = obs.Default.Histogram("mincore_serve_build_duration_seconds",
+		"Wall time of served coreset builds, in seconds.", nil, nil)
+)

@@ -11,6 +11,7 @@ import (
 	"mincore/internal/core"
 	"mincore/internal/geom"
 	"mincore/internal/kernel"
+	"mincore/internal/obs"
 	"mincore/internal/parallel"
 	"mincore/internal/stream"
 )
@@ -102,7 +103,10 @@ func (c *Coreseter) validateRequest(eps float64, algo Algorithm) error {
 // buildCertified runs the verify-and-repair pipeline for one request.
 func (c *Coreseter) buildCertified(ctx context.Context, eps float64, algo Algorithm) (*Coreset, error) {
 	start := time.Now()
-	rep := &BuildReport{Requested: algo, Eps: eps}
+	tr := obs.NewTrace("build")
+	tr.Root.SetAttr("requested", string(algo))
+	tr.Root.SetAttr("eps", fmt.Sprintf("%g", eps))
+	rep := &BuildReport{Requested: algo, Eps: eps, Trace: tr}
 	certEps := eps
 	if algo == Auto && c.Dim() == 1 {
 		certEps = math.Max(eps, 0) // loss of the 1D 0-coreset is exactly 0
@@ -113,44 +117,69 @@ func (c *Coreseter) buildCertified(ctx context.Context, eps float64, algo Algori
 	for _, a := range fallbackChain(algo) {
 		if a != algo {
 			rep.Fallbacks = append(rep.Fallbacks, "fallback("+string(a)+")")
+			mFallbackHops.Inc()
 		}
 		for attempt := 0; attempt <= retries; attempt++ {
 			if err := ctx.Err(); err != nil {
+				tr.Root.End()
 				return nil, err
 			}
+			sp := tr.Root.StartChild(fmt.Sprintf("attempt(%s)#%d", a, attempt+1))
 			inst := c.inst
 			if attempt > 0 {
 				rep.Retries++
+				mBuildRetries.Inc()
 				rep.Fallbacks = append(rep.Fallbacks, fmt.Sprintf("retry(%s)#%d", a, attempt))
+				jsp := sp.StartChild("reperturb")
 				var jerr error
 				inst, jerr = c.jitteredInstance(attempt)
+				jsp.End()
 				if jerr != nil {
+					jsp.SetAttr("error", jerr.Error())
+					sp.End()
 					attemptErrs = append(attemptErrs, jerr)
 					continue
 				}
 			}
 			rep.Attempts++
-			idx, err := c.buildIndices(ctx, inst, eps, a)
+			mBuildAttempts.Inc()
+			bsp := sp.StartChild("build-indices")
+			idx, err := c.buildIndices(ctx, inst, eps, a, bsp)
+			bsp.End()
 			if err != nil {
+				bsp.SetAttr("error", err.Error())
+				sp.End()
 				if !repairable(err) {
+					tr.Root.End()
 					return nil, err
 				}
 				attemptErrs = append(attemptErrs, err)
 				continue
 			}
+			bsp.SetAttr("size", fmt.Sprintf("%d", len(idx)))
+			csp := sp.StartChild("certify")
 			q, err := c.wrap(ctx, idx, eps, a)
+			csp.End()
 			if err != nil {
+				csp.SetAttr("error", err.Error())
+				sp.End()
 				if !repairable(err) {
+					tr.Root.End()
 					return nil, err
 				}
 				attemptErrs = append(attemptErrs, err)
 				continue
 			}
+			csp.SetAttr("loss", fmt.Sprintf("%.6g", q.Loss))
+			sp.End()
 			if q.Loss <= certEps+certTol {
 				rep.Algorithm = a
 				rep.CertifiedLoss = q.Loss
 				rep.Certified = true
 				rep.Wall = time.Since(start)
+				tr.Root.SetAttr("algorithm", string(a))
+				tr.Root.End()
+				mBuildsCertified.Inc()
 				q.Report = rep
 				return q, nil
 			}
@@ -162,6 +191,8 @@ func (c *Coreseter) buildCertified(ctx context.Context, eps float64, algo Algori
 		}
 	}
 	rep.Wall = time.Since(start)
+	tr.Root.End()
+	mBuildsUncertified.Inc()
 	if best != nil {
 		rep.Algorithm = best.Algorithm
 		rep.CertifiedLoss = best.Loss
@@ -191,26 +222,48 @@ func (c *Coreseter) jitteredInstance(attempt int) (*core.Instance, error) {
 
 // buildIndices runs one algorithm against one instance and returns raw
 // coreset indices. It never recurses into the certified path, so repair
-// attempts cannot trigger nested repair chains.
-func (c *Coreseter) buildIndices(ctx context.Context, inst *core.Instance, eps float64, algo Algorithm) ([]int, error) {
+// attempts cannot trigger nested repair chains. Phase spans are recorded
+// under sp (nil-safe: a nil span just skips tracing).
+func (c *Coreseter) buildIndices(ctx context.Context, inst *core.Instance, eps float64, algo Algorithm, sp *obs.Span) ([]int, error) {
 	switch algo {
 	case Auto:
-		return c.autoIndices(ctx, inst, eps)
+		return c.autoIndices(ctx, inst, eps, sp)
 	case OptMC:
-		return inst.OptMC(eps)
+		osp := sp.StartChild("optmc")
+		idx, err := inst.OptMC(eps)
+		osp.End()
+		return idx, err
 	case DSMC:
+		dsp := sp.StartChild("dg-build")
 		dg, err := c.dgFor(ctx, inst)
+		dsp.End()
 		if err != nil {
+			dsp.SetAttr("error", err.Error())
 			return nil, err
 		}
-		return inst.DSMCRefinedCtx(ctx, dg, eps, 8)
+		dsp.SetAttr("cells", fmt.Sprintf("%d", dg.Xi))
+		dsp.SetAttr("lps", fmt.Sprintf("%d", dg.NumLPs))
+		dsp.SetAttr("edges", fmt.Sprintf("%d", dg.NumEdges))
+		gsp := sp.StartChild("dsmc-greedy")
+		idx, err := inst.DSMCRefinedCtx(ctx, dg, eps, 8)
+		gsp.End()
+		return idx, err
 	case SCMC:
-		idx, _, err := inst.SCMCCtx(ctx, eps, core.SCMCOptions{Seed: c.opts.Seed})
+		ssp := sp.StartChild("scmc")
+		idx, m, err := inst.SCMCCtx(ctx, eps, core.SCMCOptions{Seed: c.opts.Seed})
+		ssp.SetAttr("samples", fmt.Sprintf("%d", m))
+		ssp.End()
 		return idx, err
 	case ANN:
-		return kernel.ANN(inst.Pts, eps, kernel.Options{Seed: c.opts.Seed, Alpha: inst.Alpha})
+		asp := sp.StartChild("ann-kernel")
+		idx, err := kernel.ANN(inst.Pts, eps, kernel.Options{Seed: c.opts.Seed, Alpha: inst.Alpha})
+		asp.End()
+		return idx, err
 	case StreamSketch:
-		return c.streamSketch(inst, eps)
+		ssp := sp.StartChild("stream-sketch")
+		idx, err := c.streamSketch(inst, eps)
+		ssp.End()
+		return idx, err
 	default:
 		return nil, fmt.Errorf("%w %q", ErrUnknownAlgorithm, algo)
 	}
@@ -219,24 +272,32 @@ func (c *Coreseter) buildIndices(ctx context.Context, inst *core.Instance, eps f
 // autoIndices is the Auto policy over raw index builds: OptMC in 2D,
 // otherwise the smaller of DSMC and SCMC, raced on separate goroutines
 // when the worker budget allows.
-func (c *Coreseter) autoIndices(ctx context.Context, inst *core.Instance, eps float64) ([]int, error) {
+func (c *Coreseter) autoIndices(ctx context.Context, inst *core.Instance, eps float64, sp *obs.Span) ([]int, error) {
 	if inst.D == 1 {
 		// Trivial case (Section 3): the two coordinate extremes are an
 		// optimal 0-coreset.
-		return inst.MC1D()
+		msp := sp.StartChild("mc1d")
+		idx, err := inst.MC1D()
+		msp.End()
+		return idx, err
 	}
 	var errOpt error
 	if inst.D == 2 {
+		osp := sp.StartChild("optmc")
 		idx, err := inst.OptMC(eps)
+		osp.End()
 		if err == nil {
 			return idx, nil
 		}
+		osp.SetAttr("error", err.Error())
 		errOpt = err // kept for the composite error below
 	}
+	// The DSMC/SCMC race may start spans concurrently; Span appends are
+	// mutex-guarded so both children land under sp in start order.
 	var qd, qs []int
 	var errD, errS error
-	runD := func() { qd, errD = c.buildIndices(ctx, inst, eps, DSMC) }
-	runS := func() { qs, errS = c.buildIndices(ctx, inst, eps, SCMC) }
+	runD := func() { qd, errD = c.buildIndices(ctx, inst, eps, DSMC, sp) }
+	runS := func() { qs, errS = c.buildIndices(ctx, inst, eps, SCMC, sp) }
 	if parallel.Workers(c.opts.Workers) > 1 {
 		parallel.Do(runD, runS)
 	} else {

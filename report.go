@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mincore/internal/core"
+	"mincore/internal/obs"
 )
 
 // certTol is the slack allowed between a coreset's measured exact loss
@@ -60,6 +61,11 @@ type BuildReport struct {
 	// Checkpoint is the durable-snapshot provenance of the stream state
 	// a build was served from; nil for plain batch builds.
 	Checkpoint *CheckpointMeta
+	// Trace is the phase-level span tree of the build: dominance-graph
+	// construction, each per-algorithm attempt, loss certification, and
+	// repair retries, with durations and key attributes. Rendered by
+	// `mccoreset -trace` and returned inside mcserve build responses.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 // CheckpointMeta describes the durable checkpoint backing a coreset

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_observability.json: machine-readable hot-path timings
+# (ns/op, B/op, allocs/op), the observability disabled-vs-enabled
+# overhead on the dominance-graph build, and the post-run metric-registry
+# counters. Runs the in-process harness in benchjson_test.go, which is
+# env-gated so the normal test suite never pays for it.
+#
+# Usage: scripts/bench_json.sh [output-path]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_observability.json}"
+case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
+
+MINCORE_BENCH_JSON="$out" go test -run '^TestWriteBenchJSON$' -count=1 -v -timeout 1800s .
+echo "wrote $out"

@@ -30,4 +30,12 @@ done
 echo "== chaos kill/restore matrix"
 go test -race -count=1 -run 'TestChaosKillRestoreMatrix' .
 
+# Observability: the metrics registry and exposition under the race
+# detector, plus an end-to-end smoke — the mcserve tests stand up the
+# real route table, scrape /metrics, and validate the scrape with the
+# strict Prometheus text parser (>= 10 mincore_ families required).
+echo "== observability (metrics registry, /metrics smoke, trace spans)"
+GOMAXPROCS=4 go test -race -count=1 ./internal/obs/ ./cmd/mcserve/
+go test -count=1 -run 'TestTrace|TestServiceStatsCheckpointLag' .
+
 echo "verify: OK"

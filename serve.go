@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"runtime/debug"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"mincore/internal/geom"
+	"mincore/internal/obs"
 	"mincore/internal/snapshot"
 	"mincore/internal/stream"
 )
@@ -116,6 +118,10 @@ type ServeOptions struct {
 	// BuildWorkers is the Options.Workers value for served builds
 	// (0 = GOMAXPROCS).
 	BuildWorkers int
+	// Logger receives the service's structured logs: checkpoint
+	// failures and backoff, recovered worker panics, shed batches and
+	// builds. Nil keeps the library default of discarding everything.
+	Logger *slog.Logger
 }
 
 func (o *ServeOptions) withDefaults() (ServeOptions, error) {
@@ -171,8 +177,11 @@ type ServiceStats struct {
 	CheckpointGeneration uint64
 	CheckpointPoints     int
 	CheckpointFailures   int
-	// LastCheckpoint is when the last durable generation was written.
+	// LastCheckpoint is when the last durable generation was written;
+	// CheckpointLag is the time elapsed since then (0 until the first
+	// generation exists) — the staleness window operators alert on.
 	LastCheckpoint time.Time
+	CheckpointLag  time.Duration
 	// LastError is the most recent worker panic or checkpoint failure
 	// (nil when healthy).
 	LastError error
@@ -192,6 +201,7 @@ type shard struct {
 // crash: abandons everything unflushed).
 type IngestService struct {
 	opts ServeOptions
+	log  *slog.Logger
 
 	queue    chan [][]float64
 	buildSem chan struct{}
@@ -237,8 +247,13 @@ func NewIngestService(opts ServeOptions) (*IngestService, error) {
 	if err != nil {
 		return nil, err
 	}
+	logger := o.Logger
+	if logger == nil {
+		logger = obs.Discard()
+	}
 	s := &IngestService{
 		opts:     o,
+		log:      obs.Component(logger, "ingest-service"),
 		queue:    make(chan [][]float64, o.QueueSize),
 		buildSem: make(chan struct{}, o.MaxInflightBuilds),
 	}
@@ -261,6 +276,10 @@ func NewIngestService(opts ServeOptions) (*IngestService, error) {
 			s.lastCkpt = meta
 			s.lastCkptN = sum.N()
 			s.ckptMu.Unlock()
+			s.log.Info("restored snapshot",
+				slog.Uint64("generation", meta.Generation),
+				slog.Int("points", sum.N()),
+				slog.String("path", o.SnapshotPath))
 		case errors.Is(err, os.ErrNotExist):
 			// Fresh start.
 		default:
@@ -297,6 +316,7 @@ func (s *IngestService) Feed(pts ...Point) error {
 	for i, p := range pts {
 		if err := validatePoint(p, s.opts.Dim, i); err != nil {
 			s.invalid.Add(int64(len(pts)))
+			mIngestInvalid.Add(uint64(len(pts)))
 			return err
 		}
 		batch[i] = geom.Vector(p).Clone()
@@ -308,9 +328,15 @@ func (s *IngestService) Feed(pts ...Point) error {
 	}
 	select {
 	case s.queue <- batch:
+		mIngestBatches.Inc()
+		mQueueDepth.Set(int64(len(s.queue)))
 		return nil
 	default:
 		s.rejected.Add(int64(len(pts)))
+		mIngestShed.Add(uint64(len(pts)))
+		s.log.Debug("ingest queue full; batch shed",
+			slog.Int("points", len(pts)),
+			slog.Int("queue_size", s.opts.QueueSize))
 		return fmt.Errorf("%w: ingest queue full (%d batches)", ErrOverloaded, s.opts.QueueSize)
 	}
 }
@@ -342,6 +368,7 @@ func (s *IngestService) worker(i int) {
 				return
 			}
 			s.ingestBatch(i, batch)
+			mQueueDepth.Set(int64(len(s.queue)))
 		}
 	}
 }
@@ -355,7 +382,13 @@ func (s *IngestService) ingestBatch(i int, batch [][]float64) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
-			s.lastErr.Store(&errBox{err: &WorkerPanicError{Worker: i, Value: r, Stack: debug.Stack()}})
+			mWorkerPanics.Inc()
+			pe := &WorkerPanicError{Worker: i, Value: r, Stack: debug.Stack()}
+			s.lastErr.Store(&errBox{err: pe})
+			s.log.Error("ingest worker panic recovered; batch dropped",
+				slog.Int("worker", i),
+				slog.Any("panic", r),
+				slog.Int("batch_points", len(batch)))
 		}
 	}()
 	sh := s.shards[i]
@@ -369,9 +402,11 @@ func (s *IngestService) ingestBatch(i int, batch [][]float64) {
 			// Feed pre-validated the batch; a rejection here means the
 			// point mutated in flight — count it, keep the shard sound.
 			s.invalid.Add(1)
+			mIngestInvalid.Inc()
 			continue
 		}
 		s.ingested.Add(1)
+		mIngestPoints.Inc()
 	}
 }
 
@@ -431,6 +466,7 @@ func (s *IngestService) Checkpoint() error {
 	if s.store == nil {
 		return nil
 	}
+	start := time.Now()
 	sum, err := s.mergedSummary()
 	if err != nil {
 		return err
@@ -440,12 +476,22 @@ func (s *IngestService) Checkpoint() error {
 	meta, err := s.store.Save(sum)
 	if err != nil {
 		s.ckptFailures++
+		mCkptFailures.Inc()
 		s.lastErr.Store(&errBox{err: fmt.Errorf("mincore: checkpoint: %w", err)})
+		s.log.Warn("checkpoint save failed",
+			slog.Int("consecutive_failures", s.ckptFailures),
+			slog.Any("error", err))
 		return err
 	}
 	s.lastCkpt = meta
 	s.lastCkptN = sum.N()
 	s.ckptFailures = 0
+	mCkptSaves.Inc()
+	mCkptDuration.Observe(time.Since(start).Seconds())
+	s.log.Debug("checkpoint saved",
+		slog.Uint64("generation", meta.Generation),
+		slog.Int("points", sum.N()),
+		slog.Duration("took", time.Since(start)))
 	return nil
 }
 
@@ -468,6 +514,9 @@ func (s *IngestService) checkpointLoop() {
 				if interval > s.opts.CheckpointBackoffMax {
 					interval = s.opts.CheckpointBackoffMax
 				}
+				s.log.Warn("checkpoint loop backing off",
+					slog.Duration("next_attempt_in", interval),
+					slog.Any("error", err))
 			} else {
 				interval = base
 			}
@@ -482,8 +531,10 @@ func (s *IngestService) supervisedCheckpoint() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
+			mWorkerPanics.Inc()
 			pe := &WorkerPanicError{Worker: -1, Value: r, Stack: debug.Stack()}
 			s.lastErr.Store(&errBox{err: pe})
+			s.log.Error("checkpoint panic recovered", slog.Any("panic", r))
 			err = pe
 		}
 	}()
@@ -511,10 +562,16 @@ func (s *IngestService) Coreset(ctx context.Context, eps float64, algo Algorithm
 	case s.buildSem <- struct{}{}:
 	default:
 		s.shed.Add(1)
+		mServeShed.Inc()
+		s.log.Debug("build request shed",
+			slog.Int("max_inflight", s.opts.MaxInflightBuilds))
 		return nil, fmt.Errorf("%w: %d builds in flight", ErrOverloaded, s.opts.MaxInflightBuilds)
 	}
 	defer func() { <-s.buildSem }()
 	s.builds.Add(1)
+	mServeBuilds.Inc()
+	buildStart := time.Now()
+	defer func() { mServeBuildDuration.Observe(time.Since(buildStart).Seconds()) }()
 
 	sum, err := s.mergedSummary()
 	if err != nil {
@@ -577,6 +634,9 @@ func (s *IngestService) Stats() ServiceStats {
 	st.CheckpointPoints = s.lastCkptN
 	st.CheckpointFailures = s.ckptFailures
 	st.LastCheckpoint = s.lastCkpt.SavedAt
+	if !s.lastCkpt.SavedAt.IsZero() {
+		st.CheckpointLag = time.Since(s.lastCkpt.SavedAt)
+	}
 	s.ckptMu.Unlock()
 	if box := s.lastErr.Load(); box != nil {
 		st.LastError = box.err
