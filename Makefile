@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-workers bench-json faults fuzz chaos
+.PHONY: build test vet race verify bench bench-workers bench-json bench-cache faults fuzz chaos
 
 build:
 	$(GO) build ./...
@@ -58,3 +58,9 @@ bench-workers:
 # disabled-vs-enabled overhead, and the post-run metric counters.
 bench-json:
 	./scripts/bench_json.sh
+
+# Regenerate the cache benchmark snapshot (BENCH_cache.json): warm-vs-
+# cold ns/op for repeated identical builds (>= 50x required) and the
+# FixedSize full-build counts with and without a primed cache.
+bench-cache:
+	./scripts/bench_cache.sh

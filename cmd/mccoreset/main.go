@@ -6,6 +6,7 @@
 //	mccoreset -data normal-2d -n 10000 -eps 0.05 -algo optmc
 //	mccoreset -data airquality -eps 0.1 -algo dsmc -out coreset.csv
 //	mccoreset -in points.csv -eps 0.05 -algo auto
+//	mccoreset -data normal-4d -sweep 0.02,0.05,0.1 -algo dsmc
 //
 // Built-in dataset names are those of internal/data (Table 1 stand-ins
 // and normal-<d>d / uniform-<d>d); -in reads a headerless CSV of floats
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"mincore"
@@ -42,6 +44,7 @@ func main() {
 	eps := flag.Float64("eps", 0.1, "error parameter ε ∈ (0,1)")
 	algo := flag.String("algo", "auto", "algorithm: auto, optmc, dsmc, scmc, ann")
 	size := flag.Int("size", 0, "solve the dual problem: best coreset of at most this size (overrides -eps)")
+	sweep := flag.String("sweep", "", "comma-separated ε ladder to build in one batch (overrides -eps and -size), e.g. 0.02,0.05,0.1")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "worker-pool size for the parallel hot paths (0 = GOMAXPROCS, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit)")
@@ -71,6 +74,10 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *sweep != "" {
+		runSweep(ctx, cs, name, *sweep, mincore.Algorithm(*algo), prepTime)
+		return
 	}
 	start = time.Now()
 	var q *mincore.Coreset
@@ -128,6 +135,53 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("coreset written to %s\n", *out)
+	}
+}
+
+// runSweep drives the batched ε-ladder API: one CoresetSweep call builds
+// every requested ε, sharing the dominance graph / SCMC substrate and
+// the build cache across the ladder, and prints one row per ε.
+func runSweep(ctx context.Context, cs *mincore.Coreseter, name, spec string, algo mincore.Algorithm, prepTime time.Duration) {
+	var epsList []float64
+	for _, s := range strings.Split(spec, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -sweep entry %q: %w", s, err))
+		}
+		epsList = append(epsList, v)
+	}
+	if len(epsList) == 0 {
+		fatal(fmt.Errorf("-sweep needs at least one ε value"))
+	}
+	start := time.Now()
+	results, err := cs.CoresetSweep(ctx, epsList, algo)
+	sweepTime := time.Since(start)
+	fmt.Printf("dataset:        %s (n=%d, d=%d)\n", name, cs.N(), cs.Dim())
+	fmt.Printf("extreme points: %d (α=%.3f)\n", cs.NumExtreme(), cs.Alpha())
+	fmt.Printf("sweep:          %d ε values, algo %s\n", len(epsList), algo)
+	fmt.Printf("preprocessing:  %v\n", prepTime.Round(time.Millisecond))
+	fmt.Printf("sweep time:     %v\n", sweepTime.Round(time.Millisecond))
+	fmt.Printf("%10s %8s %10s %10s %8s %6s\n", "ε", "size", "loss", "algo", "attempts", "cache")
+	for i, q := range results {
+		if q == nil {
+			fmt.Printf("%10.4f %8s %10s %10s %8s %6s\n", epsList[i], "-", "failed", "-", "-", "-")
+			continue
+		}
+		attempts, cache := "-", "miss"
+		if q.Report != nil {
+			attempts = strconv.Itoa(q.Report.Attempts)
+			if q.Report.CacheHit {
+				cache = "hit"
+			}
+		}
+		fmt.Printf("%10.4f %8d %10.6f %10s %8s %6s\n", epsList[i], q.Size(), q.Loss, q.Algorithm, attempts, cache)
+	}
+	if err != nil {
+		fatal(err)
 	}
 }
 

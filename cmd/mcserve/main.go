@@ -61,6 +61,7 @@ func main() {
 	queue := flag.Int("queue", 256, "ingest queue capacity in batches (full queue sheds with 503)")
 	inflight := flag.Int("max-inflight-builds", 2, "concurrent coreset builds admitted (excess sheds with 503)")
 	buildWorkers := flag.Int("build-workers", 0, "worker-pool size for builds (0 = GOMAXPROCS)")
+	buildCache := flag.Int("build-cache", 0, "served-coreset cache entries (0 = default of 32, negative = disabled); invalidated on ingest")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "text", "log format: text|json")
 	flag.Parse()
@@ -82,7 +83,8 @@ func main() {
 		SnapshotPath: *snapshotPath, CheckpointInterval: *ckptEvery,
 		IngestWorkers: *workers, QueueSize: *queue,
 		MaxInflightBuilds: *inflight, BuildWorkers: *buildWorkers,
-		Logger: logger,
+		BuildCache: *buildCache,
+		Logger:     logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcserve:", err)
@@ -200,6 +202,8 @@ func newMux(svc *mincore.IngestService, log *slog.Logger) *http.ServeMux {
 			"ingested": st.Ingested, "rejected": st.Rejected, "invalid": st.Invalid,
 			"worker_panics": st.WorkerPanics,
 			"builds":        st.Builds, "builds_shed": st.BuildsShed,
+			"cache_hits":            st.CacheHits,
+			"cache_misses":          st.CacheMisses,
 			"restored_points":       st.RestoredPoints,
 			"stream_n":              svc.StreamN(),
 			"checkpoint_generation": st.CheckpointGeneration,

@@ -51,17 +51,21 @@ func TestServeMetricsEndpoint(t *testing.T) {
 	}
 	feedPoints(t, ts, pts)
 
-	// A build exercises the solver metric families before the scrape.
-	resp, err := http.Get(ts.URL + "/coreset?eps=0.2")
-	if err != nil {
-		t.Fatalf("GET /coreset: %v", err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /coreset: status %d", resp.StatusCode)
+	// A build exercises the solver metric families before the scrape;
+	// repeating it hits the served-coreset cache, so the cache families
+	// carry non-zero samples too.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/coreset?eps=0.2")
+		if err != nil {
+			t.Fatalf("GET /coreset: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /coreset: status %d", resp.StatusCode)
+		}
 	}
 
-	resp, err = http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatalf("GET /metrics: %v", err)
 	}
@@ -98,6 +102,42 @@ func TestServeMetricsEndpoint(t *testing.T) {
 		if !found {
 			t.Errorf("scrape missing %s", want)
 		}
+	}
+
+	// The build-cache families must be present per layer, and the two
+	// identical /coreset requests above leave the serve layer with at
+	// least one miss (first build) and one hit (repeat).
+	for _, key := range []string{
+		`mincore_build_cache_hits_total{layer="coreseter"}`,
+		`mincore_build_cache_misses_total{layer="coreseter"}`,
+		`mincore_build_cache_evictions_total{layer="serve"}`,
+	} {
+		if _, ok := samples[key]; !ok {
+			t.Errorf("scrape missing sample %s", key)
+		}
+	}
+	if v := samples[`mincore_build_cache_misses_total{layer="serve"}`]; v < 1 {
+		t.Errorf(`serve cache misses = %v, want >= 1`, v)
+	}
+	if v := samples[`mincore_build_cache_hits_total{layer="serve"}`]; v < 1 {
+		t.Errorf(`serve cache hits = %v, want >= 1`, v)
+	}
+
+	// /stats mirrors the serve-layer cache counters.
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		CacheHits   int64 `json:"cache_hits"`
+		CacheMisses int64 `json:"cache_misses"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode /stats: %v", err)
+	}
+	if st.CacheMisses != 1 || st.CacheHits != 1 {
+		t.Errorf("/stats cache counters: hits=%d misses=%d, want 1/1", st.CacheHits, st.CacheMisses)
 	}
 }
 

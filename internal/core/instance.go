@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mincore/internal/geom"
 	"mincore/internal/hull"
@@ -55,6 +56,13 @@ type Instance struct {
 
 	tree    *mips.KDTree // over Pts
 	extTree *mips.KDTree // over ExtPts
+
+	// SCMC substrate memo: the sampled directions of a doubling stage and
+	// their exact directional maxima are pure functions of (m, seed) and
+	// independent of ε, so ε sweeps and repeated builds share them. See
+	// scmcDirBlock.
+	scmcMu     sync.Mutex
+	scmcBlocks map[scmcBlockKey]*scmcBlock
 }
 
 // NewInstance preprocesses pts: extracts extreme points (Clarkson / hulls),

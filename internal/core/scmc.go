@@ -60,6 +60,11 @@ func (inst *Instance) SCMC(eps float64, opts SCMCOptions) ([]int, int, error) {
 // SCMCCtx is SCMC with cooperative cancellation: the context is checked
 // between doubling stages and propagated into the parallel set-system
 // construction and loss validations.
+//
+// The per-stage substrate — the sampled directions and their exact
+// directional maxima ω(P,u), both independent of ε — is memoized on the
+// instance (scmcDirBlock), so an ε sweep or repeated builds at different
+// ε redo only the ε-dependent threshold queries and set cover.
 func (inst *Instance) SCMCCtx(ctx context.Context, eps float64, opts SCMCOptions) ([]int, int, error) {
 	if eps <= 0 || eps >= 1 {
 		return nil, 0, fmt.Errorf("core: SCMC requires ε ∈ (0,1), got %g", eps)
@@ -71,8 +76,11 @@ func (inst *Instance) SCMCCtx(ctx context.Context, eps float64, opts SCMCOptions
 		if obs.On() {
 			mSCMCRounds.Inc()
 		}
-		dirs := sphere.RandomDirections(m, inst.D, seed+int64(m))
-		q, err := inst.scmcSolveCtx(ctx, dirs, opts.Gamma)
+		dirs, omega, err := inst.scmcDirBlock(ctx, m, seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		q, err := inst.scmcSolveOmega(ctx, dirs, omega, opts.Gamma)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -123,6 +131,60 @@ func (inst *Instance) SCMCNet(eps, delta float64, opts SCMCOptions) ([]int, int,
 	return q, len(net), nil
 }
 
+// scmcBlockKey identifies one memoized sampling stage.
+type scmcBlockKey struct {
+	m    int
+	seed int64
+}
+
+// scmcBlock is the ε-independent substrate of one SCMC doubling stage.
+type scmcBlock struct {
+	dirs  []geom.Vector
+	omega []float64 // ω(P, dirs[k]), exact
+}
+
+// scmcBlockCap bounds the per-instance substrate memo. Blocks are pure
+// functions of their key, so eviction affects speed, never results; the
+// largest doubling stages dominate memory, hence the small cap.
+const scmcBlockCap = 4
+
+// scmcDirBlock returns the sampled directions for a doubling stage
+// together with their exact directional maxima, memoized on the
+// instance. Both are ε-independent: the directions derive only from
+// (m, d, seed) and ω(P,u) only from the point set, so every build — any
+// ε, any worker count — sees identical values.
+func (inst *Instance) scmcDirBlock(ctx context.Context, m int, seed int64) ([]geom.Vector, []float64, error) {
+	key := scmcBlockKey{m: m, seed: seed}
+	inst.scmcMu.Lock()
+	if b, ok := inst.scmcBlocks[key]; ok {
+		inst.scmcMu.Unlock()
+		return b.dirs, b.omega, nil
+	}
+	inst.scmcMu.Unlock()
+	dirs := sphere.RandomDirections(m, inst.D, seed+int64(m))
+	omega := make([]float64, len(dirs))
+	if err := parallel.For(ctx, inst.Workers, len(dirs), func(k int) {
+		omega[k] = inst.Omega(dirs[k])
+	}); err != nil {
+		return nil, nil, err
+	}
+	inst.scmcMu.Lock()
+	if inst.scmcBlocks == nil {
+		inst.scmcBlocks = make(map[scmcBlockKey]*scmcBlock)
+	}
+	if _, ok := inst.scmcBlocks[key]; !ok {
+		if len(inst.scmcBlocks) >= scmcBlockCap {
+			for k := range inst.scmcBlocks {
+				delete(inst.scmcBlocks, k)
+				break
+			}
+		}
+		inst.scmcBlocks[key] = &scmcBlock{dirs: dirs, omega: omega}
+	}
+	inst.scmcMu.Unlock()
+	return dirs, omega, nil
+}
+
 // scmcSolve builds the set system over the given directions and returns
 // the greedy cover's points (Lines 1–11 of Algorithm 4). Directions whose
 // maximum is nonpositive (impossible on fat instances) are skipped.
@@ -138,6 +200,14 @@ func (inst *Instance) scmcSolve(dirs []geom.Vector, gamma float64) ([]int, error
 // the set system (and hence the greedy cover) is identical for every
 // worker count.
 func (inst *Instance) scmcSolveCtx(ctx context.Context, dirs []geom.Vector, gamma float64) ([]int, error) {
+	return inst.scmcSolveOmega(ctx, dirs, nil, gamma)
+}
+
+// scmcSolveOmega is scmcSolveCtx with optionally precomputed directional
+// maxima (omega[k] = ω(P, dirs[k]); nil computes them inline). The
+// precomputed values are the same exact MIPS answers the inline path
+// produces, so results are bitwise identical either way.
+func (inst *Instance) scmcSolveOmega(ctx context.Context, dirs []geom.Vector, omega []float64, gamma float64) ([]int, error) {
 	// Stage 1 (parallel): for each direction, collect the points within
 	// the γ-approximation of the maximum.
 	hits := make([][]int, len(dirs))
@@ -145,7 +215,12 @@ func (inst *Instance) scmcSolveCtx(ctx context.Context, dirs []geom.Vector, gamm
 	bufs := make([][]int, parallel.WorkersFor(inst.Workers, len(dirs)))
 	err := parallel.ForWorker(ctx, inst.Workers, len(dirs), func(w, k int) {
 		u := dirs[k]
-		wmax := inst.Omega(u)
+		var wmax float64
+		if omega != nil {
+			wmax = omega[k]
+		} else {
+			wmax = inst.Omega(u)
+		}
 		if wmax <= 0 {
 			skip[k] = true
 			return

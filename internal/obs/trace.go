@@ -21,11 +21,27 @@ type Span struct {
 	Start    time.Time         `json:"start"`
 	Duration time.Duration     `json:"duration_ns"`
 	Attrs    map[string]string `json:"attrs,omitempty"`
+	Events   []Event           `json:"events,omitempty"`
 	Children []*Span           `json:"children,omitempty"`
 
 	mu   sync.Mutex
 	done bool
 }
+
+// An Event is a point-in-time annotation on a span. The tracer itself
+// records one kind: a "late-attr" event whenever SetAttr runs on a span
+// that has already Ended — the attribute is still stored, but the event
+// makes the lifecycle violation visible in rendered traces and
+// assertable in tests instead of silently reordering attrs.
+type Event struct {
+	Name  string            `json:"name"`
+	Time  time.Time         `json:"time"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// LateAttrEvent is the event name recorded when SetAttr is called on an
+// already-ended span.
+const LateAttrEvent = "late-attr"
 
 // A Trace is the span tree attached to a BuildReport.
 type Trace struct {
@@ -73,7 +89,11 @@ func (s *Span) Ended() bool {
 }
 
 // SetAttr records a key attribute (requested algorithm, measured loss,
-// error text) on the span.
+// error text) on the span. Setting an attribute after End still stores
+// it, but additionally records a "late-attr" event on the span: late
+// attributes can be dropped or misordered by renderers that snapshot a
+// span at End time, so the event makes such lifecycle bugs visible in
+// traces and regression tests.
 func (s *Span) SetAttr(key, value string) {
 	if s == nil {
 		return
@@ -83,6 +103,13 @@ func (s *Span) SetAttr(key, value string) {
 		s.Attrs = make(map[string]string)
 	}
 	s.Attrs[key] = value
+	if s.done {
+		s.Events = append(s.Events, Event{
+			Name:  LateAttrEvent,
+			Time:  time.Now(),
+			Attrs: map[string]string{key: value},
+		})
+	}
 	s.mu.Unlock()
 }
 
@@ -139,6 +166,32 @@ func findSpan(s *Span, name string) *Span {
 	return nil
 }
 
+// EventCount returns the number of events with the given name recorded
+// anywhere in the trace. Tests assert EventCount(LateAttrEvent) == 0 to
+// pin the span lifecycle: every attribute set before its span ends.
+func (t *Trace) EventCount(name string) int {
+	if t == nil || t.Root == nil {
+		return 0
+	}
+	return countEvents(t.Root, name)
+}
+
+func countEvents(s *Span, name string) int {
+	s.mu.Lock()
+	n := 0
+	for _, ev := range s.Events {
+		if ev.Name == name {
+			n++
+		}
+	}
+	kids := s.Children
+	s.mu.Unlock()
+	for _, c := range kids {
+		n += countEvents(c, name)
+	}
+	return n
+}
+
 // Summary returns a compact one-line digest of the root's direct
 // children — "attempt(optmc)#1=1.2ms attempt(dsmc)#1=3.4ms" — for
 // per-build log lines.
@@ -178,6 +231,7 @@ func writeSpanTree(w io.Writer, s *Span, connector, childPrefix string) {
 	dur := s.Duration
 	done := s.done
 	attrs := s.Attrs
+	events := s.Events
 	kids := s.Children
 	s.mu.Unlock()
 
@@ -202,6 +256,14 @@ func writeSpanTree(w io.Writer, s *Span, connector, childPrefix string) {
 		fmt.Fprintf(w, " %s", roundDur(dur))
 	} else {
 		io.WriteString(w, " (unfinished)")
+	}
+	for _, ev := range events {
+		keys := make([]string, 0, len(ev.Attrs))
+		for k := range ev.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, " !%s(%s)", ev.Name, strings.Join(keys, ","))
 	}
 	io.WriteString(w, "\n")
 

@@ -139,6 +139,38 @@ func TestTraceJSON(t *testing.T) {
 	}
 }
 
+// TestLateAttrEvent pins the span-lifecycle contract: SetAttr after End
+// still stores the attribute (renderers that re-read the map see it) but
+// records a late-attr event naming the offending key, and the render
+// marks the span so the bug is visible in trace dumps.
+func TestLateAttrEvent(t *testing.T) {
+	tr := NewTrace("build")
+	sp := tr.Root.StartChild("certify")
+	sp.SetAttr("loss", "0.03") // before End: clean
+	sp.End()
+	if got := tr.EventCount(LateAttrEvent); got != 0 {
+		t.Fatalf("EventCount = %d before any late write", got)
+	}
+	sp.SetAttr("error", "boom") // after End: stored, but flagged
+	tr.Root.End()
+	if got := sp.Attr("error"); got != "boom" {
+		t.Fatalf("late attr not stored: %q", got)
+	}
+	if got := tr.EventCount(LateAttrEvent); got != 1 {
+		t.Fatalf("EventCount = %d, want 1", got)
+	}
+	ev := sp.Events[0]
+	if ev.Name != LateAttrEvent || ev.Attrs["error"] != "boom" {
+		t.Fatalf("event does not name the late key: %+v", ev)
+	}
+	if out := tr.String(); !strings.Contains(out, "!late-attr(error)") {
+		t.Fatalf("render does not flag the late attr:\n%s", out)
+	}
+	if tr.EventCount("other") != 0 {
+		t.Fatal("EventCount matched a different event name")
+	}
+}
+
 // TestConcurrentChildren mirrors the auto-mode DSMC/SCMC race: children
 // started and annotated from concurrent goroutines. Run under -race.
 func TestConcurrentChildren(t *testing.T) {

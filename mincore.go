@@ -44,9 +44,9 @@ import (
 	"mincore/internal/faultinject"
 	"mincore/internal/geom"
 	"mincore/internal/obs"
+	"mincore/internal/parallel"
 	"mincore/internal/sphere"
 	"mincore/internal/transform"
-	"mincore/internal/voronoi"
 )
 
 // Point is a point or direction in R^d.
@@ -108,6 +108,13 @@ type Options struct {
 	// once, attach a report, and return their result even when the
 	// measured loss exceeds ε.
 	SkipCertify bool
+	// BuildCache bounds the memoized build cache: successful results are
+	// kept in an LRU keyed by (algorithm, quantized ε) and concurrent
+	// identical builds are deduplicated by per-key singleflight. 0 selects
+	// the default capacity (64 entries); negative disables caching.
+	// Cached results are bitwise identical to fresh ones and carry
+	// Report.CacheHit = true.
+	BuildCache int
 }
 
 // Coreseter is a preprocessed dataset ready to produce coresets at any ε.
@@ -123,7 +130,14 @@ type Coreseter struct {
 
 	dgMu sync.Mutex
 	dg   *core.DominanceGraph // lazily built for DSMC
-	ipdg *voronoi.IPDG
+
+	// cache memoizes successful builds per (algorithm, quantized ε) with
+	// singleflight dedup; nil when disabled via WithBuildCache.
+	cache *resultCache[buildKey]
+
+	// inputDim is the dimensionality New was given, before constant-
+	// attribute dropping; Normalize validates against it.
+	inputDim int
 
 	// keptDims lists the input dimensions retained after constant-
 	// attribute dropping, in order.
@@ -209,7 +223,10 @@ func New(points []Point, opts ...Option) (*Coreseter, error) {
 	}
 	pts = geom.Dedup(pts)
 
-	c := &Coreseter{opts: o}
+	c := &Coreseter{opts: o, inputDim: d}
+	if n := cacheCapacity(o.BuildCache, defaultBuildCacheSize); n > 0 {
+		c.cache = newResultCache[buildKey](n, buildCacheMetrics())
+	}
 	// (Near-)constant attributes carry no preference information — every
 	// point gains the same inner-product offset — and a data slab thinner
 	// than the solver tolerances breaks the general-position assumption,
@@ -259,15 +276,41 @@ func (c *Coreseter) Alpha() float64 { return c.inst.Alpha }
 // space where the ε guarantee holds: constant input dimensions are
 // dropped, then the affine normalization applies (identity when
 // SkipNormalize).
+//
+// Normalize delegates to NormalizeChecked and panics on invalid input —
+// a point whose dimension differs from the one New was given (e.g. an
+// already-projected point), or one with NaN/Inf coordinates. Callers
+// that cannot guarantee well-formed input should use NormalizeChecked,
+// which returns the error instead.
 func (c *Coreseter) Normalize(p Point) Point {
+	q, err := c.NormalizeChecked(p)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// NormalizeChecked is Normalize with validation instead of panics: the
+// point must have exactly the input dimension New saw (before constant-
+// attribute dropping) and finite coordinates, otherwise an error
+// wrapping ErrInvalidPoint is returned.
+func (c *Coreseter) NormalizeChecked(p Point) (Point, error) {
+	if len(p) != c.inputDim {
+		return nil, fmt.Errorf("%w: point has dimension %d, want %d", ErrInvalidPoint, len(p), c.inputDim)
+	}
+	for j, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: coordinate %d is %v", ErrInvalidPoint, j, v)
+		}
+	}
 	q := make(geom.Vector, len(c.keptDims))
 	for k, j := range c.keptDims {
 		q[k] = p[j]
 	}
 	if c.aff == nil {
-		return Point(q)
+		return Point(q), nil
 	}
-	return Point(c.aff.Apply(q))
+	return Point(c.aff.Apply(q)), nil
 }
 
 // KeptDims returns the indices of the input dimensions retained after
@@ -303,6 +346,10 @@ func (q *Coreset) Size() int { return len(q.Indices) }
 // Top1 returns the member index (into Coreset.Indices ordering) and inner
 // product of the coreset's extreme point for direction u (normalized
 // space). By the coreset property the value is ≥ (1−ε)·ω(P,u).
+//
+// On an empty coreset Top1 returns (-1, −Inf): there is no member to
+// index and no inner product to report, and the sentinel pair is
+// distinguishable from every valid answer.
 func (q *Coreset) Top1(u Point) (int, float64) {
 	best, bestV := -1, math.Inf(-1)
 	for i, p := range q.Points {
@@ -325,6 +372,13 @@ func (c *Coreseter) Coreset(eps float64, algo Algorithm) (*Coreset, error) {
 // into the parallel hot paths (dominance-graph LPs, SCMC stages, loss
 // validation) and into every repair attempt, so a long build stops
 // within a few LP solves of ctx being cancelled and returns its error.
+//
+// Unless disabled with WithBuildCache, successful results are memoized
+// per (algorithm, quantized ε) and concurrent identical calls share a
+// single underlying build; a memoized result is bitwise identical to a
+// fresh one and is marked Report.CacheHit. Build-span roots carry a
+// cache attr ("miss" on a fresh build through the cache, "hit" on a
+// cached one).
 func (c *Coreseter) CoresetCtx(ctx context.Context, eps float64, algo Algorithm) (*Coreset, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -332,36 +386,59 @@ func (c *Coreseter) CoresetCtx(ctx context.Context, eps float64, algo Algorithm)
 	if err := c.validateRequest(eps, algo); err != nil {
 		return nil, err
 	}
-	if c.opts.SkipCertify {
-		tr := obs.NewTrace("build")
-		tr.Root.SetAttr("requested", string(algo))
-		tr.Root.SetAttr("eps", fmt.Sprintf("%g", eps))
-		sp := tr.Root.StartChild(fmt.Sprintf("attempt(%s)#1", algo))
-		bsp := sp.StartChild("build-indices")
-		idx, err := c.buildIndices(ctx, c.inst, eps, algo, bsp)
-		bsp.End()
-		if err != nil {
-			return nil, err
-		}
-		// The loss is still measured (it is part of the result), just not
-		// enforced; the span keeps the name so traces read uniformly.
-		msp := sp.StartChild("measure-loss")
-		q, err := c.wrap(ctx, idx, eps, algo)
-		msp.End()
-		if err != nil {
-			return nil, err
-		}
-		msp.SetAttr("loss", fmt.Sprintf("%.6g", q.Loss))
-		sp.End()
-		tr.Root.End()
-		q.Report = &BuildReport{
-			Requested: algo, Algorithm: algo, Eps: eps,
-			CertifiedLoss: q.Loss, Certified: q.Loss <= eps+certTol,
-			Attempts: 1, Trace: tr,
-		}
-		return q, nil
+	if c.cache != nil && eps > 0 && eps < 1 {
+		q, _, err := c.cache.do(ctx, buildKey{algo: algo, qeps: quantizeEps(eps)},
+			func(ctx context.Context) (*Coreset, error) {
+				return c.buildOnce(ctx, eps, algo, "miss")
+			})
+		return q, err
 	}
-	return c.buildCertified(ctx, eps, algo)
+	return c.buildOnce(ctx, eps, algo, "")
+}
+
+// buildOnce performs one uncached build (SkipCertify single pass or the
+// full verify-and-repair pipeline). cacheState, when non-empty, is
+// recorded as the root span's cache attr ("miss": built on behalf of the
+// cache).
+func (c *Coreseter) buildOnce(ctx context.Context, eps float64, algo Algorithm, cacheState string) (*Coreset, error) {
+	if !c.opts.SkipCertify {
+		return c.buildCertified(ctx, eps, algo, cacheState)
+	}
+	tr := obs.NewTrace("build")
+	tr.Root.SetAttr("requested", string(algo))
+	tr.Root.SetAttr("eps", fmt.Sprintf("%g", eps))
+	if cacheState != "" {
+		tr.Root.SetAttr("cache", cacheState)
+	}
+	sp := tr.Root.StartChild(fmt.Sprintf("attempt(%s)#1", algo))
+	bsp := sp.StartChild("build-indices")
+	idx, err := c.buildIndices(ctx, c.inst, eps, algo, bsp)
+	if err != nil {
+		bsp.SetAttr("error", err.Error())
+	}
+	bsp.End()
+	if err != nil {
+		return nil, err
+	}
+	// The loss is still measured (it is part of the result), just not
+	// enforced; the span keeps the name so traces read uniformly.
+	msp := sp.StartChild("measure-loss")
+	q, err := c.wrap(ctx, idx, eps, algo)
+	if err != nil {
+		msp.SetAttr("error", err.Error())
+		msp.End()
+		return nil, err
+	}
+	msp.SetAttr("loss", fmt.Sprintf("%.6g", q.Loss))
+	msp.End()
+	sp.End()
+	tr.Root.End()
+	q.Report = &BuildReport{
+		Requested: algo, Algorithm: algo, Eps: eps,
+		CertifiedLoss: q.Loss, Certified: q.Loss <= eps+certTol,
+		Attempts: 1, Trace: tr,
+	}
+	return q, nil
 }
 
 func (c *Coreseter) wrap(ctx context.Context, idx []int, eps float64, algo Algorithm) (*Coreset, error) {
@@ -400,6 +477,12 @@ func (c *Coreseter) FixedSize(r int, algo Algorithm) (*Coreset, error) {
 // a report certifying its measured loss against the ε the search found.
 // A budget no ε ∈ (0,1) can meet returns an error wrapping
 // ErrInfeasible.
+//
+// With the build cache enabled the search exploits size-monotonicity:
+// cached results at other ε values shrink the initial bracket (a cached
+// coreset of ≤ r points bounds it from above, a larger one from below),
+// so repeated or nearby fixed-size queries issue strictly fewer full
+// builds than the cold 20-probe search — often none at all.
 func (c *Coreseter) FixedSizeCtx(ctx context.Context, r int, algo Algorithm) (*Coreset, error) {
 	start := time.Now()
 	tr := obs.NewTrace("fixed-size-build")
@@ -411,27 +494,56 @@ func (c *Coreseter) FixedSizeCtx(ctx context.Context, r int, algo Algorithm) (*C
 		psp := tr.Root.StartChild(fmt.Sprintf("probe#%d", attempts))
 		psp.SetAttr("eps", fmt.Sprintf("%.6g", eps))
 		q, err := c.CoresetCtx(ctx, eps, algo)
-		psp.End()
 		if err != nil {
 			psp.SetAttr("error", err.Error())
+			psp.End()
 			return nil, err
 		}
 		psp.SetAttr("size", fmt.Sprintf("%d", len(q.Indices)))
+		if q.Report != nil && q.Report.CacheHit {
+			psp.SetAttr("cache", "hit")
+		}
+		psp.End()
 		return q.Indices, nil
 	}
-	idx, eps, err := core.DualSolve(r, solve, 20)
+	lo, hi := 0.0, 1.0
+	var seed *Coreset
+	if c.cache != nil {
+		lo, hi, seed = c.cachedDualSeed(algo, r)
+		if lo > 0 || hi < 1 {
+			tr.Root.SetAttr("bracket", fmt.Sprintf("(%.6g,%.6g]", lo, hi))
+		}
+	}
+	idx, eps, err := core.DualSolveBracket(r, solve, 20, lo, hi)
+	if err != nil && seed != nil && errors.Is(err, ErrInfeasible) {
+		// Every probe the shrunk bracket allowed was already answered by
+		// the cache (or the bracket collapsed entirely): the cached
+		// feasible result at the bracket's upper edge is the answer.
+		idx, eps, err = seed.Indices, seed.Eps, nil
+	}
 	if err != nil {
 		tr.Root.End()
 		return nil, err
 	}
 	csp := tr.Root.StartChild("certify")
-	q, err := c.wrap(ctx, idx, eps, algo)
-	csp.End()
-	if err != nil {
-		tr.Root.End()
-		return nil, err
+	var q *Coreset
+	if seed != nil && seed.Eps == eps && sameIndices(seed.Indices, idx) {
+		// The winning coreset is the cached seed; its certified loss was
+		// measured on the original instance when it was built, so re-
+		// measuring would reproduce it bit for bit.
+		q = seed
+		csp.SetAttr("cache", "hit")
+	} else {
+		q, err = c.wrap(ctx, idx, eps, algo)
+		if err != nil {
+			csp.SetAttr("error", err.Error())
+			csp.End()
+			tr.Root.End()
+			return nil, err
+		}
 	}
 	csp.SetAttr("loss", fmt.Sprintf("%.6g", q.Loss))
+	csp.End()
 	tr.Root.End()
 	rep := &BuildReport{
 		Requested: algo, Algorithm: algo, Eps: eps,
@@ -444,6 +556,65 @@ func (c *Coreseter) FixedSizeCtx(ctx context.Context, r int, algo Algorithm) (*C
 			Err: fmt.Errorf("mincore: fixed-size result measured loss %.6g > ε = %g", q.Loss, eps)}
 	}
 	return q, nil
+}
+
+// sameIndices reports whether two index slices are element-wise equal.
+func sameIndices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CoresetSweep builds certified coresets for a ladder of ε values in one
+// batch, sharing the ε-independent substrate across the ladder: the
+// dominance graph (DSMC) is built once up front, SCMC's direction
+// samples and per-direction maxima are memoized on the instance, and
+// results land in the build cache, so overlapping sweeps and later
+// single builds reuse them. Probes run in parallel on the Coreseter's
+// worker budget. Results are returned in epsList order and are bitwise
+// identical to individual CoresetCtx calls at the same ε. Per-ε failures
+// are joined into the returned error; successful entries remain filled.
+func (c *Coreseter) CoresetSweep(ctx context.Context, epsList []float64, algo Algorithm) ([]*Coreset, error) {
+	if len(epsList) == 0 {
+		return nil, nil
+	}
+	for _, eps := range epsList {
+		if err := c.validateRequest(eps, algo); err != nil {
+			return nil, fmt.Errorf("mincore: sweep ε=%g: %w", eps, err)
+		}
+	}
+	// Pre-build the shared dominance graph when DSMC will run (directly,
+	// or inside the auto race above 2D), so parallel probes reuse it
+	// instead of serializing on the build mutex. A repairable failure is
+	// left for the per-ε pipelines to handle.
+	if algo == DSMC || (algo == Auto && c.Dim() > 2) {
+		if _, err := c.dominanceGraphCtx(ctx); err != nil && !repairable(err) {
+			return nil, err
+		}
+	}
+	out := make([]*Coreset, len(epsList))
+	errs := make([]error, len(epsList))
+	if err := parallel.For(ctx, c.opts.Workers, len(epsList), func(i int) {
+		out[i], errs[i] = c.CoresetCtx(ctx, epsList[i], algo)
+	}); err != nil {
+		return out, err
+	}
+	var joined []error
+	for i, err := range errs {
+		if err != nil {
+			joined = append(joined, fmt.Errorf("ε=%g: %w", epsList[i], err))
+		}
+	}
+	if len(joined) > 0 {
+		return out, fmt.Errorf("mincore: sweep: %w", errors.Join(joined...))
+	}
+	return out, nil
 }
 
 // Loss computes the exact maximum loss of an arbitrary subset (indices
@@ -472,7 +643,10 @@ func (c *Coreseter) dominanceGraphCtx(ctx context.Context) (*core.DominanceGraph
 	if err != nil {
 		return nil, err
 	}
-	c.ipdg, c.dg = ipdg, dg
+	// The IPDG itself is not retained: its edge counts are folded into
+	// the dominance graph's stats (DominanceGraphStats), and no caller
+	// consumes the structure after the graph is built.
+	c.dg = dg
 	return dg, nil
 }
 

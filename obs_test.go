@@ -159,6 +159,92 @@ func TestTraceThroughFallbackChain(t *testing.T) {
 	}
 }
 
+// TestTraceAttrsSetBeforeSpanEnd pins the trace-lifecycle fix: every
+// build flavor must finish with zero late-attr events, and the attrs
+// that used to be written after End — the skip-certify measure-loss
+// loss, the fixed-size probe eps/size, the certify loss — must actually
+// be present on their (ended) spans.
+func TestTraceAttrsSetBeforeSpanEnd(t *testing.T) {
+	requireClean := func(t *testing.T, tr *obs.Trace) {
+		t.Helper()
+		if tr == nil {
+			t.Fatal("no trace on report")
+		}
+		if n := tr.EventCount(obs.LateAttrEvent); n != 0 {
+			t.Fatalf("%d late-attr events — attrs written after span End:\n%s", n, tr.String())
+		}
+	}
+
+	t.Run("certified", func(t *testing.T) {
+		cs, err := mincore.New(faultPoints(200, 2, 19), mincore.WithSeed(19), mincore.WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := cs.Coreset(0.1, mincore.DSMC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireClean(t, q.Report.Trace)
+		cert := requireSpan(t, q.Report.Trace, "certify")
+		if !cert.Ended() || cert.Attr("loss") == "" {
+			t.Errorf("certify span: ended=%v loss=%q, want ended with loss set", cert.Ended(), cert.Attr("loss"))
+		}
+	})
+
+	t.Run("skip-certify", func(t *testing.T) {
+		cs, err := mincore.New(faultPoints(200, 2, 23),
+			mincore.WithSeed(23), mincore.WithWorkers(1), mincore.WithCertification(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := cs.Coreset(0.1, mincore.SCMC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireClean(t, q.Report.Trace)
+		msp := requireSpan(t, q.Report.Trace, "measure-loss")
+		if !msp.Ended() || msp.Attr("loss") == "" {
+			t.Errorf("measure-loss span: ended=%v loss=%q, want ended with loss set", msp.Ended(), msp.Attr("loss"))
+		}
+	})
+
+	t.Run("fixed-size", func(t *testing.T) {
+		cs, err := mincore.New(faultPoints(200, 2, 29), mincore.WithSeed(29), mincore.WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := cs.FixedSize(10, mincore.DSMC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireClean(t, q.Report.Trace)
+		probe := requireSpan(t, q.Report.Trace, "probe#1")
+		if !probe.Ended() || probe.Attr("eps") == "" || probe.Attr("size") == "" {
+			t.Errorf("probe span: ended=%v eps=%q size=%q, want ended with both set",
+				probe.Ended(), probe.Attr("eps"), probe.Attr("size"))
+		}
+	})
+
+	t.Run("cache-hit", func(t *testing.T) {
+		cs, err := mincore.New(faultPoints(200, 2, 31), mincore.WithSeed(31), mincore.WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cs.Coreset(0.1, mincore.DSMC); err != nil {
+			t.Fatal(err)
+		}
+		q, err := cs.Coreset(0.1, mincore.DSMC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireClean(t, q.Report.Trace)
+		if !q.Report.Trace.Root.Ended() || q.Report.Trace.Root.Attr("cache") != "hit" {
+			t.Errorf("cache-hit root span: ended=%v cache=%q, want ended with cache=hit",
+				q.Report.Trace.Root.Ended(), q.Report.Trace.Root.Attr("cache"))
+		}
+	})
+}
+
 func TestServiceStatsCheckpointLag(t *testing.T) {
 	dir := t.TempDir()
 	svc, err := mincore.NewIngestService(mincore.ServeOptions{

@@ -46,3 +46,39 @@ var (
 	mServeBuildDuration = obs.Default.Histogram("mincore_serve_build_duration_seconds",
 		"Wall time of served coreset builds, in seconds.", nil, nil)
 )
+
+// Build-cache metrics, labeled by layer: "coreseter" is the per-
+// Coreseter memoized build cache, "serve" the ingest service's cache of
+// served coresets (invalidated on ingest). A singleflight follower that
+// joined an in-flight identical build counts as a hit. Per-lookup
+// events, recorded unconditionally.
+var (
+	mCacheHitsBuild = obs.Default.Counter("mincore_build_cache_hits_total",
+		"Memoized build cache hits (including singleflight followers), by layer.",
+		obs.Labels{"layer": "coreseter"})
+	mCacheMissesBuild = obs.Default.Counter("mincore_build_cache_misses_total",
+		"Memoized build cache misses (each miss leads one underlying build), by layer.",
+		obs.Labels{"layer": "coreseter"})
+	mCacheEvictionsBuild = obs.Default.Counter("mincore_build_cache_evictions_total",
+		"Entries evicted from the memoized build cache LRU, by layer.",
+		obs.Labels{"layer": "coreseter"})
+	mCacheHitsServe = obs.Default.Counter("mincore_build_cache_hits_total",
+		"Memoized build cache hits (including singleflight followers), by layer.",
+		obs.Labels{"layer": "serve"})
+	mCacheMissesServe = obs.Default.Counter("mincore_build_cache_misses_total",
+		"Memoized build cache misses (each miss leads one underlying build), by layer.",
+		obs.Labels{"layer": "serve"})
+	mCacheEvictionsServe = obs.Default.Counter("mincore_build_cache_evictions_total",
+		"Entries evicted from the memoized build cache LRU, by layer.",
+		obs.Labels{"layer": "serve"})
+)
+
+// buildCacheMetrics bundles the coreseter-layer cache counters.
+func buildCacheMetrics() cacheMetrics {
+	return cacheMetrics{hits: mCacheHitsBuild, misses: mCacheMissesBuild, evictions: mCacheEvictionsBuild}
+}
+
+// serveCacheMetrics bundles the serve-layer cache counters.
+func serveCacheMetrics() cacheMetrics {
+	return cacheMetrics{hits: mCacheHitsServe, misses: mCacheMissesServe, evictions: mCacheEvictionsServe}
+}

@@ -73,3 +73,20 @@ func WithMaxRetries(n int) Option {
 func WithCertification(enabled bool) Option {
 	return optionFunc(func(o *Options) { o.SkipCertify = !enabled })
 }
+
+// WithBuildCache bounds the memoized build cache: successful results are
+// kept in an LRU keyed by (algorithm, quantized ε), and concurrent
+// identical builds are deduplicated through per-key singleflight.
+// n is the entry capacity; n <= 0 disables caching entirely (every call
+// builds fresh). Without this option the cache is on with a default
+// capacity of 64 entries. Cached results are bitwise identical to fresh
+// ones and carry Report.CacheHit = true.
+func WithBuildCache(n int) Option {
+	return optionFunc(func(o *Options) {
+		if n <= 0 {
+			o.BuildCache = -1
+		} else {
+			o.BuildCache = n
+		}
+	})
+}

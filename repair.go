@@ -101,11 +101,16 @@ func (c *Coreseter) validateRequest(eps float64, algo Algorithm) error {
 }
 
 // buildCertified runs the verify-and-repair pipeline for one request.
-func (c *Coreseter) buildCertified(ctx context.Context, eps float64, algo Algorithm) (*Coreset, error) {
+// cacheState, when non-empty, is recorded as the root span's cache attr
+// ("miss": this build runs on behalf of the memoization layer).
+func (c *Coreseter) buildCertified(ctx context.Context, eps float64, algo Algorithm, cacheState string) (*Coreset, error) {
 	start := time.Now()
 	tr := obs.NewTrace("build")
 	tr.Root.SetAttr("requested", string(algo))
 	tr.Root.SetAttr("eps", fmt.Sprintf("%g", eps))
+	if cacheState != "" {
+		tr.Root.SetAttr("cache", cacheState)
+	}
 	rep := &BuildReport{Requested: algo, Eps: eps, Trace: tr}
 	certEps := eps
 	if algo == Auto && c.Dim() == 1 {
@@ -133,21 +138,22 @@ func (c *Coreseter) buildCertified(ctx context.Context, eps float64, algo Algori
 				jsp := sp.StartChild("reperturb")
 				var jerr error
 				inst, jerr = c.jitteredInstance(attempt)
-				jsp.End()
 				if jerr != nil {
 					jsp.SetAttr("error", jerr.Error())
+					jsp.End()
 					sp.End()
 					attemptErrs = append(attemptErrs, jerr)
 					continue
 				}
+				jsp.End()
 			}
 			rep.Attempts++
 			mBuildAttempts.Inc()
 			bsp := sp.StartChild("build-indices")
 			idx, err := c.buildIndices(ctx, inst, eps, a, bsp)
-			bsp.End()
 			if err != nil {
 				bsp.SetAttr("error", err.Error())
+				bsp.End()
 				sp.End()
 				if !repairable(err) {
 					tr.Root.End()
@@ -157,11 +163,12 @@ func (c *Coreseter) buildCertified(ctx context.Context, eps float64, algo Algori
 				continue
 			}
 			bsp.SetAttr("size", fmt.Sprintf("%d", len(idx)))
+			bsp.End()
 			csp := sp.StartChild("certify")
 			q, err := c.wrap(ctx, idx, eps, a)
-			csp.End()
 			if err != nil {
 				csp.SetAttr("error", err.Error())
+				csp.End()
 				sp.End()
 				if !repairable(err) {
 					tr.Root.End()
@@ -171,6 +178,7 @@ func (c *Coreseter) buildCertified(ctx context.Context, eps float64, algo Algori
 				continue
 			}
 			csp.SetAttr("loss", fmt.Sprintf("%.6g", q.Loss))
+			csp.End()
 			sp.End()
 			if q.Loss <= certEps+certTol {
 				rep.Algorithm = a
@@ -236,14 +244,15 @@ func (c *Coreseter) buildIndices(ctx context.Context, inst *core.Instance, eps f
 	case DSMC:
 		dsp := sp.StartChild("dg-build")
 		dg, err := c.dgFor(ctx, inst)
-		dsp.End()
 		if err != nil {
 			dsp.SetAttr("error", err.Error())
+			dsp.End()
 			return nil, err
 		}
 		dsp.SetAttr("cells", fmt.Sprintf("%d", dg.Xi))
 		dsp.SetAttr("lps", fmt.Sprintf("%d", dg.NumLPs))
 		dsp.SetAttr("edges", fmt.Sprintf("%d", dg.NumEdges))
+		dsp.End()
 		gsp := sp.StartChild("dsmc-greedy")
 		idx, err := inst.DSMCRefinedCtx(ctx, dg, eps, 8)
 		gsp.End()
@@ -285,11 +294,12 @@ func (c *Coreseter) autoIndices(ctx context.Context, inst *core.Instance, eps fl
 	if inst.D == 2 {
 		osp := sp.StartChild("optmc")
 		idx, err := inst.OptMC(eps)
-		osp.End()
 		if err == nil {
+			osp.End()
 			return idx, nil
 		}
 		osp.SetAttr("error", err.Error())
+		osp.End()
 		errOpt = err // kept for the composite error below
 	}
 	// The DSMC/SCMC race may start spans concurrently; Span appends are

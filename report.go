@@ -58,6 +58,11 @@ type BuildReport struct {
 	Fallbacks []string
 	// Wall is the total wall-clock time of the pipeline.
 	Wall time.Duration
+	// CacheHit marks a result served from the memoized build cache (or
+	// joined to a concurrent identical build) rather than built fresh.
+	// Wall is zero and Trace is a single root span with a cache=hit attr;
+	// the full phase trace lives on the original build's report.
+	CacheHit bool
 	// Checkpoint is the durable-snapshot provenance of the stream state
 	// a build was served from; nil for plain batch builds.
 	Checkpoint *CheckpointMeta

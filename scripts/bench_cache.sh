@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_cache.json: cold vs warm ns/op for repeated identical
+# Coreset builds (the memoized build cache must be >= 50x faster warm),
+# and the number of full certified builds a FixedSize dual search issues
+# cold vs with a primed cache (strictly fewer). Runs the in-process
+# harness in benchcache_test.go, which is env-gated so the normal test
+# suite never pays for it.
+#
+# Usage: scripts/bench_cache.sh [output-path]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_cache.json}"
+case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
+
+MINCORE_BENCH_CACHE_JSON="$out" go test -run '^TestWriteBenchCacheJSON$' -count=1 -v -timeout 1800s .
+echo "wrote $out"

@@ -38,4 +38,11 @@ echo "== observability (metrics registry, /metrics smoke, trace spans)"
 GOMAXPROCS=4 go test -race -count=1 ./internal/obs/ ./cmd/mcserve/
 go test -count=1 -run 'TestTrace|TestServiceStatsCheckpointLag' .
 
+# Build cache: singleflight dedup and leader-cancellation handoff under
+# the race detector, bitwise identity of cached results, the FixedSize
+# bracket shrink, sweep consistency, and serve-layer invalidation.
+echo "== build cache (singleflight, handoff, bitwise identity)"
+GOMAXPROCS=4 go test -race -count=1 \
+    -run 'TestBuildCache|TestResultCache|TestWithBuildCache|TestFixedSizeBracket|TestCoresetSweep|TestServeCoreset|TestServeBuildCache|TestQuantizeEps' .
+
 echo "verify: OK"

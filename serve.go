@@ -118,6 +118,13 @@ type ServeOptions struct {
 	// BuildWorkers is the Options.Workers value for served builds
 	// (0 = GOMAXPROCS).
 	BuildWorkers int
+	// BuildCache bounds the cache of served coresets, keyed by (stream
+	// position, quantized ε, algorithm) — advancing the stream changes
+	// the position, so ingest invalidates every cached result
+	// automatically. Concurrent identical requests share one underlying
+	// build via singleflight. 0 selects the default capacity (32
+	// entries); negative disables caching.
+	BuildCache int
 	// Logger receives the service's structured logs: checkpoint
 	// failures and backoff, recovered worker panics, shed batches and
 	// builds. Nil keeps the library default of discarding everything.
@@ -167,6 +174,11 @@ type ServiceStats struct {
 	// Builds counts accepted Coreset requests; BuildsShed the ones
 	// rejected by admission control.
 	Builds, BuildsShed int64
+	// CacheHits counts Coreset requests answered from the served-coreset
+	// cache (including singleflight followers of an in-flight identical
+	// build); CacheMisses counts requests that led an underlying build.
+	// Both stay 0 when the cache is disabled.
+	CacheHits, CacheMisses int64
 	// RestoredPoints is the stream position recovered from the snapshot
 	// at startup (0 for a fresh start): producers should replay their
 	// stream from this offset after a crash.
@@ -226,7 +238,13 @@ type IngestService struct {
 
 	ingested, rejected, invalid atomic.Int64
 	panics, builds, shed        atomic.Int64
+	cacheHits, cacheMisses      atomic.Int64
 	lastErr                     atomic.Pointer[errBox]
+
+	// served caches built coresets keyed by (stream position, quantized
+	// ε, algorithm); nil when disabled. Ingest advances the stream
+	// position, so every cached entry is invalidated automatically.
+	served *resultCache[serveKey]
 
 	// panicHook, when set (tests only), runs inside the worker for every
 	// point before it is fed — the injection point for supervision tests.
@@ -256,6 +274,9 @@ func NewIngestService(opts ServeOptions) (*IngestService, error) {
 		log:      obs.Component(logger, "ingest-service"),
 		queue:    make(chan [][]float64, o.QueueSize),
 		buildSem: make(chan struct{}, o.MaxInflightBuilds),
+	}
+	if n := cacheCapacity(o.BuildCache, defaultServeCacheSize); n > 0 {
+		s.served = newResultCache[serveKey](n, serveCacheMetrics())
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
@@ -541,12 +562,32 @@ func (s *IngestService) supervisedCheckpoint() (err error) {
 	return s.Checkpoint()
 }
 
+// defaultServeCacheSize is the served-coreset cache capacity
+// ServeOptions.BuildCache = 0 selects.
+const defaultServeCacheSize = 32
+
+// serveKey identifies one served build: the stream position the request
+// saw (ingest advances it, invalidating older entries), the quantized ε,
+// and the algorithm.
+type serveKey struct {
+	streamN int
+	qeps    int64
+	algo    Algorithm
+}
+
 // Coreset builds a certified ε-coreset of the stream seen so far, under
 // admission control: at most MaxInflightBuilds run concurrently and
 // excess requests shed immediately with ErrOverloaded. ctx — including
 // its deadline — propagates into the whole verify-and-repair pipeline
 // via CoresetCtx. The returned report carries the durable-checkpoint
 // provenance of the stream state it was built from.
+//
+// Unless disabled with ServeOptions.BuildCache, results are cached per
+// (stream position, quantized ε, algorithm) and concurrent identical
+// requests share one underlying build; cached results (marked
+// Report.CacheHit, with fresh checkpoint provenance) bypass admission
+// control entirely — only the single underlying build takes a semaphore
+// slot.
 //
 // The build refines the sketch's champion points with the batch
 // algorithms, so the end-to-end loss against the full stream composes
@@ -558,6 +599,28 @@ func (s *IngestService) Coreset(ctx context.Context, eps float64, algo Algorithm
 	if closed {
 		return nil, ErrServiceClosed
 	}
+	if s.served == nil {
+		return s.buildServed(ctx, eps, algo)
+	}
+	key := serveKey{streamN: s.StreamN(), qeps: quantizeEps(eps), algo: algo}
+	q, hit, err := s.served.do(ctx, key, func(ctx context.Context) (*Coreset, error) {
+		return s.buildServed(ctx, eps, algo)
+	})
+	if hit {
+		s.cacheHits.Add(1)
+		if q != nil && q.Report != nil {
+			// The cached snapshot's provenance was dropped; a hit gets the
+			// provenance of now, which is what the caller observes.
+			q.Report.Checkpoint = s.checkpointMeta(key.streamN)
+		}
+	} else {
+		s.cacheMisses.Add(1)
+	}
+	return q, err
+}
+
+// buildServed runs one uncached served build under admission control.
+func (s *IngestService) buildServed(ctx context.Context, eps float64, algo Algorithm) (*Coreset, error) {
 	select {
 	case s.buildSem <- struct{}{}:
 	default:
@@ -585,7 +648,10 @@ func (s *IngestService) Coreset(ctx context.Context, eps float64, algo Algorithm
 	for i, p := range champs {
 		pts[i] = Point(p)
 	}
-	cs, err := New(pts, WithSeed(s.opts.Seed), WithWorkers(s.opts.BuildWorkers))
+	// The Coreseter is single-use (the champion set changes with the
+	// stream), so its own build cache would never hit; the serve-layer
+	// cache above is the one that carries reuse.
+	cs, err := New(pts, WithSeed(s.opts.Seed), WithWorkers(s.opts.BuildWorkers), WithBuildCache(0))
 	if err != nil {
 		return nil, err
 	}
@@ -627,6 +693,8 @@ func (s *IngestService) Stats() ServiceStats {
 		WorkerPanics:   s.panics.Load(),
 		Builds:         s.builds.Load(),
 		BuildsShed:     s.shed.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		CacheMisses:    s.cacheMisses.Load(),
 		RestoredPoints: s.restoredN,
 	}
 	s.ckptMu.Lock()
