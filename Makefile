@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-workers bench-json bench-cache faults fuzz chaos
+.PHONY: build test vet race verify bench bench-workers bench-json bench-cache faults fuzz chaos tenants
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,14 @@ faults:
 # MINCORE_CHAOS_SEED=n to replay one schedule.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaosKillRestoreMatrix' -v .
+
+# Multi-tenant serving under the race detector: registry lifecycle,
+# deterministic fair-share scheduling, quota shedding, and the v1 HTTP
+# API (tenant CRUD, error envelope, legacy aliases, labeled metrics).
+tenants:
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+		-run 'TestScheduler|TestTenant|TestValidTenantID' .
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./cmd/mcserve/
 
 # Short fuzz smoke of the public build pipeline (never panics; nil error
 # implies certified loss ≤ ε).

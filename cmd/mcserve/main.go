@@ -1,33 +1,48 @@
-// Command mcserve runs the supervised, durable ingest service as an
-// HTTP endpoint: points stream in, crash-safe snapshots stream out, and
-// certified coresets are served under admission control.
+// Command mcserve runs the multi-tenant coreset service as an HTTP
+// endpoint: tenant streams are created and deleted over a versioned
+// API, points stream in per tenant, crash-safe snapshots stream out
+// into per-tenant directories, and certified coresets are served under
+// weighted-fair admission control so no tenant can starve another.
 //
 // Usage:
 //
-//	mcserve -addr :8080 -dim 3 -snapshot /var/lib/mincore/stream.snap
+//	mcserve -addr :8080 -dim 3 -snapshot-dir /var/lib/mincore
 //
-// Endpoints:
+// Versioned API (v1):
 //
-//	POST /ingest       {"points": [[...], ...]} → 202 {"ingested": n}
-//	                   400 on invalid points, 503 when shedding load
-//	GET  /coreset      ?eps=0.05&algo=auto&timeout=5s → certified coreset
-//	                   + build report with phase trace (503 when
-//	                   builds are saturated)
-//	GET  /summary      current sketch champions (no build)
-//	GET  /stats        service counters, checkpoint state + lag, last error
-//	POST /checkpoint   force a durable snapshot now
-//	GET  /healthz      liveness
-//	GET  /metrics      Prometheus text-format metrics (solver + service)
-//	GET  /debug/vars   expvar JSON (includes the metric registry)
-//	GET  /debug/pprof/ runtime profiling (CPU, heap, goroutines, ...)
+//	POST   /v1/tenants               create a tenant
+//	                                 {"id": "acme", "eps": 0.05, "weight": 2,
+//	                                  "quota_points_per_sec": 1000}
+//	GET    /v1/tenants               list tenants
+//	GET    /v1/tenants/{id}          one tenant's config + stream position
+//	DELETE /v1/tenants/{id}          stop the tenant, drop its snapshots
+//	POST   /v1/tenants/{id}/ingest   {"points": [[...], ...]} → 202
+//	GET    /v1/tenants/{id}/coreset  ?eps=0.05&algo=auto&timeout=5s
+//	                                 (eps omitted → the tenant's default ε)
+//	GET    /v1/tenants/{id}/summary  current sketch champions (no build)
+//	GET    /v1/tenants/{id}/stats    per-tenant counters incl. checkpoint
+//	                                 lag and cache hit/miss counts
+//	POST   /v1/tenants/{id}/snapshot force a durable checkpoint now
+//	GET    /v1/stats                 per-tenant rows + fair-share
+//	                                 scheduler counters
+//	GET    /healthz                  liveness
+//	GET    /metrics                  Prometheus text metrics (solver +
+//	                                 per-tenant service families)
+//	GET    /debug/vars, /debug/pprof/ introspection
 //
-// Structured logs go to stderr; tune with -log-level (debug|info|warn|
-// error) and -log-format (text|json).
+// Every error response uses one envelope:
 //
-// On restart the service recovers the newest decodable snapshot
-// generation and reports the restored stream position in /stats
-// ("restored_points"); producers should replay their stream from that
-// offset — replaying more is harmless, maxima ignore duplicates.
+//	{"error": {"code": "<symbol>", "message": "<detail>"}}
+//
+// with codes: bad_tenant_id, tenant_exists, tenant_not_found,
+// invalid_argument, invalid_point, empty_stream, quota_exceeded,
+// overloaded, deadline_exceeded, service_closed, uncertified, internal.
+//
+// Legacy unversioned routes (/ingest, /coreset, /summary, /stats,
+// /checkpoint, /healthz) remain as aliases onto the "default" tenant —
+// success responses are byte-identical to the single-tenant server —
+// but carry a "Deprecation: true" header and log a one-time warning;
+// migrate to /v1/tenants/default/....
 package main
 
 import (
@@ -42,6 +57,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -49,19 +65,25 @@ import (
 	"mincore/internal/obs"
 )
 
+// defaultTenant is the tenant the legacy unversioned routes alias onto.
+const defaultTenant = "default"
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	dim := flag.Int("dim", 0, "point dimension of the stream (required)")
-	eps := flag.Float64("eps", 0.05, "target sketch loss ε used to size the direction net")
+	dim := flag.Int("dim", 0, "default point dimension for tenant streams (required)")
+	eps := flag.Float64("eps", 0.05, "default tenant ε (sketch sizing and default build ε)")
 	alpha := flag.Float64("alpha", 0.25, "assumed stream fatness α for sketch sizing")
-	seed := flag.Int64("seed", 1, "random seed (direction net and builds)")
-	snapshotPath := flag.String("snapshot", "", "snapshot path for crash-safe checkpoints (empty = no durability)")
+	seed := flag.Int64("seed", 1, "default tenant seed (direction net and builds)")
+	snapshotDir := flag.String("snapshot-dir", "", "root directory for per-tenant snapshots and manifests (empty = no durability)")
+	snapshotPath := flag.String("snapshot", "", "legacy single-file snapshot path for the default tenant (migration aid)")
 	ckptEvery := flag.Duration("checkpoint-every", 10*time.Second, "base interval between automatic checkpoints")
-	workers := flag.Int("ingest-workers", 2, "ingest worker goroutines (one summary shard each)")
-	queue := flag.Int("queue", 256, "ingest queue capacity in batches (full queue sheds with 503)")
-	inflight := flag.Int("max-inflight-builds", 2, "concurrent coreset builds admitted (excess sheds with 503)")
+	workers := flag.Int("ingest-workers", 2, "ingest worker goroutines per tenant (one summary shard each)")
+	queue := flag.Int("queue", 256, "per-tenant ingest queue capacity in batches (full queue sheds with 503)")
+	inflight := flag.Int("max-inflight-builds", 2, "concurrent coreset builds across ALL tenants (fair-share scheduled)")
+	maxQueued := flag.Int("max-queued-builds", 16, "pending builds per tenant before shedding with 503")
 	buildWorkers := flag.Int("build-workers", 0, "worker-pool size for builds (0 = GOMAXPROCS)")
-	buildCache := flag.Int("build-cache", 0, "served-coreset cache entries (0 = default of 32, negative = disabled); invalidated on ingest")
+	buildCache := flag.Int("build-cache", 0, "served-coreset cache entries per tenant (0 = default of 32, negative = disabled)")
+	quota := flag.Float64("quota", 0, "default-tenant ingest quota in points/s (0 = unlimited; 429 when exceeded)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "text", "log format: text|json")
 	flag.Parse()
@@ -78,11 +100,13 @@ func main() {
 	obs.Enable()
 	obs.Default.PublishExpvar("mincore_metrics")
 
-	svc, err := mincore.NewIngestService(mincore.ServeOptions{
+	reg, err := mincore.NewTenantRegistry(mincore.RegistryOptions{
 		Dim: *dim, Eps: *eps, Alpha: *alpha, Seed: *seed,
-		SnapshotPath: *snapshotPath, CheckpointInterval: *ckptEvery,
+		SnapshotDir:        *snapshotDir,
+		CheckpointInterval: *ckptEvery,
+		MaxInflightBuilds:  *inflight, MaxQueuedBuilds: *maxQueued,
+		BuildWorkers:  *buildWorkers,
 		IngestWorkers: *workers, QueueSize: *queue,
-		MaxInflightBuilds: *inflight, BuildWorkers: *buildWorkers,
 		BuildCache: *buildCache,
 		Logger:     logger,
 	})
@@ -91,29 +115,46 @@ func main() {
 		os.Exit(1)
 	}
 	log := obs.Component(logger, "mcserve")
-	if n := svc.RestoredPoints(); n > 0 {
-		log.Info("recovered snapshot; replay from restored position",
-			slog.Int("restored_points", n))
+
+	// The default tenant backs the legacy unversioned routes. A restart
+	// with -snapshot-dir restores it from its manifest; otherwise it is
+	// created fresh, honoring the legacy -snapshot file override.
+	if _, err := reg.Tenant(defaultTenant); errors.Is(err, mincore.ErrTenantNotFound) {
+		_, err = reg.CreateTenant(mincore.TenantConfig{
+			ID:                defaultTenant,
+			SnapshotPath:      *snapshotPath,
+			QuotaPointsPerSec: *quota,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcserve:", err)
+			os.Exit(1)
+		}
+	}
+	if t, err := reg.Tenant(defaultTenant); err == nil {
+		if n := t.Service().RestoredPoints(); n > 0 {
+			log.Info("recovered default-tenant snapshot; replay from restored position",
+				slog.Int("restored_points", n))
+		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newMux(svc, log)}
+	srv := &http.Server{Addr: *addr, Handler: newMux(reg, log)}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Info("shutting down: draining ingest queue and writing final checkpoint")
+		log.Info("shutting down: draining tenant queues and writing final checkpoints")
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx)
-		if err := svc.Close(); err != nil && !errors.Is(err, mincore.ErrServiceClosed) {
-			log.Error("final checkpoint failed", slog.Any("error", err))
+		if err := reg.Close(); err != nil && !errors.Is(err, mincore.ErrRegistryClosed) {
+			log.Error("registry shutdown", slog.Any("error", err))
 		}
 	}()
 	log.Info("mcserve listening",
 		slog.String("addr", *addr), slog.Int("dim", *dim),
-		slog.String("snapshot", *snapshotPath))
+		slog.String("snapshot_dir", *snapshotDir))
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Error("listen failed", slog.Any("error", err))
 		os.Exit(1)
@@ -121,126 +162,48 @@ func main() {
 	<-done
 }
 
-// newMux builds the full route table. Split from main so the smoke
-// tests can drive the handlers through httptest without a listener.
-func newMux(svc *mincore.IngestService, log *slog.Logger) *http.ServeMux {
+// apiServer binds the route handlers to a registry. Tenant-scoped
+// handlers are written once and mounted twice: under /v1/tenants/{id}
+// and — via legacyAlias — on the deprecated unversioned paths against
+// the default tenant.
+type apiServer struct {
+	reg        *mincore.TenantRegistry
+	log        *slog.Logger
+	deprecated sync.Once
+}
+
+// newMux builds the full route table. Split from main so tests can
+// drive the handlers through httptest without a listener.
+func newMux(reg *mincore.TenantRegistry, log *slog.Logger) *http.ServeMux {
+	api := &apiServer{reg: reg, log: log}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Points []mincore.Point `json:"points"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		if err := svc.Feed(req.Points...); err != nil {
-			httpError(w, statusFor(err), err)
-			return
-		}
-		writeJSON(w, http.StatusAccepted, map[string]int{"ingested": len(req.Points)})
-	})
 
-	mux.HandleFunc("GET /coreset", func(w http.ResponseWriter, r *http.Request) {
-		epsQ := 0.05
-		if v := r.URL.Query().Get("eps"); v != "" {
-			if _, err := fmt.Sscanf(v, "%g", &epsQ); err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("bad eps %q", v))
-				return
-			}
-		}
-		algo := mincore.Auto
-		if v := r.URL.Query().Get("algo"); v != "" {
-			algo = mincore.Algorithm(v)
-		}
-		ctx := r.Context() // client disconnect cancels the build
-		if v := r.URL.Query().Get("timeout"); v != "" {
-			d, err := time.ParseDuration(v)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q", v))
-				return
-			}
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, d)
-			defer cancel()
-		}
-		q, err := svc.Coreset(ctx, epsQ, algo)
-		if err != nil {
-			httpError(w, statusFor(err), err)
-			return
-		}
-		if rep := q.Report; rep != nil {
-			log.Info("build served",
-				slog.String("algorithm", string(rep.Algorithm)),
-				slog.Float64("eps", rep.Eps),
-				slog.Float64("certified_loss", rep.CertifiedLoss),
-				slog.Bool("certified", rep.Certified),
-				slog.Int("size", q.Size()),
-				slog.Int("attempts", rep.Attempts),
-				slog.Duration("wall", rep.Wall),
-				slog.String("spans", rep.Trace.Summary()))
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"size": q.Size(), "eps": q.Eps, "loss": q.Loss,
-			"algorithm": q.Algorithm, "points": q.Points, "report": q.Report,
-		})
-	})
+	mux.HandleFunc("POST /v1/tenants", api.createTenant)
+	mux.HandleFunc("GET /v1/tenants", api.listTenants)
+	mux.HandleFunc("GET /v1/tenants/{id}", api.getTenant)
+	mux.HandleFunc("DELETE /v1/tenants/{id}", api.deleteTenant)
+	mux.HandleFunc("POST /v1/tenants/{id}/ingest", api.tenantH(api.ingest))
+	mux.HandleFunc("GET /v1/tenants/{id}/coreset", api.tenantH(api.coreset))
+	mux.HandleFunc("GET /v1/tenants/{id}/summary", api.tenantH(api.summary))
+	mux.HandleFunc("GET /v1/tenants/{id}/stats", api.tenantH(api.tenantStats))
+	mux.HandleFunc("POST /v1/tenants/{id}/snapshot", api.tenantH(api.snapshot))
+	mux.HandleFunc("GET /v1/stats", api.registryStats)
 
-	mux.HandleFunc("GET /summary", func(w http.ResponseWriter, r *http.Request) {
-		ss, err := svc.Summary()
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"n": ss.N(), "size": ss.Size(), "points": ss.Coreset(),
-		})
-	})
-
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		st := svc.Stats()
-		resp := map[string]any{
-			"ingested": st.Ingested, "rejected": st.Rejected, "invalid": st.Invalid,
-			"worker_panics": st.WorkerPanics,
-			"builds":        st.Builds, "builds_shed": st.BuildsShed,
-			"cache_hits":            st.CacheHits,
-			"cache_misses":          st.CacheMisses,
-			"restored_points":       st.RestoredPoints,
-			"stream_n":              svc.StreamN(),
-			"checkpoint_generation": st.CheckpointGeneration,
-			"checkpoint_points":     st.CheckpointPoints,
-			"checkpoint_failures":   st.CheckpointFailures,
-		}
-		if !st.LastCheckpoint.IsZero() {
-			resp["last_checkpoint"] = st.LastCheckpoint.Format(time.RFC3339Nano)
-			resp["checkpoint_lag_seconds"] = st.CheckpointLag.Seconds()
-		}
-		if st.LastError != nil {
-			resp["last_error"] = st.LastError.Error()
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-
-	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
-		if err := svc.Checkpoint(); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
-			return
-		}
-		st := svc.Stats()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"generation": st.CheckpointGeneration, "points": st.CheckpointPoints,
-		})
-	})
+	// Legacy unversioned aliases onto the default tenant (deprecated).
+	mux.HandleFunc("POST /ingest", api.legacyAlias(api.ingest))
+	mux.HandleFunc("GET /coreset", api.legacyAlias(api.coreset))
+	mux.HandleFunc("GET /summary", api.legacyAlias(api.summary))
+	mux.HandleFunc("GET /stats", api.legacyAlias(api.legacyStats))
+	mux.HandleFunc("POST /checkpoint", api.legacyAlias(api.snapshot))
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		obs.Default.WritePrometheus(w)
 	})
-
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	// net/http/pprof registers on DefaultServeMux; mount its handlers
 	// explicitly since this mux is not the default one.
@@ -253,21 +216,289 @@ func newMux(svc *mincore.IngestService, log *slog.Logger) *http.ServeMux {
 	return mux
 }
 
-// statusFor maps the service's typed errors onto HTTP semantics: shed →
-// 503 + Retry-After handled by httpError, bad input → 400, deadline →
-// 504.
-func statusFor(err error) int {
+// tenantHandler is a handler scoped to one resolved tenant. legacy is
+// true when the request arrived on a deprecated unversioned path.
+type tenantHandler func(w http.ResponseWriter, r *http.Request, t *mincore.Tenant, legacy bool)
+
+// tenantH resolves {id} and dispatches, mapping a missing tenant to
+// the 404 envelope.
+func (a *apiServer) tenantH(h tenantHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, err := a.reg.Tenant(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		h(w, r, t, false)
+	}
+}
+
+// legacyAlias mounts a tenant handler on a deprecated unversioned path
+// against the default tenant, stamping the Deprecation header and
+// logging a one-time migration warning.
+func (a *apiServer) legacyAlias(h tenantHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		a.deprecated.Do(func() {
+			a.log.Warn("legacy unversioned route used; migrate to /v1/tenants/default/...",
+				slog.String("path", r.URL.Path))
+		})
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/tenants/`+defaultTenant+`>; rel="successor-version"`)
+		t, err := a.reg.Tenant(defaultTenant)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		h(w, r, t, true)
+	}
+}
+
+// createTenantRequest is the POST /v1/tenants body; zero fields
+// inherit the registry defaults.
+type createTenantRequest struct {
+	ID                string  `json:"id"`
+	Dim               int     `json:"dim"`
+	Eps               float64 `json:"eps"`
+	Alpha             float64 `json:"alpha"`
+	Directions        int     `json:"directions"`
+	Seed              int64   `json:"seed"`
+	Weight            float64 `json:"weight"`
+	QuotaPointsPerSec float64 `json:"quota_points_per_sec"`
+	QuotaBurst        int     `json:"quota_burst"`
+	IngestWorkers     int     `json:"ingest_workers"`
+	QueueSize         int     `json:"queue_size"`
+	BuildCache        int     `json:"build_cache"`
+}
+
+func (a *apiServer) createTenant(w http.ResponseWriter, r *http.Request) {
+	var req createTenantRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpErrorCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	t, err := a.reg.CreateTenant(mincore.TenantConfig{
+		ID: req.ID, Dim: req.Dim, Eps: req.Eps, Alpha: req.Alpha,
+		Directions: req.Directions, Seed: req.Seed, Weight: req.Weight,
+		QuotaPointsPerSec: req.QuotaPointsPerSec, QuotaBurst: req.QuotaBurst,
+		IngestWorkers: req.IngestWorkers, QueueSize: req.QueueSize,
+		BuildCache: req.BuildCache,
+	})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, tenantInfoJSON(t))
+}
+
+func (a *apiServer) listTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": a.reg.ListTenants()})
+}
+
+func (a *apiServer) getTenant(w http.ResponseWriter, r *http.Request) {
+	t, err := a.reg.Tenant(r.PathValue("id"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tenantInfoJSON(t))
+}
+
+func (a *apiServer) deleteTenant(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := a.reg.DeleteTenant(id); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func tenantInfoJSON(t *mincore.Tenant) map[string]any {
+	cfg := t.Config()
+	return map[string]any{
+		"id": cfg.ID, "dim": cfg.Dim, "eps": cfg.Eps, "alpha": cfg.Alpha,
+		"seed": cfg.Seed, "weight": cfg.Weight,
+		"quota_points_per_sec": cfg.QuotaPointsPerSec,
+		"stream_n":             t.Service().StreamN(),
+	}
+}
+
+func (a *apiServer) ingest(w http.ResponseWriter, r *http.Request, t *mincore.Tenant, legacy bool) {
+	var req struct {
+		Points []mincore.Point `json:"points"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpErrorCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	if err := t.Feed(req.Points...); err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{"ingested": len(req.Points)})
+}
+
+func (a *apiServer) coreset(w http.ResponseWriter, r *http.Request, t *mincore.Tenant, legacy bool) {
+	epsQ := 0.0 // 0 = the tenant's default ε
+	if v := r.URL.Query().Get("eps"); v != "" {
+		if _, err := fmt.Sscanf(v, "%g", &epsQ); err != nil {
+			httpErrorCode(w, http.StatusBadRequest, "invalid_argument", fmt.Sprintf("bad eps %q", v))
+			return
+		}
+	} else if legacy {
+		epsQ = 0.05 // the historical unversioned default
+	}
+	algo := mincore.Auto
+	if v := r.URL.Query().Get("algo"); v != "" {
+		algo = mincore.Algorithm(v)
+	}
+	ctx := r.Context() // client disconnect cancels the build
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			httpErrorCode(w, http.StatusBadRequest, "invalid_argument", fmt.Sprintf("bad timeout %q", v))
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	q, err := t.Coreset(ctx, epsQ, algo)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if rep := q.Report; rep != nil {
+		a.log.Info("build served",
+			slog.String("tenant", t.ID()),
+			slog.String("algorithm", string(rep.Algorithm)),
+			slog.Float64("eps", rep.Eps),
+			slog.Float64("certified_loss", rep.CertifiedLoss),
+			slog.Bool("certified", rep.Certified),
+			slog.Int("size", q.Size()),
+			slog.Int("attempts", rep.Attempts),
+			slog.Duration("wall", rep.Wall),
+			slog.String("spans", rep.Trace.Summary()))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"size": q.Size(), "eps": q.Eps, "loss": q.Loss,
+		"algorithm": q.Algorithm, "points": q.Points, "report": q.Report,
+	})
+}
+
+func (a *apiServer) summary(w http.ResponseWriter, r *http.Request, t *mincore.Tenant, legacy bool) {
+	ss, err := t.Service().Summary()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"n": ss.N(), "size": ss.Size(), "points": ss.Coreset(),
+	})
+}
+
+// statsPayload renders one tenant's counters. The legacy shape omits
+// the keys added with multi-tenancy so the unversioned /stats response
+// stays byte-identical to the single-tenant server.
+func statsPayload(t *mincore.Tenant, legacy bool) map[string]any {
+	st := t.Stats()
+	resp := map[string]any{
+		"ingested": st.Ingested, "rejected": st.Rejected, "invalid": st.Invalid,
+		"worker_panics": st.WorkerPanics,
+		"builds":        st.Builds, "builds_shed": st.BuildsShed,
+		"cache_hits":            st.CacheHits,
+		"cache_misses":          st.CacheMisses,
+		"restored_points":       st.RestoredPoints,
+		"stream_n":              t.Service().StreamN(),
+		"checkpoint_generation": st.CheckpointGeneration,
+		"checkpoint_points":     st.CheckpointPoints,
+		"checkpoint_failures":   st.CheckpointFailures,
+	}
+	if !legacy {
+		resp["tenant"] = st.Tenant
+		resp["quota_shed"] = st.QuotaShed
+	}
+	if !st.LastCheckpoint.IsZero() {
+		resp["last_checkpoint"] = st.LastCheckpoint.Format(time.RFC3339Nano)
+		resp["checkpoint_lag_seconds"] = st.CheckpointLag.Seconds()
+	}
+	if st.LastError != nil {
+		resp["last_error"] = st.LastError.Error()
+	}
+	return resp
+}
+
+func (a *apiServer) tenantStats(w http.ResponseWriter, r *http.Request, t *mincore.Tenant, legacy bool) {
+	writeJSON(w, http.StatusOK, statsPayload(t, false))
+}
+
+// legacyStats is the unversioned /stats alias: the PR-5 response shape,
+// exactly.
+func (a *apiServer) legacyStats(w http.ResponseWriter, r *http.Request, t *mincore.Tenant, legacy bool) {
+	writeJSON(w, http.StatusOK, statsPayload(t, true))
+}
+
+func (a *apiServer) snapshot(w http.ResponseWriter, r *http.Request, t *mincore.Tenant, legacy bool) {
+	if err := t.Checkpoint(); err != nil {
+		httpError(w, err)
+		return
+	}
+	st := t.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": st.CheckpointGeneration, "points": st.CheckpointPoints,
+	})
+}
+
+// registryStats renders GET /v1/stats: one row per tenant plus the
+// fair-share scheduler counters.
+func (a *apiServer) registryStats(w http.ResponseWriter, r *http.Request) {
+	st := a.reg.Stats()
+	tenants := map[string]any{}
+	for _, ts := range st.Tenants {
+		if t, err := a.reg.Tenant(ts.Tenant); err == nil {
+			tenants[ts.Tenant] = statsPayload(t, false)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant_count": len(st.Tenants),
+		"tenants":      tenants,
+		"scheduler": map[string]any{
+			"inflight":      st.Scheduler.Inflight,
+			"rounds":        st.Scheduler.Rounds,
+			"grants":        st.Scheduler.Grants,
+			"pending":       st.Scheduler.Pending,
+			"tenant_grants": st.Scheduler.TenantGrants,
+		},
+	})
+}
+
+// errorCode maps the library's typed errors onto the documented
+// (status, code) set of the JSON error envelope.
+func errorCode(err error) (int, string) {
 	switch {
+	case errors.Is(err, mincore.ErrBadTenantID):
+		return http.StatusBadRequest, "bad_tenant_id"
+	case errors.Is(err, mincore.ErrTenantExists):
+		return http.StatusConflict, "tenant_exists"
+	case errors.Is(err, mincore.ErrTenantNotFound):
+		return http.StatusNotFound, "tenant_not_found"
+	case errors.Is(err, mincore.ErrQuotaExceeded):
+		return http.StatusTooManyRequests, "quota_exceeded"
 	case errors.Is(err, mincore.ErrOverloaded):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, mincore.ErrInvalidPoint), errors.Is(err, mincore.ErrUnknownAlgorithm):
-		return http.StatusBadRequest
+		return http.StatusServiceUnavailable, "overloaded"
+	case errors.Is(err, mincore.ErrInvalidPoint):
+		return http.StatusBadRequest, "invalid_point"
+	case errors.Is(err, mincore.ErrUnknownAlgorithm):
+		return http.StatusBadRequest, "invalid_argument"
+	case errors.Is(err, mincore.ErrEmptyInput):
+		return http.StatusConflict, "empty_stream"
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, mincore.ErrServiceClosed):
-		return http.StatusServiceUnavailable
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, mincore.ErrServiceClosed), errors.Is(err, mincore.ErrRegistryClosed):
+		return http.StatusServiceUnavailable, "service_closed"
+	case errors.Is(err, mincore.ErrUncertified):
+		return http.StatusInternalServerError, "uncertified"
 	default:
-		return http.StatusInternalServerError
+		return http.StatusInternalServerError, "internal"
 	}
 }
 
@@ -279,9 +510,20 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
-	if code == http.StatusServiceUnavailable {
+// httpError renders a typed error with the standard envelope.
+func httpError(w http.ResponseWriter, err error) {
+	status, code := errorCode(err)
+	httpErrorCode(w, status, code, err.Error())
+}
+
+// httpErrorCode renders the single JSON error envelope used by every
+// handler: {"error": {"code": ..., "message": ...}}. Shed responses
+// carry Retry-After so well-behaved clients back off.
+func httpErrorCode(w http.ResponseWriter, status int, code, msg string) {
+	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeJSON(w, status, map[string]any{
+		"error": map[string]string{"code": code, "message": msg},
+	})
 }

@@ -14,42 +14,51 @@ import (
 	"mincore/internal/obs"
 )
 
-// newTestServer builds the real route table over a live ingest service,
+// newTestServer builds the real route table over a live tenant
+// registry (with the default tenant the legacy routes alias onto),
 // exactly as main() does minus the listener and signal handling.
-func newTestServer(t *testing.T, opts mincore.ServeOptions) (*httptest.Server, *mincore.IngestService) {
+func newTestServer(t *testing.T, opts mincore.RegistryOptions) (*httptest.Server, *mincore.TenantRegistry) {
 	t.Helper()
 	obs.Enable()
-	svc, err := mincore.NewIngestService(opts)
-	if err != nil {
-		t.Fatalf("NewIngestService: %v", err)
+	if opts.CheckpointInterval == 0 {
+		opts.CheckpointInterval = -1
 	}
-	t.Cleanup(func() { svc.Close() })
-	ts := httptest.NewServer(newMux(svc, obs.Discard()))
+	reg, err := mincore.NewTenantRegistry(opts)
+	if err != nil {
+		t.Fatalf("NewTenantRegistry: %v", err)
+	}
+	if _, err := reg.Tenant(defaultTenant); err != nil {
+		if _, err := reg.CreateTenant(mincore.TenantConfig{ID: defaultTenant}); err != nil {
+			t.Fatalf("create default tenant: %v", err)
+		}
+	}
+	t.Cleanup(func() { reg.Close() })
+	ts := httptest.NewServer(newMux(reg, obs.Discard()))
 	t.Cleanup(ts.Close)
-	return ts, svc
+	return ts, reg
 }
 
-func feedPoints(t *testing.T, ts *httptest.Server, pts [][]float64) {
+func feedPoints(t *testing.T, ts *httptest.Server, path string, pts [][]float64) {
 	t.Helper()
 	body, _ := json.Marshal(map[string]any{"points": pts})
-	resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		t.Fatalf("POST /ingest: %v", err)
+		t.Fatalf("POST %s: %v", path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("POST /ingest: status %d", resp.StatusCode)
+		t.Fatalf("POST %s: status %d", path, resp.StatusCode)
 	}
 }
 
 func TestServeMetricsEndpoint(t *testing.T) {
-	ts, _ := newTestServer(t, mincore.ServeOptions{Dim: 2, Eps: 0.1, Seed: 7})
+	ts, _ := newTestServer(t, mincore.RegistryOptions{Dim: 2, Eps: 0.1, Seed: 7})
 
 	pts := make([][]float64, 0, 64)
 	for i := 0; i < 64; i++ {
 		pts = append(pts, []float64{float64(i%17) / 17, float64((i*7)%13) / 13})
 	}
-	feedPoints(t, ts, pts)
+	feedPoints(t, ts, "/ingest", pts)
 
 	// A build exercises the solver metric families before the scrape;
 	// repeating it hits the served-coreset cache, so the cache families
@@ -104,22 +113,23 @@ func TestServeMetricsEndpoint(t *testing.T) {
 		}
 	}
 
-	// The build-cache families must be present per layer, and the two
-	// identical /coreset requests above leave the serve layer with at
-	// least one miss (first build) and one hit (repeat).
+	// The build-cache families must be present per layer; the registry
+	// routes everything through the default tenant, so the serve layer's
+	// series carry the tenant label while the coreseter layer stays
+	// process-global.
 	for _, key := range []string{
 		`mincore_build_cache_hits_total{layer="coreseter"}`,
 		`mincore_build_cache_misses_total{layer="coreseter"}`,
-		`mincore_build_cache_evictions_total{layer="serve"}`,
+		`mincore_build_cache_evictions_total{layer="serve",tenant="default"}`,
 	} {
 		if _, ok := samples[key]; !ok {
 			t.Errorf("scrape missing sample %s", key)
 		}
 	}
-	if v := samples[`mincore_build_cache_misses_total{layer="serve"}`]; v < 1 {
+	if v := samples[`mincore_build_cache_misses_total{layer="serve",tenant="default"}`]; v < 1 {
 		t.Errorf(`serve cache misses = %v, want >= 1`, v)
 	}
-	if v := samples[`mincore_build_cache_hits_total{layer="serve"}`]; v < 1 {
+	if v := samples[`mincore_build_cache_hits_total{layer="serve",tenant="default"}`]; v < 1 {
 		t.Errorf(`serve cache hits = %v, want >= 1`, v)
 	}
 
@@ -142,8 +152,8 @@ func TestServeMetricsEndpoint(t *testing.T) {
 }
 
 func TestServeJSONContentType(t *testing.T) {
-	ts, _ := newTestServer(t, mincore.ServeOptions{Dim: 2, Eps: 0.1, Seed: 7})
-	feedPoints(t, ts, [][]float64{{0.2, 0.9}, {0.9, 0.2}, {0.6, 0.6}})
+	ts, _ := newTestServer(t, mincore.RegistryOptions{Dim: 2, Eps: 0.1, Seed: 7})
+	feedPoints(t, ts, "/ingest", [][]float64{{0.2, 0.9}, {0.9, 0.2}, {0.6, 0.6}})
 
 	for _, tc := range []struct {
 		method, path string
@@ -154,6 +164,9 @@ func TestServeJSONContentType(t *testing.T) {
 		{"GET", "/coreset?eps=0.3", http.StatusOK},
 		{"POST", "/checkpoint", http.StatusOK},
 		{"GET", "/coreset?eps=nope", http.StatusBadRequest}, // error path too
+		{"GET", "/v1/tenants", http.StatusOK},
+		{"GET", "/v1/stats", http.StatusOK},
+		{"GET", "/v1/tenants/nope/stats", http.StatusNotFound},
 	} {
 		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, nil)
 		resp, err := http.DefaultClient.Do(req)
@@ -172,12 +185,12 @@ func TestServeJSONContentType(t *testing.T) {
 
 func TestServeStatsCheckpointLag(t *testing.T) {
 	dir := t.TempDir()
-	ts, _ := newTestServer(t, mincore.ServeOptions{
+	ts, _ := newTestServer(t, mincore.RegistryOptions{
 		Dim: 2, Eps: 0.1, Seed: 7,
-		SnapshotPath:       dir + "/stream.snap",
+		SnapshotDir:        dir,
 		CheckpointInterval: time.Hour, // only explicit checkpoints
 	})
-	feedPoints(t, ts, [][]float64{{0.1, 0.8}, {0.8, 0.1}})
+	feedPoints(t, ts, "/ingest", [][]float64{{0.1, 0.8}, {0.8, 0.1}})
 
 	get := func() map[string]any {
 		resp, err := http.Get(ts.URL + "/stats")
@@ -211,7 +224,7 @@ func TestServeStatsCheckpointLag(t *testing.T) {
 }
 
 func TestServePprofAndExpvar(t *testing.T) {
-	ts, _ := newTestServer(t, mincore.ServeOptions{Dim: 2, Eps: 0.1, Seed: 7})
+	ts, _ := newTestServer(t, mincore.RegistryOptions{Dim: 2, Eps: 0.1, Seed: 7})
 	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/vars"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
@@ -225,12 +238,12 @@ func TestServePprofAndExpvar(t *testing.T) {
 }
 
 func TestServeCoresetReportHasTrace(t *testing.T) {
-	ts, _ := newTestServer(t, mincore.ServeOptions{Dim: 2, Eps: 0.1, Seed: 7})
+	ts, _ := newTestServer(t, mincore.RegistryOptions{Dim: 2, Eps: 0.1, Seed: 7})
 	pts := make([][]float64, 0, 32)
 	for i := 0; i < 32; i++ {
 		pts = append(pts, []float64{float64(i) / 32, float64((i*11)%32) / 32})
 	}
-	feedPoints(t, ts, pts)
+	feedPoints(t, ts, "/ingest", pts)
 
 	resp, err := http.Get(ts.URL + "/coreset?eps=0.2")
 	if err != nil {
@@ -265,17 +278,25 @@ func TestServeCoresetReportHasTrace(t *testing.T) {
 	}
 }
 
-func TestStatusForMapping(t *testing.T) {
+func TestErrorCodeMapping(t *testing.T) {
 	for _, tc := range []struct {
-		err  error
-		want int
+		err      error
+		want     int
+		wantCode string
 	}{
-		{mincore.ErrOverloaded, http.StatusServiceUnavailable},
-		{mincore.ErrInvalidPoint, http.StatusBadRequest},
-		{fmt.Errorf("wrapped: %w", mincore.ErrServiceClosed), http.StatusServiceUnavailable},
+		{mincore.ErrOverloaded, http.StatusServiceUnavailable, "overloaded"},
+		{mincore.ErrInvalidPoint, http.StatusBadRequest, "invalid_point"},
+		{mincore.ErrQuotaExceeded, http.StatusTooManyRequests, "quota_exceeded"},
+		{mincore.ErrTenantNotFound, http.StatusNotFound, "tenant_not_found"},
+		{mincore.ErrTenantExists, http.StatusConflict, "tenant_exists"},
+		{mincore.ErrBadTenantID, http.StatusBadRequest, "bad_tenant_id"},
+		{mincore.ErrEmptyInput, http.StatusConflict, "empty_stream"},
+		{fmt.Errorf("wrapped: %w", mincore.ErrServiceClosed), http.StatusServiceUnavailable, "service_closed"},
+		{fmt.Errorf("boom"), http.StatusInternalServerError, "internal"},
 	} {
-		if got := statusFor(tc.err); got != tc.want {
-			t.Errorf("statusFor(%v) = %d, want %d", tc.err, got, tc.want)
+		status, code := errorCode(tc.err)
+		if status != tc.want || code != tc.wantCode {
+			t.Errorf("errorCode(%v) = (%d, %q), want (%d, %q)", tc.err, status, code, tc.want, tc.wantCode)
 		}
 	}
 }

@@ -82,3 +82,103 @@ func buildCacheMetrics() cacheMetrics {
 func serveCacheMetrics() cacheMetrics {
 	return cacheMetrics{hits: mCacheHitsServe, misses: mCacheMissesServe, evictions: mCacheEvictionsServe}
 }
+
+// Multi-tenant metrics. serviceMetrics bundles every service-boundary
+// family one IngestService records into. The single-tenant path
+// (NewIngestService with no Tenant set) uses the process-global
+// unlabeled series above — the gate that keeps that fast path exactly
+// as it was: no new series, no per-event label work, one atomic add per
+// record. A registry-hosted tenant resolves a tenant-labeled bundle
+// once at creation (registration is idempotent, so re-creating a tenant
+// id reuses its series), after which recording costs the same single
+// atomic add. Solver-internal families (LP, dominance graph, SCMC,
+// loss oracles) intentionally stay unlabeled — see the cardinality
+// policy in DESIGN.md §11.
+type serviceMetrics struct {
+	ingestBatches, ingestPoints, ingestShed *obs.Counter
+	ingestInvalid, quotaShed                *obs.Counter
+	queueDepth                              *obs.Gauge
+	workerPanics                            *obs.Counter
+	ckptSaves, ckptFailures                 *obs.Counter
+	ckptDuration                            *obs.Histogram
+	serveBuilds, serveShed, schedGrants     *obs.Counter
+	serveBuildDuration                      *obs.Histogram
+	cache                                   cacheMetrics
+}
+
+// mQuotaShedTotal is the unlabeled quota-shed series used by the
+// single-tenant path (quotas exist there too, via ServeOptions).
+var mQuotaShed = obs.Default.Counter("mincore_ingest_quota_shed_points_total",
+	"Points shed because the tenant's ingest quota was exhausted.", nil)
+
+// mSchedGrants (unlabeled) counts slots granted outside any registry —
+// the legacy semaphore path records nothing here; only scheduler-backed
+// services do.
+var mSchedGrants = obs.Default.Counter("mincore_sched_grants_total",
+	"Build slots granted by the fair-share scheduler.", nil)
+
+// mTenants tracks the number of live tenants across all registries.
+var mTenants = obs.Default.Gauge("mincore_tenants",
+	"Live tenant streams hosted by tenant registries.", nil)
+
+// defaultServiceMetrics returns the unlabeled process-global bundle —
+// the legacy single-tenant fast path.
+func defaultServiceMetrics() serviceMetrics {
+	return serviceMetrics{
+		ingestBatches: mIngestBatches, ingestPoints: mIngestPoints,
+		ingestShed: mIngestShed, ingestInvalid: mIngestInvalid,
+		quotaShed: mQuotaShed, queueDepth: mQueueDepth,
+		workerPanics: mWorkerPanics,
+		ckptSaves:    mCkptSaves, ckptFailures: mCkptFailures, ckptDuration: mCkptDuration,
+		serveBuilds: mServeBuilds, serveShed: mServeShed, schedGrants: mSchedGrants,
+		serveBuildDuration: mServeBuildDuration,
+		cache:              serveCacheMetrics(),
+	}
+}
+
+// tenantServiceMetrics registers (or looks up) the tenant-labeled series
+// of every service-boundary family. Tenant ids are operator-chosen and
+// validated, so the label cardinality is bounded by the number of
+// tenants ever created in the process.
+func tenantServiceMetrics(tenant string) serviceMetrics {
+	l := obs.Labels{"tenant": tenant}
+	cl := obs.Labels{"layer": "serve", "tenant": tenant}
+	return serviceMetrics{
+		ingestBatches: obs.Default.Counter("mincore_ingest_batches_total",
+			"Batches accepted into the ingest queue.", l),
+		ingestPoints: obs.Default.Counter("mincore_ingest_points_total",
+			"Points applied to a summary shard.", l),
+		ingestShed: obs.Default.Counter("mincore_ingest_shed_points_total",
+			"Points shed because the ingest queue was full.", l),
+		ingestInvalid: obs.Default.Counter("mincore_ingest_invalid_points_total",
+			"Points rejected as invalid (NaN/Inf or wrong dimension).", l),
+		quotaShed: obs.Default.Counter("mincore_ingest_quota_shed_points_total",
+			"Points shed because the tenant's ingest quota was exhausted.", l),
+		queueDepth: obs.Default.Gauge("mincore_ingest_queue_depth",
+			"Batches currently waiting in the ingest queue.", l),
+		workerPanics: obs.Default.Counter("mincore_worker_panics_total",
+			"Panics recovered by the ingest and checkpoint supervisors.", l),
+		ckptSaves: obs.Default.Counter("mincore_checkpoint_saves_total",
+			"Durable checkpoint generations written.", l),
+		ckptFailures: obs.Default.Counter("mincore_checkpoint_failures_total",
+			"Checkpoint save attempts that failed.", l),
+		ckptDuration: obs.Default.Histogram("mincore_checkpoint_duration_seconds",
+			"Wall time of checkpoint saves (merge + atomic write), in seconds.", nil, l),
+		serveBuilds: obs.Default.Counter("mincore_serve_build_requests_total",
+			"Coreset build requests admitted by the service.", l),
+		serveShed: obs.Default.Counter("mincore_serve_builds_shed_total",
+			"Coreset build requests shed by admission control.", l),
+		schedGrants: obs.Default.Counter("mincore_sched_grants_total",
+			"Build slots granted by the fair-share scheduler.", l),
+		serveBuildDuration: obs.Default.Histogram("mincore_serve_build_duration_seconds",
+			"Wall time of served coreset builds, in seconds.", nil, l),
+		cache: cacheMetrics{
+			hits: obs.Default.Counter("mincore_build_cache_hits_total",
+				"Memoized build cache hits (including singleflight followers), by layer.", cl),
+			misses: obs.Default.Counter("mincore_build_cache_misses_total",
+				"Memoized build cache misses (each miss leads one underlying build), by layer.", cl),
+			evictions: obs.Default.Counter("mincore_build_cache_evictions_total",
+				"Entries evicted from the memoized build cache LRU, by layer.", cl),
+		},
+	}
+}

@@ -1,0 +1,277 @@
+package mincore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Fair-share build scheduling. A single process hosts many tenant
+// streams but only MaxInflightBuilds concurrent certified builds — the
+// expensive resource every tenant competes for. A plain semaphore hands
+// slots out in arrival order, so one tenant running an ε-sweep ladder
+// (dozens of queued builds) starves a tenant that asks for one. The
+// buildScheduler replaces the semaphore with deficit round-robin (DRR)
+// over per-tenant FIFO queues:
+//
+//   - every tenant with pending requests sits in a ring; each full pass
+//     of the ring is one scheduler round,
+//   - on its turn a tenant's deficit counter grows by quantum × weight,
+//     and its queued requests are granted while the deficit covers their
+//     unit cost — so a weight-2 tenant drains twice as fast as a
+//     weight-1 tenant, and with equal weights grants strictly alternate,
+//   - an emptied queue leaves the ring and forfeits its residual
+//     deficit, so idle tenants cannot hoard credit and burst later.
+//
+// The starvation bound follows directly: with unit-cost requests and
+// weight w ≥ 1, a tenant's head request is granted within one round of
+// enqueueing — no matter how deep any other tenant's backlog is.
+//
+// Queues are bounded (maxQueued per tenant); excess requests shed with
+// ErrOverloaded exactly like the legacy semaphore's fast-fail, but only
+// against the tenant's own backlog. Grant order is a pure function of
+// the enqueue order, which keeps the scheduler tests deterministic: the
+// "clock" is the grant sequence number, not wall time.
+
+// schedWaiter is one pending build request. grant is closed (or err set
+// first) by the dispatcher under the scheduler lock.
+type schedWaiter struct {
+	grant   chan struct{}
+	err     error  // set before grant is closed when the queue is evicted
+	granted bool   // true once dispatched; the canceller must release
+	seq     uint64 // grant sequence number, stamped at dispatch
+}
+
+// schedQueue is one tenant's FIFO of pending requests plus its DRR
+// state.
+type schedQueue struct {
+	id      string
+	weight  float64
+	deficit float64
+	waiters []*schedWaiter
+	inRing  bool
+	grants  uint64 // lifetime grants, for stats and tests
+}
+
+// buildScheduler is the weighted-fair admission controller shared by
+// every tenant of a registry. All fields are guarded by mu; dispatching
+// happens inline under the lock on every acquire/release/evict, so
+// grant order is deterministic given the enqueue order.
+type buildScheduler struct {
+	mu          sync.Mutex
+	maxInflight int
+	maxQueued   int
+	quantum     float64
+	inflight    int
+	queues      map[string]*schedQueue
+	ring        []*schedQueue // tenants with pending requests, RR order
+	ringPos     int
+	rounds      uint64 // completed passes over the ring
+	grantSeq    uint64 // total grants — the scheduler's virtual clock
+}
+
+// newBuildScheduler returns a scheduler admitting maxInflight concurrent
+// builds with at most maxQueued pending requests per tenant.
+func newBuildScheduler(maxInflight, maxQueued int) *buildScheduler {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueued < 1 {
+		maxQueued = 16
+	}
+	return &buildScheduler{
+		maxInflight: maxInflight,
+		maxQueued:   maxQueued,
+		quantum:     1,
+		queues:      make(map[string]*schedQueue),
+	}
+}
+
+// acquire blocks until the tenant is granted a build slot, its context
+// dies, or its queue is evicted. weight ≤ 0 defaults to 1. On success
+// the caller owns one slot and must call release exactly once.
+func (b *buildScheduler) acquire(ctx context.Context, tenant string, weight float64) error {
+	if weight <= 0 {
+		weight = 1
+	}
+	w := &schedWaiter{grant: make(chan struct{})}
+
+	b.mu.Lock()
+	q := b.queues[tenant]
+	if q == nil {
+		q = &schedQueue{id: tenant}
+		b.queues[tenant] = q
+	}
+	q.weight = weight
+	if len(q.waiters) >= b.maxQueued {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %d builds pending for tenant %q", ErrOverloaded, b.maxQueued, tenant)
+	}
+	q.waiters = append(q.waiters, w)
+	if !q.inRing {
+		q.inRing = true
+		b.ring = append(b.ring, q)
+	}
+	b.dispatchLocked()
+	b.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		if w.err != nil {
+			return w.err
+		}
+		return nil
+	case <-ctx.Done():
+		b.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: the slot is ours, give
+			// it back before reporting the context error.
+			b.releaseLocked()
+			b.mu.Unlock()
+			return ctx.Err()
+		}
+		b.removeWaiterLocked(q, w)
+		b.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns a slot and lets the dispatcher hand it to the next
+// tenant in round-robin order.
+func (b *buildScheduler) release() {
+	b.mu.Lock()
+	b.releaseLocked()
+	b.mu.Unlock()
+}
+
+func (b *buildScheduler) releaseLocked() {
+	if b.inflight > 0 {
+		b.inflight--
+	}
+	b.dispatchLocked()
+}
+
+// evict fails every pending request of a tenant with err and removes its
+// queue — called when the tenant is deleted. In-flight builds keep
+// their slots until their own release.
+func (b *buildScheduler) evict(tenant string, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q := b.queues[tenant]
+	if q == nil {
+		return
+	}
+	for _, w := range q.waiters {
+		w.err = err
+		close(w.grant)
+	}
+	q.waiters = nil
+	b.dropFromRingLocked(q)
+	delete(b.queues, tenant)
+}
+
+// dispatchLocked runs DRR until every slot is used or no requests are
+// pending. Weights are > 0, so every full ring pass strictly grows each
+// pending tenant's deficit and the loop always terminates with a grant
+// or an empty ring.
+func (b *buildScheduler) dispatchLocked() {
+	for b.inflight < b.maxInflight && len(b.ring) > 0 {
+		if b.ringPos >= len(b.ring) {
+			b.ringPos = 0
+			b.rounds++
+		}
+		q := b.ring[b.ringPos]
+		if q.deficit < 1 {
+			// A fresh visit tops the deficit up once. A turn interrupted
+			// by slot exhaustion (deficit still ≥ 1 below) resumes here
+			// without a second top-up.
+			q.deficit += b.quantum * q.weight
+		}
+		for len(q.waiters) > 0 && q.deficit >= 1 && b.inflight < b.maxInflight {
+			w := q.waiters[0]
+			q.waiters = q.waiters[1:]
+			q.deficit--
+			b.inflight++
+			b.grantSeq++
+			q.grants++
+			w.granted = true
+			w.seq = b.grantSeq
+			close(w.grant)
+		}
+		if len(q.waiters) == 0 {
+			// Forfeit residual credit and leave the ring (standard DRR:
+			// deficits only accumulate while backlogged).
+			q.deficit = 0
+			b.dropFromRingLocked(q)
+			continue // ringPos now points at the next tenant
+		}
+		if q.deficit < 1 {
+			// Turn spent; move on. Otherwise the slots ran out mid-turn
+			// and the next release resumes this tenant's turn.
+			b.ringPos++
+		}
+	}
+}
+
+// removeWaiterLocked unlinks a cancelled waiter; an emptied queue leaves
+// the ring.
+func (b *buildScheduler) removeWaiterLocked(q *schedQueue, w *schedWaiter) {
+	for i, x := range q.waiters {
+		if x == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			break
+		}
+	}
+	if len(q.waiters) == 0 && q.inRing {
+		q.deficit = 0
+		b.dropFromRingLocked(q)
+	}
+}
+
+func (b *buildScheduler) dropFromRingLocked(q *schedQueue) {
+	if !q.inRing {
+		return
+	}
+	for i, x := range b.ring {
+		if x == q {
+			b.ring = append(b.ring[:i], b.ring[i+1:]...)
+			if b.ringPos > i {
+				b.ringPos--
+			}
+			break
+		}
+	}
+	q.inRing = false
+}
+
+// SchedulerStats is a point-in-time view of the fair-share scheduler.
+type SchedulerStats struct {
+	// Inflight is the number of build slots currently held; Rounds the
+	// completed DRR passes; Grants the total slots handed out (the
+	// scheduler's virtual clock).
+	Inflight int
+	Rounds   uint64
+	Grants   uint64
+	// Pending and TenantGrants are per-tenant queue depth and lifetime
+	// grant counts for tenants with scheduler state.
+	Pending      map[string]int
+	TenantGrants map[string]uint64
+}
+
+// stats snapshots the scheduler counters.
+func (b *buildScheduler) stats() SchedulerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := SchedulerStats{
+		Inflight:     b.inflight,
+		Rounds:       b.rounds,
+		Grants:       b.grantSeq,
+		Pending:      make(map[string]int, len(b.queues)),
+		TenantGrants: make(map[string]uint64, len(b.queues)),
+	}
+	for id, q := range b.queues {
+		st.Pending[id] = len(q.waiters)
+		st.TenantGrants[id] = q.grants
+	}
+	return st
+}

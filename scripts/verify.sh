@@ -45,4 +45,14 @@ echo "== build cache (singleflight, handoff, bitwise identity)"
 GOMAXPROCS=4 go test -race -count=1 \
     -run 'TestBuildCache|TestResultCache|TestWithBuildCache|TestFixedSizeBracket|TestCoresetSweep|TestServeCoreset|TestServeBuildCache|TestQuantizeEps' .
 
+# Multi-tenant serving: tenant registry lifecycle, deterministic DRR
+# fair-share scheduling (starvation bound, weighted draining), quota
+# shedding with an injected clock, and the versioned HTTP API — the
+# mcserve leg above already stands up the /v1 mux through httptest and
+# scrapes the tenant-labeled metric families; here the library-level
+# tenant and scheduler suites run under the race detector too.
+echo "== multi-tenant (registry, fair-share scheduler, quotas)"
+GOMAXPROCS=4 go test -race -count=1 \
+    -run 'TestScheduler|TestTenant|TestValidTenantID' .
+
 echo "verify: OK"

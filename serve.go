@@ -59,6 +59,11 @@ var (
 	// operator must either match the old parameters or move the
 	// snapshot aside.
 	ErrSnapshotIncompatible = errors.New("mincore: snapshot incompatible with service parameters")
+	// ErrQuotaExceeded is the per-tenant rate-limit shed: the tenant's
+	// ingest token bucket is empty. Unlike ErrOverloaded (a process-wide
+	// capacity signal) this is attributable to the caller's own traffic;
+	// clients should pace to their provisioned rate and retry.
+	ErrQuotaExceeded = errors.New("mincore: ingest quota exceeded")
 )
 
 // WorkerPanicError carries a panic recovered inside an ingest worker.
@@ -129,6 +134,29 @@ type ServeOptions struct {
 	// failures and backoff, recovered worker panics, shed batches and
 	// builds. Nil keeps the library default of discarding everything.
 	Logger *slog.Logger
+	// Tenant, when non-empty, labels this service's metric series with
+	// tenant=<id> and its log records with the tenant id. Empty keeps
+	// the process-global unlabeled series — the single-tenant fast path.
+	Tenant string
+	// Weight is the fair-share scheduler weight when the service shares
+	// a registry's build scheduler (≤ 0 means 1). Ignored on the legacy
+	// semaphore path.
+	Weight float64
+	// QuotaPointsPerSec caps the tenant's sustained ingest rate with a
+	// token bucket; excess points shed with ErrQuotaExceeded. 0 disables
+	// the quota.
+	QuotaPointsPerSec float64
+	// QuotaBurst is the token-bucket capacity in points (0 derives
+	// max(1, QuotaPointsPerSec)). A single Feed larger than the burst
+	// can never pass the quota.
+	QuotaBurst int
+
+	// sched, when non-nil, replaces the per-service build semaphore with
+	// the registry's shared weighted-fair scheduler.
+	sched *buildScheduler
+	// clock overrides time.Now for the quota bucket (tests and the
+	// registry's deterministic quota tests).
+	clock func() time.Time
 }
 
 func (o *ServeOptions) withDefaults() (ServeOptions, error) {
@@ -160,15 +188,62 @@ func (o *ServeOptions) withDefaults() (ServeOptions, error) {
 	if v.MaxInflightBuilds < 1 {
 		v.MaxInflightBuilds = 2
 	}
+	if v.Weight <= 0 {
+		v.Weight = 1
+	}
+	if v.QuotaPointsPerSec > 0 && v.QuotaBurst < 1 {
+		v.QuotaBurst = int(math.Max(1, v.QuotaPointsPerSec))
+	}
+	if v.clock == nil {
+		v.clock = time.Now
+	}
 	return v, nil
 }
 
+// tokenBucket is the per-tenant ingest rate limiter: a classic leaky
+// bucket holding up to burst tokens, refilled at rate tokens/second by
+// the injected clock (deterministic under test).
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now(), now: now}
+}
+
+// take consumes n tokens if available, refilling for elapsed time first.
+func (tb *tokenBucket) take(n float64) bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	if dt := now.Sub(tb.last).Seconds(); dt > 0 {
+		tb.tokens = math.Min(tb.burst, tb.tokens+dt*tb.rate)
+	}
+	tb.last = now
+	if tb.tokens < n {
+		return false
+	}
+	tb.tokens -= n
+	return true
+}
+
 // ServiceStats is a point-in-time snapshot of the service's counters.
+// Every field is scoped to this one service — under a TenantRegistry
+// that means per-tenant: each tenant reports its own CheckpointLag and
+// cache hit/miss counts rather than a process-wide aggregate.
 type ServiceStats struct {
+	// Tenant is the owning tenant id ("" for a standalone service).
+	Tenant string
 	// Ingested counts points applied to a shard; Rejected counts points
 	// shed with ErrOverloaded; Invalid counts points rejected with
-	// ErrInvalidPoint.
-	Ingested, Rejected, Invalid int64
+	// ErrInvalidPoint; QuotaShed counts points shed with
+	// ErrQuotaExceeded.
+	Ingested, Rejected, Invalid, QuotaShed int64
 	// WorkerPanics counts panics recovered by the ingest supervisor.
 	WorkerPanics int64
 	// Builds counts accepted Coreset requests; BuildsShed the ones
@@ -214,9 +289,11 @@ type shard struct {
 type IngestService struct {
 	opts ServeOptions
 	log  *slog.Logger
+	met  serviceMetrics
 
 	queue    chan [][]float64
 	buildSem chan struct{}
+	quota    *tokenBucket // nil when no ingest quota is configured
 
 	base      *stream.Summary // restored snapshot, read-only (nil = fresh)
 	restoredN int
@@ -237,6 +314,7 @@ type IngestService struct {
 	ckptFailures int
 
 	ingested, rejected, invalid atomic.Int64
+	quotaShed                   atomic.Int64
 	panics, builds, shed        atomic.Int64
 	cacheHits, cacheMisses      atomic.Int64
 	lastErr                     atomic.Pointer[errBox]
@@ -269,14 +347,24 @@ func NewIngestService(opts ServeOptions) (*IngestService, error) {
 	if logger == nil {
 		logger = obs.Discard()
 	}
+	log := obs.Component(logger, "ingest-service")
+	met := defaultServiceMetrics()
+	if o.Tenant != "" {
+		log = log.With(slog.String("tenant", o.Tenant))
+		met = tenantServiceMetrics(o.Tenant)
+	}
 	s := &IngestService{
 		opts:     o,
-		log:      obs.Component(logger, "ingest-service"),
+		log:      log,
+		met:      met,
 		queue:    make(chan [][]float64, o.QueueSize),
 		buildSem: make(chan struct{}, o.MaxInflightBuilds),
 	}
+	if o.QuotaPointsPerSec > 0 {
+		s.quota = newTokenBucket(o.QuotaPointsPerSec, o.QuotaBurst, o.clock)
+	}
 	if n := cacheCapacity(o.BuildCache, defaultServeCacheSize); n > 0 {
-		s.served = newResultCache[serveKey](n, serveCacheMetrics())
+		s.served = newResultCache[serveKey](n, met.cache)
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
@@ -337,10 +425,19 @@ func (s *IngestService) Feed(pts ...Point) error {
 	for i, p := range pts {
 		if err := validatePoint(p, s.opts.Dim, i); err != nil {
 			s.invalid.Add(int64(len(pts)))
-			mIngestInvalid.Add(uint64(len(pts)))
+			s.met.ingestInvalid.Add(uint64(len(pts)))
 			return err
 		}
 		batch[i] = geom.Vector(p).Clone()
+	}
+	if s.quota != nil && !s.quota.take(float64(len(pts))) {
+		s.quotaShed.Add(int64(len(pts)))
+		s.met.quotaShed.Add(uint64(len(pts)))
+		s.log.Debug("ingest quota exhausted; batch shed",
+			slog.Int("points", len(pts)),
+			slog.Float64("rate", s.opts.QuotaPointsPerSec))
+		return fmt.Errorf("%w: %g points/s (burst %d)", ErrQuotaExceeded,
+			s.opts.QuotaPointsPerSec, s.opts.QuotaBurst)
 	}
 	s.feedMu.RLock()
 	defer s.feedMu.RUnlock()
@@ -349,12 +446,12 @@ func (s *IngestService) Feed(pts ...Point) error {
 	}
 	select {
 	case s.queue <- batch:
-		mIngestBatches.Inc()
-		mQueueDepth.Set(int64(len(s.queue)))
+		s.met.ingestBatches.Inc()
+		s.met.queueDepth.Set(int64(len(s.queue)))
 		return nil
 	default:
 		s.rejected.Add(int64(len(pts)))
-		mIngestShed.Add(uint64(len(pts)))
+		s.met.ingestShed.Add(uint64(len(pts)))
 		s.log.Debug("ingest queue full; batch shed",
 			slog.Int("points", len(pts)),
 			slog.Int("queue_size", s.opts.QueueSize))
@@ -389,7 +486,7 @@ func (s *IngestService) worker(i int) {
 				return
 			}
 			s.ingestBatch(i, batch)
-			mQueueDepth.Set(int64(len(s.queue)))
+			s.met.queueDepth.Set(int64(len(s.queue)))
 		}
 	}
 }
@@ -403,7 +500,7 @@ func (s *IngestService) ingestBatch(i int, batch [][]float64) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
-			mWorkerPanics.Inc()
+			s.met.workerPanics.Inc()
 			pe := &WorkerPanicError{Worker: i, Value: r, Stack: debug.Stack()}
 			s.lastErr.Store(&errBox{err: pe})
 			s.log.Error("ingest worker panic recovered; batch dropped",
@@ -423,11 +520,11 @@ func (s *IngestService) ingestBatch(i int, batch [][]float64) {
 			// Feed pre-validated the batch; a rejection here means the
 			// point mutated in flight — count it, keep the shard sound.
 			s.invalid.Add(1)
-			mIngestInvalid.Inc()
+			s.met.ingestInvalid.Inc()
 			continue
 		}
 		s.ingested.Add(1)
-		mIngestPoints.Inc()
+		s.met.ingestPoints.Inc()
 	}
 }
 
@@ -497,7 +594,7 @@ func (s *IngestService) Checkpoint() error {
 	meta, err := s.store.Save(sum)
 	if err != nil {
 		s.ckptFailures++
-		mCkptFailures.Inc()
+		s.met.ckptFailures.Inc()
 		s.lastErr.Store(&errBox{err: fmt.Errorf("mincore: checkpoint: %w", err)})
 		s.log.Warn("checkpoint save failed",
 			slog.Int("consecutive_failures", s.ckptFailures),
@@ -507,8 +604,8 @@ func (s *IngestService) Checkpoint() error {
 	s.lastCkpt = meta
 	s.lastCkptN = sum.N()
 	s.ckptFailures = 0
-	mCkptSaves.Inc()
-	mCkptDuration.Observe(time.Since(start).Seconds())
+	s.met.ckptSaves.Inc()
+	s.met.ckptDuration.Observe(time.Since(start).Seconds())
 	s.log.Debug("checkpoint saved",
 		slog.Uint64("generation", meta.Generation),
 		slog.Int("points", sum.N()),
@@ -552,7 +649,7 @@ func (s *IngestService) supervisedCheckpoint() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
-			mWorkerPanics.Inc()
+			s.met.workerPanics.Inc()
 			pe := &WorkerPanicError{Worker: -1, Value: r, Stack: debug.Stack()}
 			s.lastErr.Store(&errBox{err: pe})
 			s.log.Error("checkpoint panic recovered", slog.Any("panic", r))
@@ -619,22 +716,39 @@ func (s *IngestService) Coreset(ctx context.Context, eps float64, algo Algorithm
 	return q, err
 }
 
-// buildServed runs one uncached served build under admission control.
+// buildServed runs one uncached served build under admission control:
+// the registry's weighted-fair scheduler when the service belongs to
+// one (requests queue, bounded per tenant, and are granted in deficit
+// round-robin order), or the legacy fast-fail semaphore otherwise.
 func (s *IngestService) buildServed(ctx context.Context, eps float64, algo Algorithm) (*Coreset, error) {
-	select {
-	case s.buildSem <- struct{}{}:
-	default:
-		s.shed.Add(1)
-		mServeShed.Inc()
-		s.log.Debug("build request shed",
-			slog.Int("max_inflight", s.opts.MaxInflightBuilds))
-		return nil, fmt.Errorf("%w: %d builds in flight", ErrOverloaded, s.opts.MaxInflightBuilds)
+	if s.opts.sched != nil {
+		if err := s.opts.sched.acquire(ctx, s.opts.Tenant, s.opts.Weight); err != nil {
+			if errors.Is(err, ErrOverloaded) {
+				s.shed.Add(1)
+				s.met.serveShed.Inc()
+				s.log.Debug("build request shed by fair-share scheduler",
+					slog.Any("error", err))
+			}
+			return nil, err
+		}
+		s.met.schedGrants.Inc()
+		defer s.opts.sched.release()
+	} else {
+		select {
+		case s.buildSem <- struct{}{}:
+		default:
+			s.shed.Add(1)
+			s.met.serveShed.Inc()
+			s.log.Debug("build request shed",
+				slog.Int("max_inflight", s.opts.MaxInflightBuilds))
+			return nil, fmt.Errorf("%w: %d builds in flight", ErrOverloaded, s.opts.MaxInflightBuilds)
+		}
+		defer func() { <-s.buildSem }()
 	}
-	defer func() { <-s.buildSem }()
 	s.builds.Add(1)
-	mServeBuilds.Inc()
+	s.met.serveBuilds.Inc()
 	buildStart := time.Now()
-	defer func() { mServeBuildDuration.Observe(time.Since(buildStart).Seconds()) }()
+	defer func() { s.met.serveBuildDuration.Observe(time.Since(buildStart).Seconds()) }()
 
 	sum, err := s.mergedSummary()
 	if err != nil {
@@ -687,9 +801,11 @@ func (s *IngestService) checkpointMeta(streamN int) *CheckpointMeta {
 // Stats returns a point-in-time snapshot of the service counters.
 func (s *IngestService) Stats() ServiceStats {
 	st := ServiceStats{
+		Tenant:         s.opts.Tenant,
 		Ingested:       s.ingested.Load(),
 		Rejected:       s.rejected.Load(),
 		Invalid:        s.invalid.Load(),
+		QuotaShed:      s.quotaShed.Load(),
 		WorkerPanics:   s.panics.Load(),
 		Builds:         s.builds.Load(),
 		BuildsShed:     s.shed.Load(),

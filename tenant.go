@@ -1,0 +1,573 @@
+package mincore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"mincore/internal/obs"
+	"mincore/internal/snapshot"
+)
+
+// Multi-tenant serving. A TenantRegistry turns the one-process/one-
+// stream IngestService into one-process/N-streams: each tenant is a
+// fully supervised ingest service — its own sharded summary, snapshot
+// store, build cache, ε defaults, and quota — while the expensive
+// shared resource (concurrent certified builds) is arbitrated by a
+// single weighted-fair scheduler so no tenant's ε-sweep can starve
+// another (see scheduler.go). The coreset-per-instance model of the
+// paper maps one-to-one onto tenants: every tenant stream is an
+// independent instance with its own certified coresets, and the
+// mergeable-summary property keeps each tenant's shards (and future
+// cross-node shards) composable without touching any other tenant.
+//
+// Durability is namespaced: tenant state lives under
+// <SnapshotDir>/<id>/ — a tenant.json manifest carrying the resolved
+// tenant configuration plus the two-generation snapshot store
+// (stream.snap / stream.snap.prev). NewTenantRegistry restores every
+// manifested tenant, so a restart recovers the full fleet; DeleteTenant
+// removes the tenant's directory, which is the whole of its on-disk
+// footprint.
+
+// Typed registry errors.
+var (
+	// ErrTenantNotFound is returned for operations on an id with no
+	// live tenant (including builds queued when the tenant is deleted).
+	ErrTenantNotFound = errors.New("mincore: tenant not found")
+	// ErrTenantExists rejects CreateTenant for an id already hosted.
+	ErrTenantExists = errors.New("mincore: tenant already exists")
+	// ErrBadTenantID rejects ids outside the safe grammar
+	// [a-zA-Z0-9][a-zA-Z0-9_.-]{0,63} (the id names a snapshot
+	// subdirectory and a metric label value).
+	ErrBadTenantID = errors.New("mincore: bad tenant id")
+	// ErrRegistryClosed is returned by every registry operation after
+	// Close.
+	ErrRegistryClosed = errors.New("mincore: tenant registry closed")
+)
+
+// ValidTenantID reports whether id fits the tenant-id grammar: 1–64
+// characters, first alphanumeric, rest alphanumeric or `_ . -`. The
+// grammar guarantees an id is a single safe path element and a bounded
+// Prometheus label value.
+func ValidTenantID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9':
+		case i > 0 && (c == '_' || c == '.' || c == '-'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// TenantConfig describes one tenant. Zero values inherit the registry
+// defaults; only ID is required.
+type TenantConfig struct {
+	// ID names the tenant (see ValidTenantID).
+	ID string
+	// Dim is the tenant's point dimension (0 = registry default).
+	Dim int
+	// Eps is the tenant's default ε: it sizes the stream sketch and is
+	// the build ε used when a coreset request does not name one
+	// (0 = registry default).
+	Eps float64
+	// Alpha is the assumed stream fatness for sketch sizing
+	// (0 = registry default).
+	Alpha float64
+	// Directions overrides the sketch direction count (0 = derive).
+	Directions int
+	// Seed drives the tenant's direction net and build randomness
+	// (0 = registry seed). Tenants with different seeds or different
+	// data produce fully independent coresets.
+	Seed int64
+	// Weight is the tenant's fair-share scheduler weight (0 = 1): a
+	// weight-2 tenant's queued builds drain twice as fast as a
+	// weight-1 tenant's.
+	Weight float64
+	// QuotaPointsPerSec caps sustained ingest; excess points shed with
+	// ErrQuotaExceeded (0 = unlimited). QuotaBurst is the bucket size
+	// in points (0 = max(1, rate)).
+	QuotaPointsPerSec float64
+	QuotaBurst        int
+	// IngestWorkers, QueueSize, and BuildCache override the registry
+	// defaults for this tenant's ingest shards, batch queue, and
+	// served-coreset cache.
+	IngestWorkers int
+	QueueSize     int
+	BuildCache    int
+	// SnapshotPath overrides the namespaced default of
+	// <SnapshotDir>/<ID>/stream.snap. Relevant only for migrating a
+	// pre-registry single-tenant snapshot into a registry.
+	SnapshotPath string
+}
+
+// RegistryOptions configures NewTenantRegistry. Dim is required; the
+// rest default per ServeOptions.
+type RegistryOptions struct {
+	// Dim is the default point dimension for tenants that do not
+	// override it (required).
+	Dim int
+	// Eps and Alpha are the registry-wide defaults for tenants that do
+	// not set their own (0.05 / 0.25).
+	Eps, Alpha float64
+	// Seed is the default tenant seed.
+	Seed int64
+	// SnapshotDir is the root under which each tenant gets its own
+	// directory (manifest + two-generation snapshot store). Empty
+	// disables durability for every tenant without a SnapshotPath
+	// override.
+	SnapshotDir string
+	// CheckpointInterval is the per-tenant automatic checkpoint period
+	// (default 10s; < 0 disables the loops).
+	CheckpointInterval time.Duration
+	// MaxInflightBuilds bounds concurrent builds across ALL tenants —
+	// the capacity the fair-share scheduler divides (default 2).
+	MaxInflightBuilds int
+	// MaxQueuedBuilds bounds each tenant's pending build queue in the
+	// scheduler; excess requests shed with ErrOverloaded (default 16).
+	MaxQueuedBuilds int
+	// BuildWorkers is the per-build worker-pool size (0 = GOMAXPROCS).
+	BuildWorkers int
+	// IngestWorkers and QueueSize are per-tenant defaults (1 / 256).
+	IngestWorkers int
+	QueueSize     int
+	// BuildCache is the per-tenant served-coreset cache default
+	// (0 = 32 entries, negative disables).
+	BuildCache int
+	// Logger receives every tenant's structured logs (each record
+	// carries a tenant attribute). Nil discards.
+	Logger *slog.Logger
+
+	// clock overrides time.Now for quota buckets (tests).
+	clock func() time.Time
+}
+
+// Tenant is one live tenant: a supervised IngestService plus its
+// resolved configuration. All methods are safe for concurrent use; a
+// deleted tenant's methods fail with ErrServiceClosed.
+type Tenant struct {
+	cfg       TenantConfig // fully resolved (no zero-inherit fields)
+	svc       *IngestService
+	dir       string // tenant's namespaced directory ("" when not durable)
+	createdAt time.Time
+}
+
+// ID returns the tenant id.
+func (t *Tenant) ID() string { return t.cfg.ID }
+
+// Config returns the tenant's resolved configuration.
+func (t *Tenant) Config() TenantConfig { return t.cfg }
+
+// Service exposes the underlying ingest service for advanced use
+// (Summary, StreamN, manual Checkpoint, ...).
+func (t *Tenant) Service() *IngestService { return t.svc }
+
+// Feed ingests a batch into the tenant's stream (see
+// IngestService.Feed; quota shedding adds ErrQuotaExceeded).
+func (t *Tenant) Feed(pts ...Point) error { return t.svc.Feed(pts...) }
+
+// Coreset builds a certified coreset of the tenant's stream under the
+// registry's fair-share scheduler. eps ≤ 0 selects the tenant's
+// default ε.
+func (t *Tenant) Coreset(ctx context.Context, eps float64, algo Algorithm) (*Coreset, error) {
+	if eps <= 0 {
+		eps = t.cfg.Eps
+	}
+	return t.svc.Coreset(ctx, eps, algo)
+}
+
+// Stats returns the tenant's service counters (per-tenant checkpoint
+// lag, cache hits/misses, quota sheds, ...).
+func (t *Tenant) Stats() ServiceStats { return t.svc.Stats() }
+
+// Checkpoint forces a durable snapshot of the tenant's stream.
+func (t *Tenant) Checkpoint() error { return t.svc.Checkpoint() }
+
+// TenantInfo is one row of TenantRegistry.List.
+type TenantInfo struct {
+	ID        string    `json:"id"`
+	Dim       int       `json:"dim"`
+	Eps       float64   `json:"eps"`
+	Weight    float64   `json:"weight"`
+	QuotaPPS  float64   `json:"quota_points_per_sec,omitempty"`
+	StreamN   int       `json:"stream_n"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// RegistryStats aggregates per-tenant service stats (sorted by id)
+// with the shared scheduler's counters.
+type RegistryStats struct {
+	Tenants   []ServiceStats
+	Scheduler SchedulerStats
+}
+
+// TenantRegistry hosts many supervised tenant streams behind one
+// fair-share build scheduler. Create with NewTenantRegistry; stop with
+// Close (graceful per-tenant shutdown with final checkpoints).
+type TenantRegistry struct {
+	opts  RegistryOptions
+	log   *slog.Logger
+	sched *buildScheduler
+
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+	closed  bool
+}
+
+// manifestName is the per-tenant config file inside the tenant's
+// snapshot directory.
+const manifestName = "tenant.json"
+
+// snapshotFile is the per-tenant snapshot filename under the tenant's
+// directory.
+const snapshotFile = "stream.snap"
+
+// tenantManifest is the durable form of a resolved TenantConfig.
+type tenantManifest struct {
+	ID                string    `json:"id"`
+	Dim               int       `json:"dim"`
+	Eps               float64   `json:"eps"`
+	Alpha             float64   `json:"alpha"`
+	Directions        int       `json:"directions,omitempty"`
+	Seed              int64     `json:"seed"`
+	Weight            float64   `json:"weight"`
+	QuotaPointsPerSec float64   `json:"quota_points_per_sec,omitempty"`
+	QuotaBurst        int       `json:"quota_burst,omitempty"`
+	IngestWorkers     int       `json:"ingest_workers,omitempty"`
+	QueueSize         int       `json:"queue_size,omitempty"`
+	BuildCache        int       `json:"build_cache,omitempty"`
+	CreatedAt         time.Time `json:"created_at"`
+}
+
+// NewTenantRegistry validates opts, creates the shared fair-share
+// scheduler, and — when SnapshotDir holds tenant manifests from a
+// previous run — restores every manifested tenant with its stream. A
+// restorable-looking tenant that fails to come back (corrupt manifest,
+// incompatible snapshot) fails construction, mirroring the snapshot
+// loader's operator-decides contract.
+func NewTenantRegistry(opts RegistryOptions) (*TenantRegistry, error) {
+	if opts.Dim < 1 {
+		return nil, fmt.Errorf("mincore: tenant registry requires Dim ≥ 1, got %d", opts.Dim)
+	}
+	if opts.Eps <= 0 || opts.Eps >= 1 {
+		opts.Eps = 0.05
+	}
+	if opts.Alpha <= 0 {
+		opts.Alpha = 0.25
+	}
+	if opts.MaxInflightBuilds < 1 {
+		opts.MaxInflightBuilds = 2
+	}
+	if opts.MaxQueuedBuilds < 1 {
+		opts.MaxQueuedBuilds = 16
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = obs.Discard()
+	}
+	r := &TenantRegistry{
+		opts:    opts,
+		log:     obs.Component(logger, "tenant-registry"),
+		sched:   newBuildScheduler(opts.MaxInflightBuilds, opts.MaxQueuedBuilds),
+		tenants: make(map[string]*Tenant),
+	}
+	if opts.SnapshotDir != "" {
+		if err := os.MkdirAll(opts.SnapshotDir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := r.restoreTenants(); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// restoreTenants re-creates every tenant manifested under SnapshotDir.
+func (r *TenantRegistry) restoreTenants() error {
+	entries, err := os.ReadDir(r.opts.SnapshotDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !ValidTenantID(e.Name()) {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(r.opts.SnapshotDir, e.Name(), manifestName))
+		if errors.Is(err, os.ErrNotExist) {
+			continue // not a tenant dir (or a crash before the manifest)
+		} else if err != nil {
+			return fmt.Errorf("mincore: restore tenant %q: %w", e.Name(), err)
+		}
+		var m tenantManifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return fmt.Errorf("mincore: restore tenant %q: bad manifest: %w", e.Name(), err)
+		}
+		if m.ID != e.Name() {
+			return fmt.Errorf("mincore: restore tenant %q: manifest names %q", e.Name(), m.ID)
+		}
+		cfg := TenantConfig{
+			ID: m.ID, Dim: m.Dim, Eps: m.Eps, Alpha: m.Alpha,
+			Directions: m.Directions, Seed: m.Seed, Weight: m.Weight,
+			QuotaPointsPerSec: m.QuotaPointsPerSec, QuotaBurst: m.QuotaBurst,
+			IngestWorkers: m.IngestWorkers, QueueSize: m.QueueSize,
+			BuildCache: m.BuildCache,
+		}
+		t, err := r.startTenant(cfg, m.CreatedAt, false)
+		if err != nil {
+			return fmt.Errorf("mincore: restore tenant %q: %w", m.ID, err)
+		}
+		r.tenants[t.cfg.ID] = t
+		mTenants.Add(1)
+		r.log.Info("tenant restored",
+			slog.String("tenant", t.cfg.ID),
+			slog.Int("restored_points", t.svc.RestoredPoints()))
+	}
+	return nil
+}
+
+// resolve fills a TenantConfig's zero fields from the registry
+// defaults.
+func (r *TenantRegistry) resolve(cfg TenantConfig) TenantConfig {
+	if cfg.Dim == 0 {
+		cfg.Dim = r.opts.Dim
+	}
+	if cfg.Eps <= 0 || cfg.Eps >= 1 {
+		cfg.Eps = r.opts.Eps
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = r.opts.Alpha
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = r.opts.Seed
+	}
+	if cfg.Weight <= 0 {
+		cfg.Weight = 1
+	}
+	if cfg.IngestWorkers == 0 {
+		cfg.IngestWorkers = r.opts.IngestWorkers
+	}
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = r.opts.QueueSize
+	}
+	if cfg.BuildCache == 0 {
+		cfg.BuildCache = r.opts.BuildCache
+	}
+	return cfg
+}
+
+// startTenant resolves cfg, prepares the namespaced snapshot
+// directory, starts the supervised service, and (when persist is true)
+// writes the manifest. Callers insert the returned tenant into
+// r.tenants themselves.
+func (r *TenantRegistry) startTenant(cfg TenantConfig, createdAt time.Time, persist bool) (*Tenant, error) {
+	cfg = r.resolve(cfg)
+	var dir string
+	path := cfg.SnapshotPath
+	if path == "" && r.opts.SnapshotDir != "" {
+		dir = filepath.Join(r.opts.SnapshotDir, cfg.ID)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		path = filepath.Join(dir, snapshotFile)
+	}
+	svc, err := NewIngestService(ServeOptions{
+		Dim: cfg.Dim, Eps: cfg.Eps, Alpha: cfg.Alpha,
+		Directions: cfg.Directions, Seed: cfg.Seed,
+		SnapshotPath:       path,
+		CheckpointInterval: r.opts.CheckpointInterval,
+		IngestWorkers:      cfg.IngestWorkers,
+		QueueSize:          cfg.QueueSize,
+		MaxInflightBuilds:  r.opts.MaxInflightBuilds,
+		BuildWorkers:       r.opts.BuildWorkers,
+		BuildCache:         cfg.BuildCache,
+		Logger:             r.opts.Logger,
+		Tenant:             cfg.ID,
+		Weight:             cfg.Weight,
+		QuotaPointsPerSec:  cfg.QuotaPointsPerSec,
+		QuotaBurst:         cfg.QuotaBurst,
+		sched:              r.sched,
+		clock:              r.opts.clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Tenant{cfg: cfg, svc: svc, dir: dir, createdAt: createdAt}
+	if persist && dir != "" {
+		m := tenantManifest{
+			ID: cfg.ID, Dim: cfg.Dim, Eps: cfg.Eps, Alpha: cfg.Alpha,
+			Directions: cfg.Directions, Seed: cfg.Seed, Weight: cfg.Weight,
+			QuotaPointsPerSec: cfg.QuotaPointsPerSec, QuotaBurst: cfg.QuotaBurst,
+			IngestWorkers: cfg.IngestWorkers, QueueSize: cfg.QueueSize,
+			BuildCache: cfg.BuildCache, CreatedAt: createdAt,
+		}
+		raw, _ := json.MarshalIndent(m, "", "  ")
+		if err := os.WriteFile(filepath.Join(dir, manifestName), raw, 0o644); err != nil {
+			svc.Kill()
+			return nil, fmt.Errorf("mincore: tenant %q manifest: %w", cfg.ID, err)
+		}
+	}
+	return t, nil
+}
+
+// CreateTenant adds and starts a new tenant. The id must satisfy
+// ValidTenantID and be free; the tenant is immediately live (and, with
+// durability on, manifested on disk so a restart restores it).
+func (r *TenantRegistry) CreateTenant(cfg TenantConfig) (*Tenant, error) {
+	if !ValidTenantID(cfg.ID) {
+		return nil, fmt.Errorf("%w: %q", ErrBadTenantID, cfg.ID)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrRegistryClosed
+	}
+	if _, ok := r.tenants[cfg.ID]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrTenantExists, cfg.ID)
+	}
+	t, err := r.startTenant(cfg, time.Now(), true)
+	if err != nil {
+		return nil, err
+	}
+	r.tenants[cfg.ID] = t
+	mTenants.Add(1)
+	r.log.Info("tenant created",
+		slog.String("tenant", cfg.ID),
+		slog.Float64("eps", t.cfg.Eps),
+		slog.Float64("weight", t.cfg.Weight))
+	return t, nil
+}
+
+// Tenant returns the live tenant with the given id.
+func (r *TenantRegistry) Tenant(id string) (*Tenant, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return nil, ErrRegistryClosed
+	}
+	t, ok := r.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrTenantNotFound, id)
+	}
+	return t, nil
+}
+
+// DeleteTenant stops a tenant and removes every trace of it: pending
+// scheduler requests fail with ErrTenantNotFound, the service is
+// killed (no final checkpoint — the data is being deleted), its build
+// cache is released, and the tenant's snapshot directory (manifest and
+// both snapshot generations) is removed from disk.
+func (r *TenantRegistry) DeleteTenant(id string) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRegistryClosed
+	}
+	t, ok := r.tenants[id]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrTenantNotFound, id)
+	}
+	delete(r.tenants, id)
+	r.mu.Unlock()
+
+	r.sched.evict(id, fmt.Errorf("%w: %q (deleted)", ErrTenantNotFound, id))
+	t.svc.Kill()
+	var rmErr error
+	switch {
+	case t.dir != "":
+		rmErr = os.RemoveAll(t.dir)
+	case t.cfg.SnapshotPath != "":
+		// Override path outside the registry dir: remove just the
+		// snapshot generations, not the surrounding directory.
+		for _, p := range []string{
+			t.cfg.SnapshotPath,
+			t.cfg.SnapshotPath + snapshot.PrevSuffix,
+			t.cfg.SnapshotPath + ".tmp",
+		} {
+			if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+				rmErr = err
+			}
+		}
+	}
+	mTenants.Add(-1)
+	r.log.Info("tenant deleted", slog.String("tenant", id))
+	if rmErr != nil {
+		return fmt.Errorf("mincore: tenant %q deleted but snapshot cleanup failed: %w", id, rmErr)
+	}
+	return nil
+}
+
+// ListTenants returns one TenantInfo per live tenant, sorted by id.
+func (r *TenantRegistry) ListTenants() []TenantInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]TenantInfo, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		out = append(out, TenantInfo{
+			ID: t.cfg.ID, Dim: t.cfg.Dim, Eps: t.cfg.Eps,
+			Weight: t.cfg.Weight, QuotaPPS: t.cfg.QuotaPointsPerSec,
+			StreamN: t.svc.StreamN(), CreatedAt: t.createdAt,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats returns per-tenant service stats (sorted by tenant id) plus
+// the shared scheduler's counters — the per-tenant CheckpointLag and
+// cache hit/miss rows that a single process-wide aggregate cannot
+// express.
+func (r *TenantRegistry) Stats() RegistryStats {
+	r.mu.RLock()
+	tenants := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		tenants = append(tenants, t)
+	}
+	r.mu.RUnlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].cfg.ID < tenants[j].cfg.ID })
+	st := RegistryStats{Scheduler: r.sched.stats()}
+	for _, t := range tenants {
+		st.Tenants = append(st.Tenants, t.svc.Stats())
+	}
+	return st
+}
+
+// Close gracefully shuts every tenant down (drained queues, final
+// checkpoints) and marks the registry closed. The first error per
+// tenant is joined into the result.
+func (r *TenantRegistry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRegistryClosed
+	}
+	r.closed = true
+	tenants := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		tenants = append(tenants, t)
+	}
+	r.tenants = map[string]*Tenant{}
+	r.mu.Unlock()
+
+	var errs []error
+	for _, t := range tenants {
+		r.sched.evict(t.cfg.ID, ErrServiceClosed)
+		if err := t.svc.Close(); err != nil && !errors.Is(err, ErrServiceClosed) {
+			errs = append(errs, fmt.Errorf("tenant %q: %w", t.cfg.ID, err))
+		}
+		mTenants.Add(-1)
+	}
+	return errors.Join(errs...)
+}
