@@ -3,6 +3,7 @@ package mincore
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 )
 
@@ -32,6 +33,34 @@ import (
 // against the tenant's own backlog. Grant order is a pure function of
 // the enqueue order, which keeps the scheduler tests deterministic: the
 // "clock" is the grant sequence number, not wall time.
+
+// Scheduler weight bounds. The DRR top-up grows a tenant's deficit by
+// quantum × weight once per ring pass, so a pathologically small weight
+// would make dispatchLocked spin ~1/weight passes under the lock before
+// that tenant's next grant — and a NaN weight (all comparisons false)
+// would never top up at all. clampWeight bounds dispatch work at
+// 1/minSchedWeight passes per grant and keeps the deficit arithmetic
+// finite; every weight entering the scheduler goes through it.
+const (
+	minSchedWeight = 0.01
+	maxSchedWeight = 100
+)
+
+// clampWeight sanitizes a caller-supplied scheduler weight: NaN and
+// non-positive values fall back to the default 1, everything else is
+// clamped into [minSchedWeight, maxSchedWeight] (so +Inf becomes
+// maxSchedWeight).
+func clampWeight(w float64) float64 {
+	switch {
+	case math.IsNaN(w) || w <= 0:
+		return 1
+	case w < minSchedWeight:
+		return minSchedWeight
+	case w > maxSchedWeight:
+		return maxSchedWeight
+	}
+	return w
+}
 
 // schedWaiter is one pending build request. grant is closed (or err set
 // first) by the dispatcher under the scheduler lock.
@@ -88,12 +117,11 @@ func newBuildScheduler(maxInflight, maxQueued int) *buildScheduler {
 }
 
 // acquire blocks until the tenant is granted a build slot, its context
-// dies, or its queue is evicted. weight ≤ 0 defaults to 1. On success
-// the caller owns one slot and must call release exactly once.
+// dies, or its queue is evicted. The weight is clamped per clampWeight
+// (≤ 0 and NaN default to 1). On success the caller owns one slot and
+// must call release exactly once.
 func (b *buildScheduler) acquire(ctx context.Context, tenant string, weight float64) error {
-	if weight <= 0 {
-		weight = 1
-	}
+	weight = clampWeight(weight)
 	w := &schedWaiter{grant: make(chan struct{})}
 
 	b.mu.Lock()
@@ -171,9 +199,10 @@ func (b *buildScheduler) evict(tenant string, err error) {
 }
 
 // dispatchLocked runs DRR until every slot is used or no requests are
-// pending. Weights are > 0, so every full ring pass strictly grows each
-// pending tenant's deficit and the loop always terminates with a grant
-// or an empty ring.
+// pending. Weights are clamped to [minSchedWeight, maxSchedWeight], so
+// every full ring pass grows each pending tenant's deficit by at least
+// quantum × minSchedWeight: the loop reaches a grant (or an empty ring)
+// within 1/minSchedWeight passes.
 func (b *buildScheduler) dispatchLocked() {
 	for b.inflight < b.maxInflight && len(b.ring) > 0 {
 		if b.ringPos >= len(b.ring) {

@@ -3,6 +3,7 @@ package mincore
 import (
 	"context"
 	"errors"
+	"math"
 	"runtime"
 	"testing"
 	"time"
@@ -221,5 +222,50 @@ func TestSchedulerEvictFailsWaiters(t *testing.T) {
 	b.release()
 	if st := b.stats(); st.Inflight != 0 || st.Grants != 1 {
 		t.Errorf("after evict+release: %+v", st)
+	}
+}
+
+// TestClampWeight: every weight entering the scheduler is sanitized —
+// NaN and non-positive values default to 1, the rest are clamped into
+// [minSchedWeight, maxSchedWeight].
+func TestClampWeight(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{math.NaN(), 1},
+		{0, 1},
+		{-3, 1},
+		{math.Inf(-1), 1},
+		{1e-12, minSchedWeight},
+		{minSchedWeight, minSchedWeight},
+		{0.5, 0.5},
+		{1, 1},
+		{2, 2},
+		{maxSchedWeight, maxSchedWeight},
+		{1e9, maxSchedWeight},
+		{math.Inf(1), maxSchedWeight},
+	}
+	for _, c := range cases {
+		if got := clampWeight(c.in); got != c.want {
+			t.Errorf("clampWeight(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSchedulerPathologicalWeightTerminates: a tiny positive weight
+// (which pre-clamp made dispatch spin ~1/weight ring passes under the
+// lock) and a NaN weight (pre-clamp a no-progress infinite loop, since
+// every NaN comparison is false) are both granted promptly, and the
+// dispatch work stays bounded.
+func TestSchedulerPathologicalWeightTerminates(t *testing.T) {
+	b := newBuildScheduler(1, 4)
+	for _, w := range []float64{1e-12, math.NaN(), math.Inf(1), -1} {
+		if err := b.acquire(context.Background(), "t", w); err != nil {
+			t.Fatalf("acquire weight %v: %v", w, err)
+		}
+		b.release()
+	}
+	// Worst case per grant is 1/minSchedWeight ring passes; four grants
+	// must stay well under that times four.
+	if st := b.stats(); st.Grants != 4 || st.Rounds > 4.0/minSchedWeight {
+		t.Errorf("after pathological weights: grants=%d rounds=%d", st.Grants, st.Rounds)
 	}
 }

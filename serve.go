@@ -139,8 +139,8 @@ type ServeOptions struct {
 	// the process-global unlabeled series — the single-tenant fast path.
 	Tenant string
 	// Weight is the fair-share scheduler weight when the service shares
-	// a registry's build scheduler (≤ 0 means 1). Ignored on the legacy
-	// semaphore path.
+	// a registry's build scheduler (≤ 0 and NaN mean 1; otherwise
+	// clamped into [0.01, 100]). Ignored on the legacy semaphore path.
 	Weight float64
 	// QuotaPointsPerSec caps the tenant's sustained ingest rate with a
 	// token bucket; excess points shed with ErrQuotaExceeded. 0 disables
@@ -188,9 +188,7 @@ func (o *ServeOptions) withDefaults() (ServeOptions, error) {
 	if v.MaxInflightBuilds < 1 {
 		v.MaxInflightBuilds = 2
 	}
-	if v.Weight <= 0 {
-		v.Weight = 1
-	}
+	v.Weight = clampWeight(v.Weight)
 	if v.QuotaPointsPerSec > 0 && v.QuotaBurst < 1 {
 		v.QuotaBurst = int(math.Max(1, v.QuotaPointsPerSec))
 	}
@@ -230,6 +228,15 @@ func (tb *tokenBucket) take(n float64) bool {
 	}
 	tb.tokens -= n
 	return true
+}
+
+// refund returns n tokens (capped at burst) when a batch that passed
+// the quota is subsequently shed before admission — quota should only
+// be charged for points actually accepted into the queue.
+func (tb *tokenBucket) refund(n float64) {
+	tb.mu.Lock()
+	tb.tokens = math.Min(tb.burst, tb.tokens+n)
+	tb.mu.Unlock()
 }
 
 // ServiceStats is a point-in-time snapshot of the service's counters.
@@ -430,6 +437,15 @@ func (s *IngestService) Feed(pts ...Point) error {
 		}
 		batch[i] = geom.Vector(p).Clone()
 	}
+	s.feedMu.RLock()
+	defer s.feedMu.RUnlock()
+	if s.closed {
+		return ErrServiceClosed
+	}
+	// Quota is charged only for points actually admitted: the check runs
+	// after the closed check, and a queue-full shed refunds its tokens —
+	// otherwise a paced client would be double-penalized under overload,
+	// quota-blocked for points that were never ingested.
 	if s.quota != nil && !s.quota.take(float64(len(pts))) {
 		s.quotaShed.Add(int64(len(pts)))
 		s.met.quotaShed.Add(uint64(len(pts)))
@@ -439,17 +455,15 @@ func (s *IngestService) Feed(pts ...Point) error {
 		return fmt.Errorf("%w: %g points/s (burst %d)", ErrQuotaExceeded,
 			s.opts.QuotaPointsPerSec, s.opts.QuotaBurst)
 	}
-	s.feedMu.RLock()
-	defer s.feedMu.RUnlock()
-	if s.closed {
-		return ErrServiceClosed
-	}
 	select {
 	case s.queue <- batch:
 		s.met.ingestBatches.Inc()
 		s.met.queueDepth.Set(int64(len(s.queue)))
 		return nil
 	default:
+		if s.quota != nil {
+			s.quota.refund(float64(len(pts)))
+		}
 		s.rejected.Add(int64(len(pts)))
 		s.met.ingestShed.Add(uint64(len(pts)))
 		s.log.Debug("ingest queue full; batch shed",

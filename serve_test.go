@@ -346,3 +346,63 @@ func TestServeRequiresDim(t *testing.T) {
 		t.Fatal("NewIngestService without Dim succeeded")
 	}
 }
+
+// TestServeQuotaNotChargedOnShed: quota tokens are only consumed for
+// batches actually admitted to the queue — a batch shed with
+// ErrOverloaded refunds its tokens, so an overloaded service reports
+// ErrOverloaded (back off and retry) rather than draining the bucket
+// and flipping to ErrQuotaExceeded for points that were never ingested.
+func TestServeQuotaNotChargedOnShed(t *testing.T) {
+	frozen := time.Unix(1000, 0)
+	svc := newTestService(t, ServeOptions{
+		IngestWorkers:     1,
+		QueueSize:         1,
+		QuotaPointsPerSec: 1,
+		QuotaBurst:        8,
+		clock:             func() time.Time { return frozen }, // no refill
+	})
+	block := make(chan struct{})
+	t.Cleanup(svc.Kill)
+	t.Cleanup(func() { close(block) })
+	svc.panicHook = func(p []float64) { <-block }
+
+	// Park the worker on the first batch and fill the bounded queue.
+	accepted := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := svc.Feed(Point{float64(accepted), 0})
+		if errors.Is(err, ErrOverloaded) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Feed #%d: %v", accepted, err)
+		}
+		accepted++
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+	}
+
+	tokens := func() float64 {
+		svc.quota.mu.Lock()
+		defer svc.quota.mu.Unlock()
+		return svc.quota.tokens
+	}
+	want := float64(8 - accepted)
+	if got := tokens(); got != want {
+		t.Fatalf("tokens after filling queue = %v, want %v (accepted %d)", got, want, accepted)
+	}
+	// Every further shed must report ErrOverloaded — never
+	// ErrQuotaExceeded — and leave the bucket untouched.
+	for i := 0; i < 3; i++ {
+		if err := svc.Feed(Point{0, 0}); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("shed Feed #%d = %v, want ErrOverloaded", i, err)
+		}
+	}
+	if got := tokens(); got != want {
+		t.Errorf("tokens drained by shed batches: %v, want %v", got, want)
+	}
+	if st := svc.Stats(); st.QuotaShed != 0 {
+		t.Errorf("QuotaShed = %d for overload sheds, want 0", st.QuotaShed)
+	}
+}

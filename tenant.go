@@ -93,7 +93,9 @@ type TenantConfig struct {
 	Seed int64
 	// Weight is the tenant's fair-share scheduler weight (0 = 1): a
 	// weight-2 tenant's queued builds drain twice as fast as a
-	// weight-1 tenant's.
+	// weight-1 tenant's. Values are clamped into [0.01, 100]; NaN and
+	// negative weights fall back to 1 (an unboundedly small weight
+	// would stall the scheduler's dispatch loop for every tenant).
 	Weight float64
 	// QuotaPointsPerSec caps sustained ingest; excess points shed with
 	// ErrQuotaExceeded (0 = unlimited). QuotaBurst is the bucket size
@@ -222,7 +224,14 @@ type TenantRegistry struct {
 
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
-	closed  bool
+	// reserved holds ids with a create or delete in flight outside the
+	// lock: CreateTenant reserves its id before doing disk I/O and
+	// service startup lock-free, and DeleteTenant keeps its id reserved
+	// until scheduler eviction and disk cleanup finish — otherwise a
+	// concurrent re-create could complete in that window and have its
+	// fresh directory deleted by the stale cleanup.
+	reserved map[string]struct{}
+	closed   bool
 }
 
 // manifestName is the per-tenant config file inside the tenant's
@@ -277,10 +286,11 @@ func NewTenantRegistry(opts RegistryOptions) (*TenantRegistry, error) {
 		logger = obs.Discard()
 	}
 	r := &TenantRegistry{
-		opts:    opts,
-		log:     obs.Component(logger, "tenant-registry"),
-		sched:   newBuildScheduler(opts.MaxInflightBuilds, opts.MaxQueuedBuilds),
-		tenants: make(map[string]*Tenant),
+		opts:     opts,
+		log:      obs.Component(logger, "tenant-registry"),
+		sched:    newBuildScheduler(opts.MaxInflightBuilds, opts.MaxQueuedBuilds),
+		tenants:  make(map[string]*Tenant),
+		reserved: make(map[string]struct{}),
 	}
 	if opts.SnapshotDir != "" {
 		if err := os.MkdirAll(opts.SnapshotDir, 0o755); err != nil {
@@ -352,9 +362,7 @@ func (r *TenantRegistry) resolve(cfg TenantConfig) TenantConfig {
 	if cfg.Seed == 0 {
 		cfg.Seed = r.opts.Seed
 	}
-	if cfg.Weight <= 0 {
-		cfg.Weight = 1
-	}
+	cfg.Weight = clampWeight(cfg.Weight)
 	if cfg.IngestWorkers == 0 {
 		cfg.IngestWorkers = r.opts.IngestWorkers
 	}
@@ -423,24 +431,54 @@ func (r *TenantRegistry) startTenant(cfg TenantConfig, createdAt time.Time, pers
 
 // CreateTenant adds and starts a new tenant. The id must satisfy
 // ValidTenantID and be free; the tenant is immediately live (and, with
-// durability on, manifested on disk so a restart restores it).
+// durability on, manifested on disk so a restart restores it). An id
+// whose previous tenant is still being deleted counts as taken until
+// the deletion's disk cleanup finishes.
+//
+// The expensive part — directory creation, service startup, manifest
+// write — runs outside the registry lock with only the id reserved, so
+// a slow disk during a create never stalls request-path Tenant()
+// lookups for other tenants.
 func (r *TenantRegistry) CreateTenant(cfg TenantConfig) (*Tenant, error) {
 	if !ValidTenantID(cfg.ID) {
 		return nil, fmt.Errorf("%w: %q", ErrBadTenantID, cfg.ID)
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		return nil, ErrRegistryClosed
 	}
 	if _, ok := r.tenants[cfg.ID]; ok {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrTenantExists, cfg.ID)
 	}
+	if _, ok := r.reserved[cfg.ID]; ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q (operation in progress)", ErrTenantExists, cfg.ID)
+	}
+	r.reserved[cfg.ID] = struct{}{}
+	r.mu.Unlock()
+
 	t, err := r.startTenant(cfg, time.Now(), true)
+
+	r.mu.Lock()
+	delete(r.reserved, cfg.ID)
 	if err != nil {
+		r.mu.Unlock()
 		return nil, err
 	}
+	if r.closed {
+		// The registry closed while we were starting up: the Close pass
+		// never saw this tenant, so unwind it here.
+		r.mu.Unlock()
+		t.svc.Kill()
+		if t.dir != "" {
+			os.RemoveAll(t.dir)
+		}
+		return nil, ErrRegistryClosed
+	}
 	r.tenants[cfg.ID] = t
+	r.mu.Unlock()
 	mTenants.Add(1)
 	r.log.Info("tenant created",
 		slog.String("tenant", cfg.ID),
@@ -480,7 +518,17 @@ func (r *TenantRegistry) DeleteTenant(id string) error {
 		return fmt.Errorf("%w: %q", ErrTenantNotFound, id)
 	}
 	delete(r.tenants, id)
+	// Reserve the id for the duration of the teardown: a re-create that
+	// completed while we evict and clean the disk below would have its
+	// fresh queue killed and its fresh directory removed by this stale
+	// delete. CreateTenant refuses reserved ids, so the window is closed.
+	r.reserved[id] = struct{}{}
 	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.reserved, id)
+		r.mu.Unlock()
+	}()
 
 	r.sched.evict(id, fmt.Errorf("%w: %q (deleted)", ErrTenantNotFound, id))
 	t.svc.Kill()

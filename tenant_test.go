@@ -3,6 +3,7 @@ package mincore
 import (
 	"context"
 	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -370,5 +371,86 @@ func TestTenantConcurrentBuildsFairShare(t *testing.T) {
 	}
 	if st.Scheduler.Inflight != 0 {
 		t.Errorf("scheduler inflight = %d after all builds, want 0", st.Scheduler.Inflight)
+	}
+}
+
+// TestTenantWeightClamped: weights arriving through TenantConfig (the
+// unauthenticated POST /v1/tenants path) are sanitized by resolve — a
+// pathologically small weight is floored rather than allowed to stall
+// the shared dispatch loop, and NaN falls back to the default.
+func TestTenantWeightClamped(t *testing.T) {
+	r := newTestRegistry(t, RegistryOptions{Dim: 2})
+	cases := []struct {
+		id   string
+		in   float64
+		want float64
+	}{
+		{"tiny", 1e-12, 0.01},
+		{"nan", math.NaN(), 1},
+		{"huge", 1e9, 100},
+		{"normal", 2, 2},
+	}
+	for _, c := range cases {
+		tn, err := r.CreateTenant(TenantConfig{ID: c.id, Weight: c.in})
+		if err != nil {
+			t.Fatalf("CreateTenant(%s): %v", c.id, err)
+		}
+		if got := tn.Config().Weight; got != c.want {
+			t.Errorf("tenant %s: resolved weight = %v, want %v", c.id, got, c.want)
+		}
+	}
+	// A clamped-weight tenant's builds still complete promptly.
+	tn, _ := r.Tenant("tiny")
+	if err := tn.Feed(servePoints(50, 3)...); err != nil {
+		t.Fatalf("Feed: %v", err)
+	}
+	drain(t, tn.Service(), 50)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := tn.Coreset(ctx, 0.1, Auto); err != nil {
+		t.Fatalf("Coreset under clamped weight: %v", err)
+	}
+}
+
+// TestTenantDeleteCreateRace: DeleteTenant keeps the id reserved until
+// scheduler eviction and disk cleanup finish, so a concurrent re-create
+// of the same id either waits its turn (ErrTenantExists while the
+// delete is in flight) or lands after cleanup — a successful re-create
+// can never have its fresh directory removed by the stale delete.
+func TestTenantDeleteCreateRace(t *testing.T) {
+	dir := t.TempDir()
+	r := newTestRegistry(t, RegistryOptions{Dim: 2, SnapshotDir: dir})
+	const id = "phoenix"
+	for i := 0; i < 25; i++ {
+		if _, err := r.CreateTenant(TenantConfig{ID: id}); err != nil {
+			t.Fatalf("iter %d: CreateTenant: %v", i, err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- r.DeleteTenant(id) }()
+		// Race a re-create against the delete, retrying while the id is
+		// still reserved by the in-flight teardown.
+		for {
+			_, err := r.CreateTenant(TenantConfig{ID: id})
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrTenantExists) {
+				t.Fatalf("iter %d: racing CreateTenant: %v", i, err)
+			}
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("iter %d: DeleteTenant: %v", i, err)
+		}
+		// The re-created tenant must be live and durable: its manifest
+		// (written before the delete completed or after) must survive.
+		if _, err := r.Tenant(id); err != nil {
+			t.Fatalf("iter %d: re-created tenant gone: %v", i, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, id, manifestName)); err != nil {
+			t.Fatalf("iter %d: re-created tenant lost its manifest: %v", i, err)
+		}
+		if err := r.DeleteTenant(id); err != nil {
+			t.Fatalf("iter %d: cleanup DeleteTenant: %v", i, err)
+		}
 	}
 }
