@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-workers bench-json bench-cache faults fuzz chaos tenants
+.PHONY: build test vet race verify bench bench-workers bench-json bench-cache faults fuzz chaos tenants degrade
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,16 @@ tenants:
 	GOMAXPROCS=4 $(GO) test -race -count=1 \
 		-run 'TestScheduler|TestTenant|TestValidTenantID' .
 	GOMAXPROCS=4 $(GO) test -race -count=1 ./cmd/mcserve/
+
+# Degraded-mode serving under the race detector: tenant quarantine and
+# the in-place recover ladder, stale-coreset fallback bounds, the
+# fake-clock build watchdog, checkpoint-failure health, the hardened
+# HTTP front door, and the chaos matrix's fleet-corruption leg.
+degrade:
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+		-run 'TestSchedulerWatchdog|TestStaleFallback|TestWatchdogKillAnsweredStale|TestCheckpointFailuresDegrade|TestChaosFleetCorruption' .
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+		-run 'TestQuarantineLifecycleHTTP|TestStaleServingHTTP|TestRequestBodyLimits|TestDegradedMetricFamilies' ./cmd/mcserve/
 
 # Short fuzz smoke of the public build pipeline (never panics; nil error
 # implies certified loss ≤ ε).

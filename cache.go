@@ -241,6 +241,8 @@ func snapshotCoreset(q *Coreset) *Coreset {
 		rep := *q.Report
 		rep.Fallbacks = append([]string(nil), q.Report.Fallbacks...)
 		rep.Checkpoint = nil
+		rep.Stale = false
+		rep.Staleness = nil
 		out.Report = &rep
 	}
 	return out

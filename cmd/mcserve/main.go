@@ -23,9 +23,12 @@
 //	GET    /v1/tenants/{id}/stats    per-tenant counters incl. checkpoint
 //	                                 lag and cache hit/miss counts
 //	POST   /v1/tenants/{id}/snapshot force a durable checkpoint now
+//	POST   /v1/tenants/{id}/recover  repair a quarantined tenant in place
 //	GET    /v1/stats                 per-tenant rows + fair-share
 //	                                 scheduler counters
-//	GET    /healthz                  liveness
+//	GET    /healthz                  liveness (the process answers)
+//	GET    /readyz                   readiness: per-tenant ok|degraded|
+//	                                 quarantined state
 //	GET    /metrics                  Prometheus text metrics (solver +
 //	                                 per-tenant service families)
 //	GET    /debug/vars, /debug/pprof/ introspection
@@ -35,8 +38,16 @@
 //	{"error": {"code": "<symbol>", "message": "<detail>"}}
 //
 // with codes: bad_tenant_id, tenant_exists, tenant_not_found,
-// invalid_argument, invalid_point, empty_stream, quota_exceeded,
-// overloaded, deadline_exceeded, service_closed, uncertified, internal.
+// tenant_quarantined, invalid_argument, invalid_point, empty_stream,
+// quota_exceeded, overloaded, watchdog_killed, request_too_large,
+// deadline_exceeded, service_closed, uncertified, internal.
+//
+// Degraded-mode serving: with -stale-max-age / -stale-max-points-behind
+// set, a failed fresh build (overload, uncertified, deadline, watchdog
+// kill) is answered from the tenant's last certified coreset when it is
+// within bounds — marked with "stale": true, staleness metadata, and a
+// Warning header, never silently. -build-watchdog arms a hard per-build
+// slot budget so a wedged build cannot pin fleet capacity.
 //
 // Legacy unversioned routes (/ingest, /coreset, /summary, /stats,
 // /checkpoint, /healthz) remain as aliases onto the "default" tenant —
@@ -84,6 +95,10 @@ func main() {
 	buildWorkers := flag.Int("build-workers", 0, "worker-pool size for builds (0 = GOMAXPROCS)")
 	buildCache := flag.Int("build-cache", 0, "served-coreset cache entries per tenant (0 = default of 32, negative = disabled)")
 	quota := flag.Float64("quota", 0, "default-tenant ingest quota in points/s (0 = unlimited; 429 when exceeded)")
+	watchdog := flag.Duration("build-watchdog", 0, "hard per-build slot budget; a build holding its slot longer is killed and the slot reclaimed (0 = off)")
+	staleMaxAge := flag.Duration("stale-max-age", 0, "serve the last certified coreset (marked stale) when a fresh build fails, if at most this old (0 = stale serving off)")
+	staleBehind := flag.Int("stale-max-points-behind", 0, "additional stale-serving bound: max stream points the fallback may lag (0 = unbounded; needs -stale-max-age)")
+	maxBody := flag.Int64("max-body-bytes", 8<<20, "largest accepted request body in bytes (413 beyond it)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "text", "log format: text|json")
 	flag.Parse()
@@ -100,6 +115,10 @@ func main() {
 	obs.Enable()
 	obs.Default.PublishExpvar("mincore_metrics")
 
+	var stale *mincore.StaleServePolicy
+	if *staleMaxAge > 0 {
+		stale = mincore.WithStaleServe(*staleMaxAge, *staleBehind)
+	}
 	reg, err := mincore.NewTenantRegistry(mincore.RegistryOptions{
 		Dim: *dim, Eps: *eps, Alpha: *alpha, Seed: *seed,
 		SnapshotDir:        *snapshotDir,
@@ -107,8 +126,10 @@ func main() {
 		MaxInflightBuilds:  *inflight, MaxQueuedBuilds: *maxQueued,
 		BuildWorkers:  *buildWorkers,
 		IngestWorkers: *workers, QueueSize: *queue,
-		BuildCache: *buildCache,
-		Logger:     logger,
+		BuildCache:  *buildCache,
+		Logger:      logger,
+		BuildBudget: *watchdog,
+		StaleServe:  stale,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcserve:", err)
@@ -137,7 +158,19 @@ func main() {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newMux(reg, log)}
+	// Front-door hardening: a client that trickles headers or bodies, or
+	// never reads its response, must not pin a connection (and its
+	// goroutine) forever. WriteTimeout is generous because coreset builds
+	// legitimately take a while; per-request ?timeout= bounds the build
+	// itself.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(reg, log, *maxBody),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -169,13 +202,24 @@ func main() {
 type apiServer struct {
 	reg        *mincore.TenantRegistry
 	log        *slog.Logger
+	maxBody    int64 // largest accepted ingest body, in bytes
 	deprecated sync.Once
 }
 
+// createBodyLimit bounds control-plane request bodies (tenant creation):
+// far smaller than the ingest limit, since a config is a handful of
+// scalars.
+const createBodyLimit = 1 << 20
+
 // newMux builds the full route table. Split from main so tests can
-// drive the handlers through httptest without a listener.
-func newMux(reg *mincore.TenantRegistry, log *slog.Logger) *http.ServeMux {
-	api := &apiServer{reg: reg, log: log}
+// drive the handlers through httptest without a listener. maxBody
+// bounds ingest request bodies; past it the request fails with the 413
+// request_too_large envelope.
+func newMux(reg *mincore.TenantRegistry, log *slog.Logger, maxBody int64) *http.ServeMux {
+	if maxBody <= 0 {
+		maxBody = 8 << 20
+	}
+	api := &apiServer{reg: reg, log: log, maxBody: maxBody}
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/tenants", api.createTenant)
@@ -187,6 +231,7 @@ func newMux(reg *mincore.TenantRegistry, log *slog.Logger) *http.ServeMux {
 	mux.HandleFunc("GET /v1/tenants/{id}/summary", api.tenantH(api.summary))
 	mux.HandleFunc("GET /v1/tenants/{id}/stats", api.tenantH(api.tenantStats))
 	mux.HandleFunc("POST /v1/tenants/{id}/snapshot", api.tenantH(api.snapshot))
+	mux.HandleFunc("POST /v1/tenants/{id}/recover", api.recoverTenant)
 	mux.HandleFunc("GET /v1/stats", api.registryStats)
 
 	// Legacy unversioned aliases onto the default tenant (deprecated).
@@ -200,6 +245,7 @@ func newMux(reg *mincore.TenantRegistry, log *slog.Logger) *http.ServeMux {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", api.readyz)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		obs.Default.WritePrometheus(w)
@@ -270,10 +316,27 @@ type createTenantRequest struct {
 	BuildCache        int     `json:"build_cache"`
 }
 
+// decodeBody decodes a JSON request body of at most limit bytes,
+// rendering the envelope error itself (413 request_too_large past the
+// limit, 400 invalid_argument otherwise). The bool reports success.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpErrorCode(w, http.StatusRequestEntityTooLarge, "request_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		httpErrorCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return false
+	}
+	return true
+}
+
 func (a *apiServer) createTenant(w http.ResponseWriter, r *http.Request) {
 	var req createTenantRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpErrorCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+	if !decodeBody(w, r, createBodyLimit, &req) {
 		return
 	}
 	t, err := a.reg.CreateTenant(mincore.TenantConfig{
@@ -295,12 +358,71 @@ func (a *apiServer) listTenants(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *apiServer) getTenant(w http.ResponseWriter, r *http.Request) {
-	t, err := a.reg.Tenant(r.PathValue("id"))
+	id := r.PathValue("id")
+	t, err := a.reg.Tenant(id)
+	if err != nil {
+		// A quarantined tenant is inspectable: the resource exists, it is
+		// just not serving. 200 with health fields beats a bare 503 here —
+		// the operator deciding whether to recover or delete needs the
+		// reason, and the data plane still gets its 503 on every other
+		// route.
+		if h, ok := a.reg.QuarantineInfo(id); ok {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"id": id, "state": h.State, "health": h,
+			})
+			return
+		}
+		httpError(w, err)
+		return
+	}
+	info := tenantInfoJSON(t)
+	info["state"] = "ok"
+	if t.Stats().Degraded {
+		info["state"] = "degraded"
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// recoverTenant is POST /v1/tenants/{id}/recover: repair a quarantined
+// tenant in place (manifest rewrite, snapshot-generation fallback, or
+// stream reset — whichever rung of the ladder works first) without a
+// process restart.
+func (a *apiServer) recoverTenant(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, step, err := a.reg.RecoverTenant(id)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, tenantInfoJSON(t))
+	a.log.Info("tenant recovered via API",
+		slog.String("tenant", id), slog.String("step", step))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"recovered": id,
+		"step":      step,
+		"stream_n":  t.Service().StreamN(),
+	})
+}
+
+// readyz is the readiness probe: 200 while the registry serves, with the
+// per-tenant degraded-mode state machine rendered so orchestrators and
+// operators see partial failure (k of N quarantined) without the whole
+// process being marked down — that would turn one corrupt tenant into a
+// fleet outage, the exact opposite of quarantine.
+func (a *apiServer) readyz(w http.ResponseWriter, r *http.Request) {
+	health := a.reg.Health()
+	status := "ok"
+	counts := map[string]int{}
+	for _, h := range health {
+		counts[h.State]++
+		if h.State != "ok" {
+			status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"counts":  counts,
+		"tenants": health,
+	})
 }
 
 func (a *apiServer) deleteTenant(w http.ResponseWriter, r *http.Request) {
@@ -326,8 +448,7 @@ func (a *apiServer) ingest(w http.ResponseWriter, r *http.Request, t *mincore.Te
 	var req struct {
 		Points []mincore.Point `json:"points"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpErrorCode(w, http.StatusBadRequest, "invalid_argument", err.Error())
+	if !decodeBody(w, r, a.maxBody, &req) {
 		return
 	}
 	if err := t.Feed(req.Points...); err != nil {
@@ -374,15 +495,33 @@ func (a *apiServer) coreset(w http.ResponseWriter, r *http.Request, t *mincore.T
 			slog.Float64("eps", rep.Eps),
 			slog.Float64("certified_loss", rep.CertifiedLoss),
 			slog.Bool("certified", rep.Certified),
+			slog.Bool("stale", rep.Stale),
 			slog.Int("size", q.Size()),
 			slog.Int("attempts", rep.Attempts),
 			slog.Duration("wall", rep.Wall),
 			slog.String("spans", rep.Trace.Summary()))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"size": q.Size(), "eps": q.Eps, "loss": q.Loss,
 		"algorithm": q.Algorithm, "points": q.Points, "report": q.Report,
-	})
+	}
+	if rep := q.Report; rep != nil && rep.Stale {
+		// Degraded mode is never silent: the body says stale and how far
+		// behind, and the header flags it for clients that only look at
+		// metadata (RFC 9111 110 = "response is stale").
+		w.Header().Set("Warning", `110 - "stale coreset: degraded-mode fallback"`)
+		resp["stale"] = true
+		if sm := rep.Staleness; sm != nil {
+			resp["staleness"] = map[string]any{
+				"built_at":      sm.BuiltAt.Format(time.RFC3339Nano),
+				"age_seconds":   sm.Age.Seconds(),
+				"stream_n":      sm.StreamN,
+				"points_behind": sm.PointsBehind,
+				"reason":        sm.Reason,
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (a *apiServer) summary(w http.ResponseWriter, r *http.Request, t *mincore.Tenant, legacy bool) {
@@ -416,6 +555,8 @@ func statsPayload(t *mincore.Tenant, legacy bool) map[string]any {
 	if !legacy {
 		resp["tenant"] = st.Tenant
 		resp["quota_shed"] = st.QuotaShed
+		resp["stale_served"] = st.StaleServed
+		resp["degraded"] = st.Degraded
 	}
 	if !st.LastCheckpoint.IsZero() {
 		resp["last_checkpoint"] = st.LastCheckpoint.Format(time.RFC3339Nano)
@@ -458,15 +599,24 @@ func (a *apiServer) registryStats(w http.ResponseWriter, r *http.Request) {
 			tenants[ts.Tenant] = statsPayload(t, false)
 		}
 	}
+	health := a.reg.Health()
+	quarantined := make([]mincore.TenantHealth, 0)
+	for _, h := range health {
+		if h.State == "quarantined" {
+			quarantined = append(quarantined, h)
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"tenant_count": len(st.Tenants),
 		"tenants":      tenants,
+		"quarantined":  quarantined,
 		"scheduler": map[string]any{
-			"inflight":      st.Scheduler.Inflight,
-			"rounds":        st.Scheduler.Rounds,
-			"grants":        st.Scheduler.Grants,
-			"pending":       st.Scheduler.Pending,
-			"tenant_grants": st.Scheduler.TenantGrants,
+			"inflight":       st.Scheduler.Inflight,
+			"rounds":         st.Scheduler.Rounds,
+			"grants":         st.Scheduler.Grants,
+			"pending":        st.Scheduler.Pending,
+			"tenant_grants":  st.Scheduler.TenantGrants,
+			"watchdog_kills": st.Scheduler.WatchdogKills,
 		},
 	})
 }
@@ -481,10 +631,14 @@ func errorCode(err error) (int, string) {
 		return http.StatusConflict, "tenant_exists"
 	case errors.Is(err, mincore.ErrTenantNotFound):
 		return http.StatusNotFound, "tenant_not_found"
+	case errors.Is(err, mincore.ErrTenantQuarantined):
+		return http.StatusServiceUnavailable, "tenant_quarantined"
 	case errors.Is(err, mincore.ErrQuotaExceeded):
 		return http.StatusTooManyRequests, "quota_exceeded"
 	case errors.Is(err, mincore.ErrOverloaded):
 		return http.StatusServiceUnavailable, "overloaded"
+	case errors.Is(err, mincore.ErrWatchdogKilled):
+		return http.StatusServiceUnavailable, "watchdog_killed"
 	case errors.Is(err, mincore.ErrInvalidPoint):
 		return http.StatusBadRequest, "invalid_point"
 	case errors.Is(err, mincore.ErrUnknownAlgorithm):

@@ -14,6 +14,11 @@ import (
 	"mincore/internal/obs"
 )
 
+// testMaxBody is the ingest body cap the test mux runs with: small
+// enough for the 413 table test to hit without building huge payloads,
+// large enough that every other test's batches pass untouched.
+const testMaxBody = 256 << 10
+
 // newTestServer builds the real route table over a live tenant
 // registry (with the default tenant the legacy routes alias onto),
 // exactly as main() does minus the listener and signal handling.
@@ -33,7 +38,7 @@ func newTestServer(t *testing.T, opts mincore.RegistryOptions) (*httptest.Server
 		}
 	}
 	t.Cleanup(func() { reg.Close() })
-	ts := httptest.NewServer(newMux(reg, obs.Discard()))
+	ts := httptest.NewServer(newMux(reg, obs.Discard(), testMaxBody))
 	t.Cleanup(ts.Close)
 	return ts, reg
 }
@@ -291,6 +296,8 @@ func TestErrorCodeMapping(t *testing.T) {
 		{mincore.ErrTenantExists, http.StatusConflict, "tenant_exists"},
 		{mincore.ErrBadTenantID, http.StatusBadRequest, "bad_tenant_id"},
 		{mincore.ErrEmptyInput, http.StatusConflict, "empty_stream"},
+		{mincore.ErrTenantQuarantined, http.StatusServiceUnavailable, "tenant_quarantined"},
+		{mincore.ErrWatchdogKilled, http.StatusServiceUnavailable, "watchdog_killed"},
 		{fmt.Errorf("wrapped: %w", mincore.ErrServiceClosed), http.StatusServiceUnavailable, "service_closed"},
 		{fmt.Errorf("boom"), http.StatusInternalServerError, "internal"},
 	} {

@@ -344,7 +344,51 @@ func (st *Store) Load() (*stream.Summary, Meta, error) {
 	if errors.Is(errCur, os.ErrNotExist) && errors.Is(errPrev, os.ErrNotExist) {
 		return nil, Meta{}, fmt.Errorf("snapshot: no generation at %s: %w", st.path, os.ErrNotExist)
 	}
-	return nil, Meta{}, fmt.Errorf("snapshot: no loadable generation at %s: %w", st.path, errors.Join(errCur, errPrev))
+	// At least one generation exists but none decodes. Keep only the
+	// substantive errors in the join: letting an ENOENT member through
+	// would make errors.Is(err, os.ErrNotExist) true for the combined
+	// error, and callers distinguishing "no snapshot, fresh start" from
+	// "snapshot present but unusable" would silently start empty over a
+	// corrupt-but-possibly-salvageable generation.
+	errs := make([]error, 0, 2)
+	for _, e := range []error{errCur, errPrev} {
+		if !errors.Is(e, os.ErrNotExist) {
+			errs = append(errs, e)
+		}
+	}
+	return nil, Meta{}, fmt.Errorf("snapshot: no loadable generation at %s: %w", st.path, errors.Join(errs...))
+}
+
+// DiscardCurrent removes the current generation so the next Load falls
+// back to the previous one — the "go back one generation" arm of tenant
+// recovery, used when the current snapshot is corrupt beyond Load's own
+// automatic fallback (e.g. the manifest and snapshot disagree). The
+// previous generation and any temp file are untouched. Removing a
+// snapshot that does not exist is not an error.
+func (st *Store) DiscardCurrent() error {
+	if err := os.Remove(st.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	syncDir(filepath.Dir(st.path))
+	return nil
+}
+
+// Reset removes every generation (current, previous, and temp) — the
+// last-resort arm of tenant recovery: the stream restarts empty and
+// producers must replay from offset 0. The first removal error is
+// returned, but all three paths are attempted.
+func (st *Store) Reset() error {
+	var firstErr error
+	for _, p := range []string{st.path, st.path + PrevSuffix, st.path + ".tmp"} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	syncDir(filepath.Dir(st.path))
+	if firstErr == nil {
+		st.gen = 0
+	}
+	return firstErr
 }
 
 func (st *Store) loadFile(path string) (*stream.Summary, Meta, error) {

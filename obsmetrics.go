@@ -102,6 +102,7 @@ type serviceMetrics struct {
 	ckptSaves, ckptFailures                 *obs.Counter
 	ckptDuration                            *obs.Histogram
 	serveBuilds, serveShed, schedGrants     *obs.Counter
+	staleServes                             *obs.Counter
 	serveBuildDuration                      *obs.Histogram
 	cache                                   cacheMetrics
 }
@@ -121,6 +122,19 @@ var mSchedGrants = obs.Default.Counter("mincore_sched_grants_total",
 var mTenants = obs.Default.Gauge("mincore_tenants",
 	"Live tenant streams hosted by tenant registries.", nil)
 
+// Degraded-mode metrics. Registered at package init (like everything
+// above) so the families are present in a scrape even before the first
+// quarantine or kill — dashboards and the verify.sh leg key on family
+// presence, not just samples.
+var (
+	mTenantsQuarantined = obs.Default.Gauge("mincore_tenants_quarantined",
+		"Tenants currently quarantined (corrupt state at startup or recovery).", nil)
+	mWatchdogKills = obs.Default.Counter("mincore_build_watchdog_kills_total",
+		"Build slots forcibly reclaimed by the scheduler watchdog.", nil)
+	mStaleServes = obs.Default.Counter("mincore_stale_serves_total",
+		"Coreset requests answered from the stale last-good fallback.", nil)
+)
+
 // defaultServiceMetrics returns the unlabeled process-global bundle —
 // the legacy single-tenant fast path.
 func defaultServiceMetrics() serviceMetrics {
@@ -131,6 +145,7 @@ func defaultServiceMetrics() serviceMetrics {
 		workerPanics: mWorkerPanics,
 		ckptSaves:    mCkptSaves, ckptFailures: mCkptFailures, ckptDuration: mCkptDuration,
 		serveBuilds: mServeBuilds, serveShed: mServeShed, schedGrants: mSchedGrants,
+		staleServes:        mStaleServes,
 		serveBuildDuration: mServeBuildDuration,
 		cache:              serveCacheMetrics(),
 	}
@@ -170,6 +185,8 @@ func tenantServiceMetrics(tenant string) serviceMetrics {
 			"Coreset build requests shed by admission control.", l),
 		schedGrants: obs.Default.Counter("mincore_sched_grants_total",
 			"Build slots granted by the fair-share scheduler.", l),
+		staleServes: obs.Default.Counter("mincore_stale_serves_total",
+			"Coreset requests answered from the stale last-good fallback.", l),
 		serveBuildDuration: obs.Default.Histogram("mincore_serve_build_duration_seconds",
 			"Wall time of served coreset builds, in seconds.", nil, l),
 		cache: cacheMetrics{

@@ -66,6 +66,13 @@ type BuildReport struct {
 	// Checkpoint is the durable-snapshot provenance of the stream state
 	// a build was served from; nil for plain batch builds.
 	Checkpoint *CheckpointMeta
+	// Stale marks a result served from the last-good fallback instead of
+	// a fresh build (degraded mode, opt-in via StaleServePolicy); the
+	// Staleness field says how far behind it is and why it was used. The
+	// result is still ε-certified — against the stream position it was
+	// built at, not the current one.
+	Stale     bool
+	Staleness *StalenessMeta
 	// Trace is the phase-level span tree of the build: dominance-graph
 	// construction, each per-algorithm attempt, loss certification, and
 	// repair retries, with durations and key attributes. Rendered by
@@ -91,6 +98,25 @@ type CheckpointMeta struct {
 	// RestoredN is the stream position recovered at service start
 	// (0 = fresh start).
 	RestoredN int
+}
+
+// StalenessMeta quantifies a degraded-mode answer: the provenance of the
+// retained build and its distance from the live stream. The loss bound
+// argument is exactly the mergeable-summary one — the coreset was
+// certified at ε against StreamN points, so against the current stream it
+// is certified for everything up to that position and best-effort for the
+// PointsBehind points after it.
+type StalenessMeta struct {
+	// BuiltAt is when the retained build completed; Age is the elapsed
+	// time at serve time.
+	BuiltAt time.Time
+	Age     time.Duration
+	// StreamN is the stream position the retained build was certified at;
+	// PointsBehind is how many points the live stream has advanced since.
+	StreamN, PointsBehind int
+	// Reason is why the fresh build failed: "overloaded", "uncertified",
+	// "deadline", "watchdog_kill", or "error".
+	Reason string
 }
 
 // UncertifiedError is returned when the repair pipeline exhausts every

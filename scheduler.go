@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 )
 
 // Fair-share build scheduling. A single process hosts many tenant
@@ -69,6 +70,35 @@ type schedWaiter struct {
 	err     error  // set before grant is closed when the queue is evicted
 	granted bool   // true once dispatched; the canceller must release
 	seq     uint64 // grant sequence number, stamped at dispatch
+	g       *schedGrant
+}
+
+// schedGrant is one held build slot. The watchdog and the holder race to
+// return the slot; the done flag (guarded by the scheduler lock) makes
+// whichever side arrives second a no-op, so a slot is never returned
+// twice.
+type schedGrant struct {
+	sched    *buildScheduler
+	cancel   context.CancelCauseFunc // nil when no watchdog budget is set
+	deadline time.Time               // zero when no watchdog budget is set
+	tenant   string
+	done     bool // released by the holder or reclaimed by the watchdog
+}
+
+// release returns the slot unless the watchdog already reclaimed it, and
+// frees the grant's derived context either way. The holder must call it
+// exactly once.
+func (g *schedGrant) release() {
+	if g == nil {
+		return
+	}
+	b := g.sched
+	b.mu.Lock()
+	b.releaseGrantLocked(g)
+	b.mu.Unlock()
+	if g.cancel != nil {
+		g.cancel(nil)
+	}
 }
 
 // schedQueue is one tenant's FIFO of pending requests plus its DRR
@@ -97,34 +127,151 @@ type buildScheduler struct {
 	ringPos     int
 	rounds      uint64 // completed passes over the ring
 	grantSeq    uint64 // total grants — the scheduler's virtual clock
+
+	// Watchdog state. budget is the hard per-grant slot budget (0 =
+	// watchdog off); active holds every granted-but-unreleased grant so
+	// the sweeper can find overruns; kills counts reclaimed slots.
+	budget   time.Duration
+	now      func() time.Time
+	active   map[*schedGrant]struct{}
+	kills    uint64
+	stopOnce sync.Once
+	stopCh   chan struct{}
 }
 
 // newBuildScheduler returns a scheduler admitting maxInflight concurrent
-// builds with at most maxQueued pending requests per tenant.
-func newBuildScheduler(maxInflight, maxQueued int) *buildScheduler {
+// builds with at most maxQueued pending requests per tenant. budget > 0
+// arms the build watchdog: a grant held longer than budget is cancelled
+// (its context dies with cause ErrWatchdogKilled) and its slot reclaimed.
+// clock overrides time.Now for the watchdog; injecting a clock also
+// disables the background sweeper — the injector drives sweep() itself,
+// which is what keeps the watchdog tests free of sleeps.
+func newBuildScheduler(maxInflight, maxQueued int, budget time.Duration, clock func() time.Time) *buildScheduler {
 	if maxInflight < 1 {
 		maxInflight = 1
 	}
 	if maxQueued < 1 {
 		maxQueued = 16
 	}
-	return &buildScheduler{
+	b := &buildScheduler{
 		maxInflight: maxInflight,
 		maxQueued:   maxQueued,
 		quantum:     1,
 		queues:      make(map[string]*schedQueue),
+		budget:      budget,
+		now:         clock,
+		active:      make(map[*schedGrant]struct{}),
+		stopCh:      make(chan struct{}),
 	}
+	if b.budget > 0 && b.now == nil {
+		b.now = time.Now
+		go b.watchdogLoop()
+	}
+	return b
+}
+
+// stop terminates the background watchdog sweeper (idempotent). Builds
+// in flight keep their slots; only the periodic sweep ends.
+func (b *buildScheduler) stop() {
+	b.stopOnce.Do(func() { close(b.stopCh) })
+}
+
+// watchdogLoop periodically sweeps for grants past their budget. The
+// interval quarters the budget so an overrun is caught within ~1.25× its
+// deadline; inline sweeps on acquire catch it sooner under traffic.
+func (b *buildScheduler) watchdogLoop() {
+	interval := b.budget / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stopCh:
+			return
+		case <-t.C:
+			b.sweep()
+		}
+	}
+}
+
+// sweep cancels and reclaims every active grant past its deadline, then
+// redispatches the freed slots. Safe to call at any time; without a
+// watchdog budget it is a no-op.
+func (b *buildScheduler) sweep() {
+	b.mu.Lock()
+	b.sweepLocked()
+	b.mu.Unlock()
+}
+
+func (b *buildScheduler) sweepLocked() {
+	if b.budget <= 0 || len(b.active) == 0 {
+		return
+	}
+	now := b.now()
+	freed := false
+	for g := range b.active {
+		if !now.After(g.deadline) {
+			continue
+		}
+		// Reclaim under the lock: the slot is returned here and now; the
+		// killed build's own release becomes a no-op via g.done. The
+		// cancelled context stops the build within a few LP solves — the
+		// zombie may burn CPU briefly, but it no longer holds capacity.
+		g.done = true
+		delete(b.active, g)
+		if b.inflight > 0 {
+			b.inflight--
+		}
+		b.kills++
+		mWatchdogKills.Inc()
+		g.cancel(ErrWatchdogKilled)
+		freed = true
+	}
+	if freed {
+		b.dispatchLocked()
+	}
+}
+
+// releaseGrantLocked returns a grant's slot unless the watchdog already
+// did, then redispatches.
+func (b *buildScheduler) releaseGrantLocked(g *schedGrant) {
+	if g == nil || g.done {
+		return
+	}
+	g.done = true
+	delete(b.active, g)
+	if b.inflight > 0 {
+		b.inflight--
+	}
+	b.dispatchLocked()
 }
 
 // acquire blocks until the tenant is granted a build slot, its context
 // dies, or its queue is evicted. The weight is clamped per clampWeight
 // (≤ 0 and NaN default to 1). On success the caller owns one slot and
-// must call release exactly once.
-func (b *buildScheduler) acquire(ctx context.Context, tenant string, weight float64) error {
+// must run the build under the returned context — the watchdog cancels
+// it (cause ErrWatchdogKilled) if the slot is held past the budget — and
+// call the grant's release exactly once.
+func (b *buildScheduler) acquire(ctx context.Context, tenant string, weight float64) (context.Context, *schedGrant, error) {
 	weight = clampWeight(weight)
-	w := &schedWaiter{grant: make(chan struct{})}
+	g := &schedGrant{sched: b, tenant: tenant}
+	bctx := ctx
+	if b.budget > 0 {
+		bctx, g.cancel = context.WithCancelCause(ctx)
+	}
+	w := &schedWaiter{grant: make(chan struct{}), g: g}
+
+	fail := func(err error) (context.Context, *schedGrant, error) {
+		if g.cancel != nil {
+			g.cancel(nil)
+		}
+		return nil, nil, err
+	}
 
 	b.mu.Lock()
+	b.sweepLocked() // a hung fleet self-heals on the next request
 	q := b.queues[tenant]
 	if q == nil {
 		q = &schedQueue{id: tenant}
@@ -133,7 +280,7 @@ func (b *buildScheduler) acquire(ctx context.Context, tenant string, weight floa
 	q.weight = weight
 	if len(q.waiters) >= b.maxQueued {
 		b.mu.Unlock()
-		return fmt.Errorf("%w: %d builds pending for tenant %q", ErrOverloaded, b.maxQueued, tenant)
+		return fail(fmt.Errorf("%w: %d builds pending for tenant %q", ErrOverloaded, b.maxQueued, tenant))
 	}
 	q.waiters = append(q.waiters, w)
 	if !q.inRing {
@@ -146,37 +293,23 @@ func (b *buildScheduler) acquire(ctx context.Context, tenant string, weight floa
 	select {
 	case <-w.grant:
 		if w.err != nil {
-			return w.err
+			return fail(w.err)
 		}
-		return nil
+		return bctx, g, nil
 	case <-ctx.Done():
 		b.mu.Lock()
 		if w.granted {
-			// The grant raced the cancellation: the slot is ours, give
-			// it back before reporting the context error.
-			b.releaseLocked()
+			// The grant raced the cancellation: the slot is ours (unless
+			// the watchdog reclaimed it already), give it back before
+			// reporting the context error.
+			b.releaseGrantLocked(g)
 			b.mu.Unlock()
-			return ctx.Err()
+			return fail(ctx.Err())
 		}
 		b.removeWaiterLocked(q, w)
 		b.mu.Unlock()
-		return ctx.Err()
+		return fail(ctx.Err())
 	}
-}
-
-// release returns a slot and lets the dispatcher hand it to the next
-// tenant in round-robin order.
-func (b *buildScheduler) release() {
-	b.mu.Lock()
-	b.releaseLocked()
-	b.mu.Unlock()
-}
-
-func (b *buildScheduler) releaseLocked() {
-	if b.inflight > 0 {
-		b.inflight--
-	}
-	b.dispatchLocked()
 }
 
 // evict fails every pending request of a tenant with err and removes its
@@ -225,6 +358,13 @@ func (b *buildScheduler) dispatchLocked() {
 			q.grants++
 			w.granted = true
 			w.seq = b.grantSeq
+			if b.budget > 0 {
+				// The budget clock starts at grant time, not enqueue time:
+				// a request's queueing delay is the fair-share scheduler's
+				// business, the watchdog only polices slot occupancy.
+				w.g.deadline = b.now().Add(b.budget)
+				b.active[w.g] = struct{}{}
+			}
 			close(w.grant)
 		}
 		if len(q.waiters) == 0 {
@@ -281,6 +421,9 @@ type SchedulerStats struct {
 	Inflight int
 	Rounds   uint64
 	Grants   uint64
+	// WatchdogKills counts build slots forcibly reclaimed because the
+	// holder exceeded the per-grant budget.
+	WatchdogKills uint64
 	// Pending and TenantGrants are per-tenant queue depth and lifetime
 	// grant counts for tenants with scheduler state.
 	Pending      map[string]int
@@ -292,11 +435,12 @@ func (b *buildScheduler) stats() SchedulerStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	st := SchedulerStats{
-		Inflight:     b.inflight,
-		Rounds:       b.rounds,
-		Grants:       b.grantSeq,
-		Pending:      make(map[string]int, len(b.queues)),
-		TenantGrants: make(map[string]uint64, len(b.queues)),
+		Inflight:      b.inflight,
+		Rounds:        b.rounds,
+		Grants:        b.grantSeq,
+		WatchdogKills: b.kills,
+		Pending:       make(map[string]int, len(b.queues)),
+		TenantGrants:  make(map[string]uint64, len(b.queues)),
 	}
 	for id, q := range b.queues {
 		st.Pending[id] = len(q.waiters)

@@ -29,14 +29,25 @@ func waitSched(t *testing.T, cond func() bool) {
 func enqueueBuild(b *buildScheduler, tenant string, weight float64,
 	granted chan<- string, release <-chan struct{}, errs chan<- error) {
 	go func() {
-		if err := b.acquire(context.Background(), tenant, weight); err != nil {
+		_, g, err := b.acquire(context.Background(), tenant, weight)
+		if err != nil {
 			errs <- err
 			return
 		}
 		granted <- tenant
 		<-release
-		b.release()
+		g.release()
 	}()
+}
+
+// mustAcquire grabs a slot synchronously or fails the test.
+func mustAcquire(t *testing.T, b *buildScheduler, tenant string, weight float64) *schedGrant {
+	t.Helper()
+	_, g, err := b.acquire(context.Background(), tenant, weight)
+	if err != nil {
+		t.Fatalf("%s acquire: %v", tenant, err)
+	}
+	return g
 }
 
 // fillQueue enqueues n requests for one tenant, waiting after each so
@@ -81,10 +92,8 @@ func drainGrants(t *testing.T, n int, granted <-chan string, release chan<- stru
 // virtual clock is the grant sequence number), so the expectation is
 // exact, not statistical.
 func TestSchedulerLightTenantNotStarved(t *testing.T) {
-	b := newBuildScheduler(1, 32)
-	if err := b.acquire(context.Background(), "plug", 1); err != nil {
-		t.Fatalf("plug acquire: %v", err)
-	}
+	b := newBuildScheduler(1, 32, 0, nil)
+	plug := mustAcquire(t, b, "plug", 1)
 	granted := make(chan string)
 	release := make(chan struct{})
 	errs := make(chan error, 16)
@@ -92,7 +101,7 @@ func TestSchedulerLightTenantNotStarved(t *testing.T) {
 	fillQueue(t, b, "heavy", 1, 8, granted, release, errs)
 	fillQueue(t, b, "light", 1, 2, granted, release, errs)
 
-	b.release() // free the plug; dispatching starts
+	plug.release() // free the plug; dispatching starts
 	order := drainGrants(t, 10, granted, release, errs)
 
 	want := []string{"heavy", "light", "heavy", "light",
@@ -118,10 +127,8 @@ func TestSchedulerLightTenantNotStarved(t *testing.T) {
 // builds per round against a weight-1 tenant's one, even when the
 // single build slot interrupts its turn mid-deficit.
 func TestSchedulerWeightedDraining(t *testing.T) {
-	b := newBuildScheduler(1, 32)
-	if err := b.acquire(context.Background(), "plug", 1); err != nil {
-		t.Fatalf("plug acquire: %v", err)
-	}
+	b := newBuildScheduler(1, 32, 0, nil)
+	plug := mustAcquire(t, b, "plug", 1)
 	granted := make(chan string)
 	release := make(chan struct{})
 	errs := make(chan error, 16)
@@ -129,7 +136,7 @@ func TestSchedulerWeightedDraining(t *testing.T) {
 	fillQueue(t, b, "gold", 2, 6, granted, release, errs)
 	fillQueue(t, b, "std", 1, 6, granted, release, errs)
 
-	b.release()
+	plug.release()
 	order := drainGrants(t, 12, granted, release, errs)
 
 	want := []string{"gold", "gold", "std", "gold", "gold", "std",
@@ -144,22 +151,20 @@ func TestSchedulerWeightedDraining(t *testing.T) {
 // TestSchedulerShedsPerTenantBacklog: the per-tenant queue bound sheds
 // with ErrOverloaded without touching other tenants' queues.
 func TestSchedulerShedsPerTenantBacklog(t *testing.T) {
-	b := newBuildScheduler(1, 2)
-	if err := b.acquire(context.Background(), "plug", 1); err != nil {
-		t.Fatalf("plug acquire: %v", err)
-	}
+	b := newBuildScheduler(1, 2, 0, nil)
+	plug := mustAcquire(t, b, "plug", 1)
 	granted := make(chan string)
 	release := make(chan struct{})
 	errs := make(chan error, 16)
 
 	fillQueue(t, b, "noisy", 1, 2, granted, release, errs)
-	if err := b.acquire(context.Background(), "noisy", 1); !errors.Is(err, ErrOverloaded) {
+	if _, _, err := b.acquire(context.Background(), "noisy", 1); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("third noisy acquire = %v, want ErrOverloaded", err)
 	}
 	// Another tenant still has its full queue available.
 	fillQueue(t, b, "quiet", 1, 2, granted, release, errs)
 
-	b.release()
+	plug.release()
 	order := drainGrants(t, 4, granted, release, errs)
 	want := []string{"noisy", "quiet", "noisy", "quiet"}
 	for i := range want {
@@ -172,13 +177,14 @@ func TestSchedulerShedsPerTenantBacklog(t *testing.T) {
 // TestSchedulerCancelRemovesWaiter: a context-cancelled waiter leaves
 // the queue; the tenant's ring entry disappears when emptied.
 func TestSchedulerCancelRemovesWaiter(t *testing.T) {
-	b := newBuildScheduler(1, 8)
-	if err := b.acquire(context.Background(), "plug", 1); err != nil {
-		t.Fatalf("plug acquire: %v", err)
-	}
+	b := newBuildScheduler(1, 8, 0, nil)
+	plug := mustAcquire(t, b, "plug", 1)
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
-	go func() { errc <- b.acquire(ctx, "x", 1) }()
+	go func() {
+		_, _, err := b.acquire(ctx, "x", 1)
+		errc <- err
+	}()
 	waitSched(t, func() bool { return b.stats().Pending["x"] == 1 })
 
 	cancel()
@@ -188,7 +194,7 @@ func TestSchedulerCancelRemovesWaiter(t *testing.T) {
 	waitSched(t, func() bool { return b.stats().Pending["x"] == 0 })
 
 	// The freed plug slot must not be granted to the cancelled waiter.
-	b.release()
+	plug.release()
 	st := b.stats()
 	if st.Grants != 1 || st.Inflight != 0 {
 		t.Errorf("after cancel: grants=%d inflight=%d, want 1/0", st.Grants, st.Inflight)
@@ -198,14 +204,15 @@ func TestSchedulerCancelRemovesWaiter(t *testing.T) {
 // TestSchedulerEvictFailsWaiters: evicting a tenant (deletion) fails
 // its queued requests with the supplied error and drops its queue.
 func TestSchedulerEvictFailsWaiters(t *testing.T) {
-	b := newBuildScheduler(1, 8)
-	if err := b.acquire(context.Background(), "plug", 1); err != nil {
-		t.Fatalf("plug acquire: %v", err)
-	}
+	b := newBuildScheduler(1, 8, 0, nil)
+	plug := mustAcquire(t, b, "plug", 1)
 	boom := errors.New("tenant deleted")
 	errc := make(chan error, 2)
 	for i := 0; i < 2; i++ {
-		go func() { errc <- b.acquire(context.Background(), "dead", 1) }()
+		go func() {
+			_, _, err := b.acquire(context.Background(), "dead", 1)
+			errc <- err
+		}()
 		want := i + 1
 		waitSched(t, func() bool { return b.stats().Pending["dead"] == want })
 	}
@@ -219,7 +226,7 @@ func TestSchedulerEvictFailsWaiters(t *testing.T) {
 	if _, ok := b.stats().Pending["dead"]; ok {
 		t.Error("evicted tenant still has scheduler state")
 	}
-	b.release()
+	plug.release()
 	if st := b.stats(); st.Inflight != 0 || st.Grants != 1 {
 		t.Errorf("after evict+release: %+v", st)
 	}
@@ -256,12 +263,9 @@ func TestClampWeight(t *testing.T) {
 // every NaN comparison is false) are both granted promptly, and the
 // dispatch work stays bounded.
 func TestSchedulerPathologicalWeightTerminates(t *testing.T) {
-	b := newBuildScheduler(1, 4)
+	b := newBuildScheduler(1, 4, 0, nil)
 	for _, w := range []float64{1e-12, math.NaN(), math.Inf(1), -1} {
-		if err := b.acquire(context.Background(), "t", w); err != nil {
-			t.Fatalf("acquire weight %v: %v", w, err)
-		}
-		b.release()
+		mustAcquire(t, b, "t", w).release()
 	}
 	// Worst case per grant is 1/minSchedWeight ring passes; four grants
 	// must stay well under that times four.

@@ -55,4 +55,19 @@ echo "== multi-tenant (registry, fair-share scheduler, quotas)"
 GOMAXPROCS=4 go test -race -count=1 \
     -run 'TestScheduler|TestTenant|TestValidTenantID' .
 
+# Degraded-mode serving: tenant quarantine + the in-place recover
+# ladder, stale-coreset fallback (bounds, never-silent marking), the
+# fake-clock build watchdog, checkpoint-failure health, and the
+# hardened front door. The mcserve leg boots the real mux through
+# httptest, scrapes /readyz and /metrics, and validates the
+# mincore_tenants_quarantined / mincore_build_watchdog_kills_total /
+# mincore_stale_serves_total families with the strict Prometheus
+# parser; the library leg includes the chaos matrix's k-of-N
+# fleet-corruption round.
+echo "== degraded mode (quarantine, stale fallback, watchdog, front door)"
+GOMAXPROCS=4 go test -race -count=1 \
+    -run 'TestSchedulerWatchdog|TestStaleFallback|TestWatchdogKillAnsweredStale|TestCheckpointFailuresDegrade|TestChaosFleetCorruption' .
+GOMAXPROCS=4 go test -race -count=1 \
+    -run 'TestQuarantineLifecycleHTTP|TestStaleServingHTTP|TestRequestBodyLimits|TestDegradedMetricFamilies' ./cmd/mcserve/
+
 echo "verify: OK"

@@ -64,7 +64,33 @@ var (
 	// capacity signal) this is attributable to the caller's own traffic;
 	// clients should pace to their provisioned rate and retry.
 	ErrQuotaExceeded = errors.New("mincore: ingest quota exceeded")
+	// ErrWatchdogKilled marks a build whose scheduler slot was forcibly
+	// reclaimed because it exceeded the per-grant watchdog budget. The
+	// request may still be answered from the stale fallback when one is
+	// configured and within bounds.
+	ErrWatchdogKilled = errors.New("mincore: build killed by watchdog")
 )
+
+// StaleServePolicy opts a service into degraded-mode serving: when a
+// fresh build fails for a retriable-at-the-caller reason (overload,
+// certification failure, deadline, watchdog kill), the last successfully
+// certified coreset for the same (ε, algorithm) is served instead —
+// explicitly marked (Report.Stale, StalenessMeta, and a Warning header in
+// mcserve), never silently, and never past the configured bounds. A zero
+// bound leaves that dimension unbounded; a nil policy disables fallback.
+type StaleServePolicy struct {
+	// MaxAge caps the wall-clock age of a served stale result.
+	MaxAge time.Duration
+	// MaxPointsBehind caps how far the live stream may have advanced past
+	// the retained build's certified position.
+	MaxPointsBehind int
+}
+
+// WithStaleServe builds the opt-in stale-fallback policy for
+// ServeOptions.StaleServe / RegistryOptions.StaleServe.
+func WithStaleServe(maxAge time.Duration, maxPointsBehind int) *StaleServePolicy {
+	return &StaleServePolicy{MaxAge: maxAge, MaxPointsBehind: maxPointsBehind}
+}
 
 // WorkerPanicError carries a panic recovered inside an ingest worker.
 // It unwraps to ErrWorkerPanic.
@@ -150,6 +176,10 @@ type ServeOptions struct {
 	// max(1, QuotaPointsPerSec)). A single Feed larger than the burst
 	// can never pass the quota.
 	QuotaBurst int
+	// StaleServe opts into degraded-mode serving from the last certified
+	// coreset when a fresh build fails; nil (the default) keeps hard
+	// errors. See StaleServePolicy.
+	StaleServe *StaleServePolicy
 
 	// sched, when non-nil, replaces the per-service build semaphore with
 	// the registry's shared weighted-fair scheduler.
@@ -261,6 +291,9 @@ type ServiceStats struct {
 	// build); CacheMisses counts requests that led an underlying build.
 	// Both stay 0 when the cache is disabled.
 	CacheHits, CacheMisses int64
+	// StaleServed counts requests answered from the stale last-good
+	// fallback (always 0 without a StaleServePolicy).
+	StaleServed int64
 	// RestoredPoints is the stream position recovered from the snapshot
 	// at startup (0 for a fresh start): producers should replay their
 	// stream from this offset after a crash.
@@ -271,6 +304,11 @@ type ServiceStats struct {
 	CheckpointGeneration uint64
 	CheckpointPoints     int
 	CheckpointFailures   int
+	// Degraded is set once CheckpointFailures reaches the degraded
+	// threshold (degradedCheckpointFailures consecutive failed saves):
+	// the service still ingests and serves, but its durability window is
+	// growing without bound. Surfaced per tenant by /readyz and /v1/stats.
+	Degraded bool
 	// LastCheckpoint is when the last durable generation was written;
 	// CheckpointLag is the time elapsed since then (0 until the first
 	// generation exists) — the staleness window operators alert on.
@@ -331,9 +369,35 @@ type IngestService struct {
 	// position, so every cached entry is invalidated automatically.
 	served *resultCache[serveKey]
 
+	// stale retains the last certified build per (quantized ε, algorithm)
+	// for degraded-mode serving — unlike the serve cache its key carries
+	// no stream position, so ingest does not invalidate it; the policy's
+	// bounds do. nil without a StaleServePolicy.
+	staleMu     sync.Mutex
+	stale       map[staleKey]*staleEntry
+	staleServed atomic.Int64
+
 	// panicHook, when set (tests only), runs inside the worker for every
 	// point before it is fed — the injection point for supervision tests.
 	panicHook func([]float64)
+	// buildHook, when set (tests only), runs inside buildServed after the
+	// slot is granted, under the grant's context — the injection point for
+	// hung-build watchdog tests.
+	buildHook func(context.Context)
+}
+
+// staleKey identifies one retained last-good build. No stream position:
+// staleness is bounded by the policy, not invalidated by ingest.
+type staleKey struct {
+	qeps int64
+	algo Algorithm
+}
+
+// staleEntry is one retained certified build plus its provenance.
+type staleEntry struct {
+	q       *Coreset // canonical snapshot; serves clone from it
+	builtAt time.Time
+	streamN int
 }
 
 type errBox struct{ err error }
@@ -372,6 +436,9 @@ func NewIngestService(opts ServeOptions) (*IngestService, error) {
 	}
 	if n := cacheCapacity(o.BuildCache, defaultServeCacheSize); n > 0 {
 		s.served = newResultCache[serveKey](n, met.cache)
+	}
+	if o.StaleServe != nil {
+		s.stale = make(map[staleKey]*staleEntry)
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
@@ -677,6 +744,12 @@ func (s *IngestService) supervisedCheckpoint() (err error) {
 // ServeOptions.BuildCache = 0 selects.
 const defaultServeCacheSize = 32
 
+// degradedCheckpointFailures is the consecutive-failed-save threshold at
+// which a service reports Degraded: one or two failures are routine disk
+// hiccups the backoff loop absorbs; at three the durability window is
+// compounding and operators should be paged.
+const degradedCheckpointFailures = 3
+
 // serveKey identifies one served build: the stream position the request
 // saw (ingest advances it, invalidating older entries), the quantized ε,
 // and the algorithm.
@@ -710,6 +783,21 @@ func (s *IngestService) Coreset(ctx context.Context, eps float64, algo Algorithm
 	if closed {
 		return nil, ErrServiceClosed
 	}
+	q, err := s.coresetFresh(ctx, eps, algo)
+	if err != nil {
+		// The stale fallback runs outside the serve cache's singleflight,
+		// so a degraded answer is never stored as if it were fresh; each
+		// follower of a failed flight degrades (or not) on its own.
+		if sq, ok := s.tryStale(eps, algo, err); ok {
+			return sq, nil
+		}
+	}
+	return q, err
+}
+
+// coresetFresh is the non-degraded serve path: the serve-layer cache and
+// singleflight over buildServed.
+func (s *IngestService) coresetFresh(ctx context.Context, eps float64, algo Algorithm) (*Coreset, error) {
 	if s.served == nil {
 		return s.buildServed(ctx, eps, algo)
 	}
@@ -730,13 +818,100 @@ func (s *IngestService) Coreset(ctx context.Context, eps float64, algo Algorithm
 	return q, err
 }
 
+// staleEligible reports whether a fresh-build failure may fall back to
+// the retained last-good coreset: capacity and certification failures,
+// the caller's own deadline, and watchdog kills. A cancelled caller is
+// never eligible (nobody is waiting for the answer), nor are input or
+// lifecycle errors (they would be identical on the stale path).
+func staleEligible(err error) bool {
+	return errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrUncertified) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrWatchdogKilled)
+}
+
+// staleReason maps the fresh-build failure onto the StalenessMeta.Reason
+// vocabulary.
+func staleReason(err error) string {
+	switch {
+	case errors.Is(err, ErrWatchdogKilled):
+		return "watchdog_kill"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrUncertified):
+		return "uncertified"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	}
+	return "error"
+}
+
+// retainLastGood stores a deep snapshot of a freshly certified build as
+// the (ε, algorithm) fallback. Entries are only ever replaced by newer
+// builds, so provenance is monotone in stream position.
+func (s *IngestService) retainLastGood(eps float64, algo Algorithm, q *Coreset, streamN int) {
+	e := &staleEntry{q: snapshotCoreset(q), builtAt: s.opts.clock(), streamN: streamN}
+	s.staleMu.Lock()
+	s.stale[staleKey{qeps: quantizeEps(eps), algo: algo}] = e
+	s.staleMu.Unlock()
+}
+
+// tryStale serves the retained last-good coreset for (ε, algorithm) if
+// the policy allows: the fresh failure must be staleEligible and the
+// entry within the configured age and points-behind bounds. The result
+// is explicitly marked (Report.Stale, Report.Staleness) and counted —
+// degraded mode is never silent.
+func (s *IngestService) tryStale(eps float64, algo Algorithm, cause error) (*Coreset, bool) {
+	pol := s.opts.StaleServe
+	if pol == nil || !staleEligible(cause) {
+		return nil, false
+	}
+	s.staleMu.Lock()
+	e := s.stale[staleKey{qeps: quantizeEps(eps), algo: algo}]
+	s.staleMu.Unlock()
+	if e == nil {
+		return nil, false
+	}
+	age := s.opts.clock().Sub(e.builtAt)
+	behind := s.StreamN() - e.streamN
+	if pol.MaxAge > 0 && age > pol.MaxAge {
+		return nil, false
+	}
+	if pol.MaxPointsBehind > 0 && behind > pol.MaxPointsBehind {
+		return nil, false
+	}
+	q := snapshotCoreset(e.q)
+	if q.Report != nil {
+		q.Report.Stale = true
+		q.Report.Staleness = &StalenessMeta{
+			BuiltAt:      e.builtAt,
+			Age:          age,
+			StreamN:      e.streamN,
+			PointsBehind: behind,
+			Reason:       staleReason(cause),
+		}
+		// Provenance of the retained build's stream position, not the
+		// live one — the certified ε holds there.
+		q.Report.Checkpoint = s.checkpointMeta(e.streamN)
+	}
+	s.staleServed.Add(1)
+	s.met.staleServes.Inc()
+	s.log.Warn("serving stale coreset (degraded mode)",
+		slog.String("reason", staleReason(cause)),
+		slog.Duration("age", age),
+		slog.Int("points_behind", behind),
+		slog.Any("error", cause))
+	return q, true
+}
+
 // buildServed runs one uncached served build under admission control:
 // the registry's weighted-fair scheduler when the service belongs to
 // one (requests queue, bounded per tenant, and are granted in deficit
 // round-robin order), or the legacy fast-fail semaphore otherwise.
 func (s *IngestService) buildServed(ctx context.Context, eps float64, algo Algorithm) (*Coreset, error) {
 	if s.opts.sched != nil {
-		if err := s.opts.sched.acquire(ctx, s.opts.Tenant, s.opts.Weight); err != nil {
+		bctx, grant, err := s.opts.sched.acquire(ctx, s.opts.Tenant, s.opts.Weight)
+		if err != nil {
 			if errors.Is(err, ErrOverloaded) {
 				s.shed.Add(1)
 				s.met.serveShed.Inc()
@@ -746,7 +921,10 @@ func (s *IngestService) buildServed(ctx context.Context, eps float64, algo Algor
 			return nil, err
 		}
 		s.met.schedGrants.Inc()
-		defer s.opts.sched.release()
+		defer grant.release()
+		// The build runs under the grant's context so a watchdog kill
+		// cancels it mid-pipeline.
+		ctx = bctx
 	} else {
 		select {
 		case s.buildSem <- struct{}{}:
@@ -764,6 +942,9 @@ func (s *IngestService) buildServed(ctx context.Context, eps float64, algo Algor
 	buildStart := time.Now()
 	defer func() { s.met.serveBuildDuration.Observe(time.Since(buildStart).Seconds()) }()
 
+	if s.buildHook != nil {
+		s.buildHook(ctx)
+	}
 	sum, err := s.mergedSummary()
 	if err != nil {
 		return nil, err
@@ -784,6 +965,13 @@ func (s *IngestService) buildServed(ctx context.Context, eps float64, algo Algor
 		return nil, err
 	}
 	q, err := cs.CoresetCtx(ctx, eps, algo)
+	if err != nil && errors.Is(err, context.Canceled) &&
+		errors.Is(context.Cause(ctx), ErrWatchdogKilled) {
+		// The pipeline reports a bare cancellation; the cause says the
+		// watchdog reclaimed the slot. Surface the typed error so callers
+		// (and the stale path) can tell a kill from a caller hang-up.
+		err = fmt.Errorf("%w: slot budget exhausted mid-build", ErrWatchdogKilled)
+	}
 	meta := s.checkpointMeta(sum.N())
 	if q != nil && q.Report != nil {
 		q.Report.Checkpoint = meta
@@ -791,6 +979,9 @@ func (s *IngestService) buildServed(ctx context.Context, eps float64, algo Algor
 	var ue *UncertifiedError
 	if errors.As(err, &ue) && ue.Report != nil {
 		ue.Report.Checkpoint = meta
+	}
+	if err == nil && s.stale != nil && q != nil && q.Report != nil && q.Report.Certified {
+		s.retainLastGood(eps, algo, q, sum.N())
 	}
 	return q, err
 }
@@ -825,12 +1016,14 @@ func (s *IngestService) Stats() ServiceStats {
 		BuildsShed:     s.shed.Load(),
 		CacheHits:      s.cacheHits.Load(),
 		CacheMisses:    s.cacheMisses.Load(),
+		StaleServed:    s.staleServed.Load(),
 		RestoredPoints: s.restoredN,
 	}
 	s.ckptMu.Lock()
 	st.CheckpointGeneration = s.lastCkpt.Generation
 	st.CheckpointPoints = s.lastCkptN
 	st.CheckpointFailures = s.ckptFailures
+	st.Degraded = s.ckptFailures >= degradedCheckpointFailures
 	st.LastCheckpoint = s.lastCkpt.SavedAt
 	if !s.lastCkpt.SavedAt.IsZero() {
 		st.CheckpointLag = time.Since(s.lastCkpt.SavedAt)

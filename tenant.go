@@ -50,6 +50,12 @@ var (
 	// ErrRegistryClosed is returned by every registry operation after
 	// Close.
 	ErrRegistryClosed = errors.New("mincore: tenant registry closed")
+	// ErrTenantQuarantined marks a tenant whose on-disk state (manifest
+	// or snapshot) was found corrupt: the tenant is not serving, but the
+	// rest of the fleet is. Quarantined tenants are inspectable via
+	// Health/QuarantineInfo and repairable in place via RecoverTenant —
+	// no process restart required.
+	ErrTenantQuarantined = errors.New("mincore: tenant quarantined")
 )
 
 // ValidTenantID reports whether id fits the tenant-id grammar: 1–64
@@ -150,8 +156,19 @@ type RegistryOptions struct {
 	// Logger receives every tenant's structured logs (each record
 	// carries a tenant attribute). Nil discards.
 	Logger *slog.Logger
+	// BuildBudget arms the scheduler's build watchdog: a build holding a
+	// slot longer than this is cancelled and its slot reclaimed, so one
+	// wedged LP cannot pin fleet capacity forever. 0 disables the
+	// watchdog.
+	BuildBudget time.Duration
+	// StaleServe opts every tenant into degraded-mode serving from its
+	// last certified coreset (see StaleServePolicy); nil keeps hard
+	// errors.
+	StaleServe *StaleServePolicy
 
-	// clock overrides time.Now for quota buckets (tests).
+	// clock overrides time.Now for quota buckets and the build watchdog
+	// (tests; injecting it disables the watchdog's background sweeper —
+	// the test drives sweeps itself).
 	clock func() time.Time
 }
 
@@ -231,7 +248,38 @@ type TenantRegistry struct {
 	// concurrent re-create could complete in that window and have its
 	// fresh directory deleted by the stale cleanup.
 	reserved map[string]struct{}
-	closed   bool
+	// quarantined holds tenants whose on-disk state failed to restore:
+	// present on disk, absent from tenants, refusing requests with
+	// ErrTenantQuarantined until recovered or deleted.
+	quarantined map[string]*quarantinedTenant
+	closed      bool
+}
+
+// quarantinedTenant is the registry's record of one failed restore.
+type quarantinedTenant struct {
+	id     string
+	dir    string
+	reason string // "bad_manifest" | "snapshot_unusable" | "start_failed"
+	err    error
+	since  time.Time
+	// cfg and createdAt are the manifest contents when it parsed (nil
+	// cfg when the manifest itself is the corruption).
+	cfg       *TenantConfig
+	createdAt time.Time
+}
+
+// TenantHealth is one row of the registry's readiness report: the
+// tenant's degraded-mode state machine position. State is "ok" (serving,
+// durable), "degraded" (serving, but checkpoint saves are failing
+// persistently), or "quarantined" (not serving; corrupt on-disk state
+// awaiting RecoverTenant or DeleteTenant).
+type TenantHealth struct {
+	ID                 string    `json:"id"`
+	State              string    `json:"state"`
+	Reason             string    `json:"reason,omitempty"`
+	Error              string    `json:"error,omitempty"`
+	Since              time.Time `json:"since,omitempty"`
+	CheckpointFailures int       `json:"checkpoint_failures,omitempty"`
 }
 
 // manifestName is the per-tenant config file inside the tenant's
@@ -263,8 +311,10 @@ type tenantManifest struct {
 // scheduler, and — when SnapshotDir holds tenant manifests from a
 // previous run — restores every manifested tenant with its stream. A
 // restorable-looking tenant that fails to come back (corrupt manifest,
-// incompatible snapshot) fails construction, mirroring the snapshot
-// loader's operator-decides contract.
+// incompatible or doubly-corrupt snapshot) is quarantined — the rest of
+// the fleet boots and serves, the sick tenant answers with
+// ErrTenantQuarantined until RecoverTenant repairs it in place. Only an
+// unreadable SnapshotDir itself fails construction.
 func NewTenantRegistry(opts RegistryOptions) (*TenantRegistry, error) {
 	if opts.Dim < 1 {
 		return nil, fmt.Errorf("mincore: tenant registry requires Dim ≥ 1, got %d", opts.Dim)
@@ -286,11 +336,12 @@ func NewTenantRegistry(opts RegistryOptions) (*TenantRegistry, error) {
 		logger = obs.Discard()
 	}
 	r := &TenantRegistry{
-		opts:     opts,
-		log:      obs.Component(logger, "tenant-registry"),
-		sched:    newBuildScheduler(opts.MaxInflightBuilds, opts.MaxQueuedBuilds),
-		tenants:  make(map[string]*Tenant),
-		reserved: make(map[string]struct{}),
+		opts:        opts,
+		log:         obs.Component(logger, "tenant-registry"),
+		sched:       newBuildScheduler(opts.MaxInflightBuilds, opts.MaxQueuedBuilds, opts.BuildBudget, opts.clock),
+		tenants:     make(map[string]*Tenant),
+		reserved:    make(map[string]struct{}),
+		quarantined: make(map[string]*quarantinedTenant),
 	}
 	if opts.SnapshotDir != "" {
 		if err := os.MkdirAll(opts.SnapshotDir, 0o755); err != nil {
@@ -304,7 +355,9 @@ func NewTenantRegistry(opts RegistryOptions) (*TenantRegistry, error) {
 	return r, nil
 }
 
-// restoreTenants re-creates every tenant manifested under SnapshotDir.
+// restoreTenants re-creates every tenant manifested under SnapshotDir,
+// quarantining the ones whose state cannot come back instead of failing
+// the fleet.
 func (r *TenantRegistry) restoreTenants() error {
 	entries, err := os.ReadDir(r.opts.SnapshotDir)
 	if err != nil {
@@ -314,29 +367,35 @@ func (r *TenantRegistry) restoreTenants() error {
 		if !e.IsDir() || !ValidTenantID(e.Name()) {
 			continue
 		}
-		raw, err := os.ReadFile(filepath.Join(r.opts.SnapshotDir, e.Name(), manifestName))
+		id := e.Name()
+		dir := filepath.Join(r.opts.SnapshotDir, id)
+		raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 		if errors.Is(err, os.ErrNotExist) {
 			continue // not a tenant dir (or a crash before the manifest)
 		} else if err != nil {
-			return fmt.Errorf("mincore: restore tenant %q: %w", e.Name(), err)
+			r.quarantineLocked(id, dir, "bad_manifest", err, nil, time.Time{})
+			continue
 		}
 		var m tenantManifest
 		if err := json.Unmarshal(raw, &m); err != nil {
-			return fmt.Errorf("mincore: restore tenant %q: bad manifest: %w", e.Name(), err)
+			r.quarantineLocked(id, dir, "bad_manifest",
+				fmt.Errorf("bad manifest: %w", err), nil, time.Time{})
+			continue
 		}
-		if m.ID != e.Name() {
-			return fmt.Errorf("mincore: restore tenant %q: manifest names %q", e.Name(), m.ID)
+		if m.ID != id {
+			r.quarantineLocked(id, dir, "bad_manifest",
+				fmt.Errorf("manifest names %q", m.ID), nil, time.Time{})
+			continue
 		}
-		cfg := TenantConfig{
-			ID: m.ID, Dim: m.Dim, Eps: m.Eps, Alpha: m.Alpha,
-			Directions: m.Directions, Seed: m.Seed, Weight: m.Weight,
-			QuotaPointsPerSec: m.QuotaPointsPerSec, QuotaBurst: m.QuotaBurst,
-			IngestWorkers: m.IngestWorkers, QueueSize: m.QueueSize,
-			BuildCache: m.BuildCache,
-		}
+		cfg := manifestConfig(m)
 		t, err := r.startTenant(cfg, m.CreatedAt, false)
 		if err != nil {
-			return fmt.Errorf("mincore: restore tenant %q: %w", m.ID, err)
+			reason := "start_failed"
+			if errors.Is(err, ErrSnapshotIncompatible) || errors.Is(err, snapshot.ErrBadSnapshot) {
+				reason = "snapshot_unusable"
+			}
+			r.quarantineLocked(id, dir, reason, err, &cfg, m.CreatedAt)
+			continue
 		}
 		r.tenants[t.cfg.ID] = t
 		mTenants.Add(1)
@@ -345,6 +404,31 @@ func (r *TenantRegistry) restoreTenants() error {
 			slog.Int("restored_points", t.svc.RestoredPoints()))
 	}
 	return nil
+}
+
+// manifestConfig converts a durable manifest back into a TenantConfig.
+func manifestConfig(m tenantManifest) TenantConfig {
+	return TenantConfig{
+		ID: m.ID, Dim: m.Dim, Eps: m.Eps, Alpha: m.Alpha,
+		Directions: m.Directions, Seed: m.Seed, Weight: m.Weight,
+		QuotaPointsPerSec: m.QuotaPointsPerSec, QuotaBurst: m.QuotaBurst,
+		IngestWorkers: m.IngestWorkers, QueueSize: m.QueueSize,
+		BuildCache: m.BuildCache,
+	}
+}
+
+// quarantineLocked records a failed restore. Callers hold r.mu (or, in
+// NewTenantRegistry, own the registry exclusively).
+func (r *TenantRegistry) quarantineLocked(id, dir, reason string, err error, cfg *TenantConfig, createdAt time.Time) {
+	r.quarantined[id] = &quarantinedTenant{
+		id: id, dir: dir, reason: reason, err: err,
+		since: time.Now(), cfg: cfg, createdAt: createdAt,
+	}
+	mTenantsQuarantined.Add(1)
+	r.log.Warn("tenant quarantined",
+		slog.String("tenant", id),
+		slog.String("reason", reason),
+		slog.Any("error", err))
 }
 
 // resolve fills a TenantConfig's zero fields from the registry
@@ -405,6 +489,7 @@ func (r *TenantRegistry) startTenant(cfg TenantConfig, createdAt time.Time, pers
 		Weight:             cfg.Weight,
 		QuotaPointsPerSec:  cfg.QuotaPointsPerSec,
 		QuotaBurst:         cfg.QuotaBurst,
+		StaleServe:         r.opts.StaleServe,
 		sched:              r.sched,
 		clock:              r.opts.clock,
 	})
@@ -413,20 +498,29 @@ func (r *TenantRegistry) startTenant(cfg TenantConfig, createdAt time.Time, pers
 	}
 	t := &Tenant{cfg: cfg, svc: svc, dir: dir, createdAt: createdAt}
 	if persist && dir != "" {
-		m := tenantManifest{
-			ID: cfg.ID, Dim: cfg.Dim, Eps: cfg.Eps, Alpha: cfg.Alpha,
-			Directions: cfg.Directions, Seed: cfg.Seed, Weight: cfg.Weight,
-			QuotaPointsPerSec: cfg.QuotaPointsPerSec, QuotaBurst: cfg.QuotaBurst,
-			IngestWorkers: cfg.IngestWorkers, QueueSize: cfg.QueueSize,
-			BuildCache: cfg.BuildCache, CreatedAt: createdAt,
-		}
-		raw, _ := json.MarshalIndent(m, "", "  ")
-		if err := os.WriteFile(filepath.Join(dir, manifestName), raw, 0o644); err != nil {
+		if err := writeManifest(dir, cfg, createdAt); err != nil {
 			svc.Kill()
-			return nil, fmt.Errorf("mincore: tenant %q manifest: %w", cfg.ID, err)
+			return nil, err
 		}
 	}
 	return t, nil
+}
+
+// writeManifest persists a resolved TenantConfig as the tenant's durable
+// manifest.
+func writeManifest(dir string, cfg TenantConfig, createdAt time.Time) error {
+	m := tenantManifest{
+		ID: cfg.ID, Dim: cfg.Dim, Eps: cfg.Eps, Alpha: cfg.Alpha,
+		Directions: cfg.Directions, Seed: cfg.Seed, Weight: cfg.Weight,
+		QuotaPointsPerSec: cfg.QuotaPointsPerSec, QuotaBurst: cfg.QuotaBurst,
+		IngestWorkers: cfg.IngestWorkers, QueueSize: cfg.QueueSize,
+		BuildCache: cfg.BuildCache, CreatedAt: createdAt,
+	}
+	raw, _ := json.MarshalIndent(m, "", "  ")
+	if err := os.WriteFile(filepath.Join(dir, manifestName), raw, 0o644); err != nil {
+		return fmt.Errorf("mincore: tenant %q manifest: %w", cfg.ID, err)
+	}
+	return nil
 }
 
 // CreateTenant adds and starts a new tenant. The id must satisfy
@@ -455,6 +549,12 @@ func (r *TenantRegistry) CreateTenant(cfg TenantConfig) (*Tenant, error) {
 	if _, ok := r.reserved[cfg.ID]; ok {
 		r.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q (operation in progress)", ErrTenantExists, cfg.ID)
+	}
+	if _, ok := r.quarantined[cfg.ID]; ok {
+		// The id's on-disk state still exists (corrupt); creating over it
+		// would silently destroy whatever RecoverTenant could salvage.
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q (recover or delete it first)", ErrTenantQuarantined, cfg.ID)
 	}
 	r.reserved[cfg.ID] = struct{}{}
 	r.mu.Unlock()
@@ -487,7 +587,9 @@ func (r *TenantRegistry) CreateTenant(cfg TenantConfig) (*Tenant, error) {
 	return t, nil
 }
 
-// Tenant returns the live tenant with the given id.
+// Tenant returns the live tenant with the given id. A quarantined id
+// answers with ErrTenantQuarantined (the tenant exists but is not
+// serving) rather than ErrTenantNotFound.
 func (r *TenantRegistry) Tenant(id string) (*Tenant, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -496,9 +598,64 @@ func (r *TenantRegistry) Tenant(id string) (*Tenant, error) {
 	}
 	t, ok := r.tenants[id]
 	if !ok {
+		if q, qok := r.quarantined[id]; qok {
+			return nil, fmt.Errorf("%w: %q (%s: %v)", ErrTenantQuarantined, id, q.reason, q.err)
+		}
 		return nil, fmt.Errorf("%w: %q", ErrTenantNotFound, id)
 	}
 	return t, nil
+}
+
+// QuarantineInfo returns the health row for a quarantined tenant, or
+// false when the id is not quarantined.
+func (r *TenantRegistry) QuarantineInfo(id string) (TenantHealth, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	q, ok := r.quarantined[id]
+	if !ok {
+		return TenantHealth{}, false
+	}
+	return q.health(), true
+}
+
+func (q *quarantinedTenant) health() TenantHealth {
+	h := TenantHealth{ID: q.id, State: "quarantined", Reason: q.reason, Since: q.since}
+	if q.err != nil {
+		h.Error = q.err.Error()
+	}
+	return h
+}
+
+// Health reports the degraded-mode state of every tenant the registry
+// knows about — live ones (ok or degraded on persistent checkpoint
+// failure) and quarantined ones — sorted by id. The readiness endpoint
+// renders this directly.
+func (r *TenantRegistry) Health() []TenantHealth {
+	r.mu.RLock()
+	tenants := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		tenants = append(tenants, t)
+	}
+	out := make([]TenantHealth, 0, len(tenants)+len(r.quarantined))
+	for _, q := range r.quarantined {
+		out = append(out, q.health())
+	}
+	r.mu.RUnlock()
+	for _, t := range tenants {
+		st := t.svc.Stats()
+		h := TenantHealth{ID: t.cfg.ID, State: "ok"}
+		if st.Degraded {
+			h.State = "degraded"
+			h.Reason = "checkpoint_failures"
+			h.CheckpointFailures = st.CheckpointFailures
+			if st.LastError != nil {
+				h.Error = st.LastError.Error()
+			}
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // DeleteTenant stops a tenant and removes every trace of it: pending
@@ -514,6 +671,18 @@ func (r *TenantRegistry) DeleteTenant(id string) error {
 	}
 	t, ok := r.tenants[id]
 	if !ok {
+		if q, qok := r.quarantined[id]; qok {
+			// Deleting a quarantined tenant is the operator giving up on
+			// its data: drop the record and remove the corrupt directory.
+			delete(r.quarantined, id)
+			mTenantsQuarantined.Add(-1)
+			r.mu.Unlock()
+			r.log.Info("quarantined tenant deleted", slog.String("tenant", id))
+			if q.dir != "" {
+				return os.RemoveAll(q.dir)
+			}
+			return nil
+		}
 		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrTenantNotFound, id)
 	}
@@ -555,6 +724,130 @@ func (r *TenantRegistry) DeleteTenant(id string) error {
 		return fmt.Errorf("mincore: tenant %q deleted but snapshot cleanup failed: %w", id, rmErr)
 	}
 	return nil
+}
+
+// RecoverTenant repairs a quarantined tenant in place, without a process
+// restart, climbing a ladder of increasingly lossy steps until one
+// brings the tenant back:
+//
+//  1. "restart"             — retry the restore as-is (the corruption may
+//     have been transient, e.g. a permission or mount issue),
+//  2. "rewrite_manifest"    — when the manifest is the corruption but a
+//     snapshot generation decodes, reconstruct the stream-critical
+//     config (Dim, Directions, Seed) from the snapshot header, take
+//     registry defaults for the rest, and write a fresh manifest: the
+//     stream data survives,
+//  3. "fallback_generation" — discard the current snapshot generation so
+//     the previous one serves (loses the last checkpoint window),
+//  4. "reset_stream"        — remove every generation and restart empty
+//     (producers replay from offset 0; replay is idempotent).
+//
+// On success the tenant is live again and the ladder step taken is
+// returned; on failure the tenant stays quarantined with the new error.
+func (r *TenantRegistry) RecoverTenant(id string) (*Tenant, string, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, "", ErrRegistryClosed
+	}
+	q, ok := r.quarantined[id]
+	if !ok {
+		r.mu.Unlock()
+		if _, err := r.Tenant(id); err == nil {
+			return nil, "", fmt.Errorf("mincore: tenant %q is not quarantined", id)
+		}
+		return nil, "", fmt.Errorf("%w: %q", ErrTenantNotFound, id)
+	}
+	if _, rok := r.reserved[id]; rok {
+		r.mu.Unlock()
+		return nil, "", fmt.Errorf("%w: %q (operation in progress)", ErrTenantExists, id)
+	}
+	// Reserve the id and run the disk-heavy ladder outside the lock, the
+	// same pattern CreateTenant/DeleteTenant use.
+	r.reserved[id] = struct{}{}
+	r.mu.Unlock()
+
+	t, step, err := r.recoverLadder(q)
+
+	r.mu.Lock()
+	delete(r.reserved, id)
+	if err != nil {
+		q.err = fmt.Errorf("recovery failed at %q: %w", step, err)
+		r.mu.Unlock()
+		return nil, step, fmt.Errorf("%w: %q: %v", ErrTenantQuarantined, id, q.err)
+	}
+	delete(r.quarantined, id)
+	if r.closed {
+		r.mu.Unlock()
+		t.svc.Kill()
+		return nil, "", ErrRegistryClosed
+	}
+	r.tenants[id] = t
+	r.mu.Unlock()
+	mTenantsQuarantined.Add(-1)
+	mTenants.Add(1)
+	r.log.Info("tenant recovered",
+		slog.String("tenant", id),
+		slog.String("step", step),
+		slog.Int("restored_points", t.svc.RestoredPoints()))
+	return t, step, nil
+}
+
+// recoverLadder runs the recovery steps for one quarantined tenant and
+// returns the first success, tagged with the step that produced it.
+func (r *TenantRegistry) recoverLadder(q *quarantinedTenant) (*Tenant, string, error) {
+	snapPath := filepath.Join(q.dir, snapshotFile)
+	store := snapshot.NewStore(snapPath)
+
+	// Step 1/2: get a usable config. A parsed manifest retries as-is
+	// ("restart"); a corrupt one is rebuilt from the snapshot header
+	// ("rewrite_manifest") so the stream data survives the new identity.
+	cfg, createdAt, step := q.cfg, q.createdAt, "restart"
+	if cfg == nil {
+		step = "rewrite_manifest"
+		sum, _, err := store.Load()
+		if err != nil {
+			// No decodable generation either: fall through to the stream
+			// reset with a default config.
+			if rerr := store.Reset(); rerr != nil {
+				return nil, "reset_stream", rerr
+			}
+			step = "reset_stream"
+			cfg = &TenantConfig{ID: q.id}
+		} else {
+			st := sum.State()
+			cfg = &TenantConfig{ID: q.id, Dim: st.D, Directions: st.M, Seed: st.Seed}
+		}
+		createdAt = time.Now()
+		if err := writeManifest(q.dir, r.resolve(*cfg), createdAt); err != nil {
+			return nil, step, err
+		}
+	}
+
+	t, err := r.startTenant(*cfg, createdAt, false)
+	if err == nil {
+		return t, step, nil
+	}
+
+	// Step 3: drop the current generation so Load serves the previous
+	// one. Only worth a retry when the failure was the snapshot's.
+	if errors.Is(err, ErrSnapshotIncompatible) || errors.Is(err, snapshot.ErrBadSnapshot) {
+		if derr := store.DiscardCurrent(); derr == nil {
+			if t, err = r.startTenant(*cfg, createdAt, false); err == nil {
+				return t, "fallback_generation", nil
+			}
+		}
+	}
+
+	// Step 4: reset the stream entirely — config survives, data replays.
+	if rerr := store.Reset(); rerr != nil {
+		return nil, "reset_stream", rerr
+	}
+	t, err = r.startTenant(*cfg, createdAt, false)
+	if err != nil {
+		return nil, "reset_stream", err
+	}
+	return t, "reset_stream", nil
 }
 
 // ListTenants returns one TenantInfo per live tenant, sorted by id.
@@ -607,8 +900,11 @@ func (r *TenantRegistry) Close() error {
 		tenants = append(tenants, t)
 	}
 	r.tenants = map[string]*Tenant{}
+	mTenantsQuarantined.Add(-int64(len(r.quarantined)))
+	r.quarantined = map[string]*quarantinedTenant{}
 	r.mu.Unlock()
 
+	r.sched.stop()
 	var errs []error
 	for _, t := range tenants {
 		r.sched.evict(t.cfg.ID, ErrServiceClosed)
