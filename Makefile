@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-workers bench-json bench-cache faults fuzz chaos tenants degrade
+.PHONY: build test vet race verify bench bench-workers bench-json bench-cache faults fuzz chaos tenants degrade wal
 
 build:
 	$(GO) build ./...
@@ -35,10 +35,26 @@ faults:
 
 # Seeded kill/restore chaos matrix: crash the ingest service mid-stream
 # under injected snapshot I/O faults and worker panics, then check the
-# recovered coreset's directional loss stays within 2ε. Set
-# MINCORE_CHAOS_SEED=n to replay one schedule.
+# recovered coreset's directional loss stays within 2ε. The WAL leg
+# kills at randomized crash points (mid-append, post-append-pre-ack,
+# post-ack, post-truncation) and asserts zero acknowledged-point loss
+# with the recovered summary byte-identical to an uninterrupted run.
+# Set MINCORE_CHAOS_SEED=n to replay one schedule.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaosKillRestoreMatrix' -v .
+	$(GO) test -race -count=1 -run 'TestChaosWALCrashPoints|TestChaosWALGroupCommitBound' -v .
+
+# Write-ahead log: the unit/crash-point/recovery suite under the race
+# detector, a fuzz burst over the segment decoder (torn and hostile
+# tails must truncate cleanly, never panic), and the serve/tenant/HTTP
+# durability legs.
+wal:
+	$(GO) test -race -count=1 ./internal/wal/
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=10s -run '^$$' ./internal/wal/
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+		-run 'TestChaosWAL|TestServeWAL|TestTenantWALRecoveryLadder' .
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+		-run 'TestParseWALConfig|TestGracefulShutdownDrains|TestIngestStorageUnavailableHTTP|TestWALMetricFamilies' ./cmd/mcserve/
 
 # Multi-tenant serving under the race detector: registry lifecycle,
 # deterministic fair-share scheduling, quota shedding, and the v1 HTTP

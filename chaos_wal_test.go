@@ -1,0 +1,422 @@
+package mincore
+
+// Chaos tests for the write-ahead log's end-to-end durability contract:
+// a seeded crash-point matrix that kills the ingest service mid-append,
+// between the WAL append and the ack, right after acks, and immediately
+// after a checkpoint's log truncation — then restarts and asserts the
+// two halves of the contract. With per-batch sync, no acknowledged
+// point is ever lost (restored position >= last acked position, and the
+// only permissible overshoot is a batch that was appended but never
+// acknowledged), and the recovered summary is byte-identical to an
+// uninterrupted run over the same prefix. With group commit or sync
+// off, the loss window is bounded by the last fsynced position.
+//
+// Run a single cell with MINCORE_CHAOS_SEED=n; `make chaos` runs the
+// full matrix under the race detector.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"mincore/internal/faultinject"
+	"mincore/internal/snapshot"
+)
+
+// walChaosOptions is chaosOptions plus a per-batch-synced WAL. A single
+// ingest worker keeps batch application order deterministic so the
+// byte-identity assertion is exact, not just champion-equivalent.
+func walChaosOptions(dir string) ServeOptions {
+	return ServeOptions{
+		Dim: 2, Eps: chaosEps, Seed: 7,
+		SnapshotPath:       filepath.Join(dir, "stream.snap"),
+		CheckpointInterval: -1,
+		IngestWorkers:      1,
+		QueueSize:          64,
+		WAL: &WALConfig{
+			Sync:         WALSyncEveryBatch,
+			SegmentBytes: 4096, // rotate often so kills straddle segment boundaries
+		},
+	}
+}
+
+// walSummaryBytes encodes the service's merged summary with a fixed
+// meta, so two services with identical stream state produce identical
+// bytes.
+func walSummaryBytes(t *testing.T, svc *IngestService) []byte {
+	t.Helper()
+	sum, err := svc.mergedSummary()
+	if err != nil {
+		t.Fatalf("merged summary: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Encode(&buf, sum, snapshot.Meta{}); err != nil {
+		t.Fatalf("encode summary: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// walReferenceBytes feeds pts[:n] through a fresh WAL-less service and
+// returns its summary bytes — the uninterrupted-run reference.
+func walReferenceBytes(t *testing.T, pts []Point, n int) []byte {
+	t.Helper()
+	ref, err := NewIngestService(ServeOptions{
+		Dim: 2, Eps: chaosEps, Seed: 7,
+		CheckpointInterval: -1,
+		IngestWorkers:      1,
+		QueueSize:          64,
+	})
+	if err != nil {
+		t.Fatalf("reference service: %v", err)
+	}
+	defer ref.Close()
+	for lo := 0; lo < n; lo += 97 {
+		if err := ref.Feed(pts[lo:min(lo+97, n)]...); err != nil {
+			t.Fatalf("reference feed: %v", err)
+		}
+	}
+	drainChaos(t, ref, n)
+	return walSummaryBytes(t, ref)
+}
+
+func TestChaosWALCrashPoints(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	if v := os.Getenv("MINCORE_CHAOS_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad MINCORE_CHAOS_SEED %q: %v", v, err)
+		}
+		seeds = []int64{n}
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { walCrashRun(t, seed) })
+	}
+}
+
+func walCrashRun(t *testing.T, seed int64) {
+	defer faultinject.Disable()
+	rng := rand.New(rand.NewSource(seed))
+	pts := servePoints(2000, 3000+seed)
+	dir := t.TempDir()
+
+	acked := 0     // last position whose Feed returned nil
+	attempted := 0 // high-water mark of positions ever offered to the log
+	for round := 0; acked < len(pts); round++ {
+		svc, err := NewIngestService(walChaosOptions(dir))
+		if err != nil {
+			t.Fatalf("round %d: restart after crash: %v", round, err)
+		}
+		// Zero acknowledged-point loss: the restored position never
+		// trails an acked batch. It may run ahead by exactly the batches
+		// that were appended but refused an ack at the crash point.
+		restored := svc.RestoredPoints()
+		if restored < acked {
+			t.Fatalf("round %d: restored position %d lost acknowledged points (acked %d)",
+				round, restored, acked)
+		}
+		if restored > attempted {
+			t.Fatalf("round %d: restored position %d past everything offered (%d)",
+				round, restored, attempted)
+		}
+		// The recovered summary is byte-identical to an uninterrupted
+		// run over the recovered prefix — snapshot + WAL replay loses
+		// nothing and invents nothing.
+		if got, want := walSummaryBytes(t, svc), walReferenceBytes(t, pts, restored); !bytes.Equal(got, want) {
+			t.Fatalf("round %d: recovered summary at position %d differs from uninterrupted run",
+				round, restored)
+		}
+		// The producer contract: resume from the restored position.
+		acked, attempted = restored, restored
+
+		// Feed toward a random crash point, then die one of four ways.
+		stop := acked + 1 + rng.Intn(len(pts)-acked)
+		mode := rng.Intn(4)
+		for acked < stop {
+			n := min(1+rng.Intn(7), len(pts)-acked)
+			var ferr error
+			for try := 0; try < 5000; try++ { // a shed batch is backpressure, not a crash
+				if ferr = svc.Feed(pts[acked : acked+n]...); !errors.Is(ferr, ErrOverloaded) {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if ferr != nil {
+				t.Fatalf("round %d: feed at %d: %v", round, acked, ferr)
+			}
+			acked += n
+			attempted = acked
+			if mode == 3 && rng.Intn(8) == 0 {
+				// Mid-truncate leg: checkpoint (which truncates the log
+				// through the saved position) and keep feeding, so the
+				// eventual kill lands on a freshly truncated log.
+				drainChaos(t, svc, acked-restored)
+				if err := svc.Checkpoint(); err != nil {
+					t.Fatalf("round %d: checkpoint: %v", round, err)
+				}
+			}
+		}
+		switch mode {
+		case 0: // crash mid-append: a torn frame no one acked
+			if acked < len(pts) {
+				faultinject.Enable(faultinject.Config{Seed: seed, Rate: 1, Times: 1,
+					Sites: []faultinject.Site{faultinject.SiteWALAppend}})
+				err := svc.Feed(pts[acked:min(acked+3, len(pts))]...)
+				faultinject.Disable()
+				if !errors.Is(err, ErrStorageUnavailable) {
+					t.Fatalf("round %d: torn append returned %v, want ErrStorageUnavailable", round, err)
+				}
+				if !svc.StorageDegraded() {
+					t.Fatalf("round %d: failed append did not mark storage degraded", round)
+				}
+			}
+		case 1: // crash post-append, pre-ack: durable but never acked
+			if acked < len(pts) {
+				n := min(1+rng.Intn(3), len(pts)-acked)
+				crash := fmt.Errorf("chaos: killed between WAL append and ack")
+				svc.walCrashHook = func() error { return crash }
+				if err := svc.Feed(pts[acked : acked+n]...); !errors.Is(err, crash) {
+					t.Fatalf("round %d: crash hook returned %v", round, err)
+				}
+				svc.walCrashHook = nil
+				attempted = acked + n // in the log; may legitimately be restored
+			}
+		case 2: // crash after clean acks — nothing in flight
+		case 3: // crash right after the last checkpoint's truncation
+		}
+		svc.Kill()
+	}
+
+	// The stream is fully acknowledged: one last restart must recover
+	// every point and match the uninterrupted run end to end.
+	svc, err := NewIngestService(walChaosOptions(dir))
+	if err != nil {
+		t.Fatalf("final restart: %v", err)
+	}
+	defer svc.Close()
+	if got := svc.RestoredPoints(); got != len(pts) {
+		t.Fatalf("final restored position %d, want %d", got, len(pts))
+	}
+	if got, want := walSummaryBytes(t, svc), walReferenceBytes(t, pts, len(pts)); !bytes.Equal(got, want) {
+		t.Fatalf("final recovered summary differs from uninterrupted run")
+	}
+	if loss := directionalLoss(pts, mustSummary(t, svc)); loss > 2*chaosEps {
+		t.Fatalf("final directional loss %.4f > %.4f", loss, 2*chaosEps)
+	}
+}
+
+func mustSummary(t *testing.T, svc *IngestService) *StreamSummary {
+	t.Helper()
+	ss, err := svc.Summary()
+	if err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	return ss
+}
+
+// TestChaosWALGroupCommitBound crashes a service running with relaxed
+// sync policies and asserts the durability window: everything fsynced
+// survives, so the loss is bounded by the group-commit window — and the
+// recovered summary still matches an uninterrupted run over whatever
+// prefix survived.
+func TestChaosWALGroupCommitBound(t *testing.T) {
+	for _, mode := range []WALSyncMode{WALSyncInterval, WALSyncOff} {
+		t.Run(mode.String(), func(t *testing.T) {
+			pts := servePoints(1200, 77)
+			dir := t.TempDir()
+			opts := walChaosOptions(dir)
+			opts.WAL = &WALConfig{
+				Sync:         mode,
+				SyncInterval: time.Hour, // nothing syncs inside the window
+				SegmentBytes: 1 << 20,   // no rotation-driven syncs either
+			}
+			svc, err := NewIngestService(opts)
+			if err != nil {
+				t.Fatalf("service: %v", err)
+			}
+			acked := 0
+			for lo := 0; lo < len(pts); lo += 50 {
+				if err := svc.Feed(pts[lo:min(lo+50, len(pts))]...); err != nil {
+					t.Fatalf("feed: %v", err)
+				}
+				acked = min(lo+50, len(pts))
+			}
+			svc.walMu.Lock()
+			synced := int(svc.wal.SyncedSeq())
+			svc.walMu.Unlock()
+			svc.Kill()
+
+			svc2, err := NewIngestService(opts)
+			if err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+			defer svc2.Close()
+			restored := svc2.RestoredPoints()
+			// The bound: acked − restored ≤ acked − synced, i.e. the only
+			// points at risk are those inside the un-fsynced window.
+			if restored < synced {
+				t.Fatalf("restored %d < fsynced %d: the durability window leaked", restored, synced)
+			}
+			if restored > acked {
+				t.Fatalf("restored %d > acked %d", restored, acked)
+			}
+			if got, want := walSummaryBytes(t, svc2), walReferenceBytes(t, pts, restored); !bytes.Equal(got, want) {
+				t.Fatalf("recovered summary at %d differs from uninterrupted run", restored)
+			}
+		})
+	}
+}
+
+// TestServeWALStorageUnavailable pins the storage-failure semantics: a
+// failed append or fsync refuses the batch with ErrStorageUnavailable
+// (nothing acked, nothing ingested), marks the service storage-degraded
+// for health reporting, and one successful write clears the condition.
+func TestServeWALStorageUnavailable(t *testing.T) {
+	defer faultinject.Disable()
+	svc, err := NewIngestService(walChaosOptions(t.TempDir()))
+	if err != nil {
+		t.Fatalf("service: %v", err)
+	}
+	defer svc.Close()
+	pts := servePoints(40, 9)
+
+	for _, site := range []faultinject.Site{faultinject.SiteWALAppend, faultinject.SiteWALFsync} {
+		faultinject.Enable(faultinject.Config{Rate: 1, Times: 1, Sites: []faultinject.Site{site}})
+		err := svc.Feed(pts[:10]...)
+		faultinject.Disable()
+		if !errors.Is(err, ErrStorageUnavailable) {
+			t.Fatalf("%v: Feed returned %v, want ErrStorageUnavailable", site, err)
+		}
+		if !svc.StorageDegraded() || !svc.Stats().StorageDegraded || !svc.Stats().Degraded {
+			t.Fatalf("%v: refused batch did not surface as storage degradation", site)
+		}
+		// One successful write clears the condition.
+		if err := svc.Feed(pts[:10]...); err != nil {
+			t.Fatalf("%v: feed after fault: %v", site, err)
+		}
+		if svc.StorageDegraded() || svc.Stats().StorageDegraded {
+			t.Fatalf("%v: successful write did not clear storage degradation", site)
+		}
+	}
+	// The refused batches were never ingested: only the successful feeds
+	// (2 × 10 points) count.
+	drainChaos(t, svc, 20)
+	if n := svc.StreamN(); n != 20 {
+		t.Fatalf("stream position %d after 2 refused + 2 acked batches, want 20", n)
+	}
+}
+
+// TestTenantWALRecoveryLadder exercises the replay_wal rung and the
+// wal_unusable quarantine through the registry: a corrupt log is
+// dropped in favor of the snapshot, and a destroyed snapshot is rebuilt
+// from a log that covers the stream from its beginning.
+func TestTenantWALRecoveryLadder(t *testing.T) {
+	root := t.TempDir()
+	opts := RegistryOptions{
+		Dim: 2, Eps: chaosEps, Seed: 7,
+		SnapshotDir:        root,
+		CheckpointInterval: -1,
+		WAL:                &WALConfig{Sync: WALSyncEveryBatch, SegmentBytes: 1024},
+	}
+	reg, err := NewTenantRegistry(opts)
+	if err != nil {
+		t.Fatalf("registry: %v", err)
+	}
+	ids := []string{"bad-log", "dead-snapshot"}
+	streams := map[string][]Point{}
+	for i, id := range ids {
+		tnt, err := reg.CreateTenant(TenantConfig{ID: id})
+		if err != nil {
+			t.Fatalf("create %s: %v", id, err)
+		}
+		pts := servePoints(600, 4000+int64(i))
+		streams[id] = pts
+		feed := func(lo, hi int) { // small batches so the log rotates segments
+			t.Helper()
+			for ; lo < hi; lo += 25 {
+				if err := tnt.Feed(pts[lo:min(lo+25, hi)]...); err != nil {
+					t.Fatalf("%s feed at %d: %v", id, lo, err)
+				}
+			}
+		}
+		feed(0, 300)
+		drainChaos(t, tnt.Service(), 300)
+		if id == "bad-log" {
+			// A checkpoint so the snapshot alone covers the half stream:
+			// dropping the corrupt log must not lose it.
+			if err := tnt.Checkpoint(); err != nil {
+				t.Fatalf("%s checkpoint: %v", id, err)
+			}
+		}
+		feed(300, 600)
+		drainChaos(t, tnt.Service(), 600)
+		// Crash without a final checkpoint: state lives in WAL + any
+		// mid-stream snapshot.
+		tnt.Service().Kill()
+	}
+
+	// bad-log: punch a hole in the MIDDLE of the log (remove a sealed
+	// non-prefix segment) so Open reports ErrBadLog, not a torn tail.
+	walDir := WALDir(filepath.Join(root, "bad-log", snapshotFile))
+	names, err := filepath.Glob(filepath.Join(walDir, "*.wal"))
+	if err != nil || len(names) < 3 {
+		t.Fatalf("need >= 3 sealed segments to punch a hole, have %d (%v)", len(names), err)
+	}
+	if err := os.Remove(names[1]); err != nil {
+		t.Fatalf("punch hole: %v", err)
+	}
+	// dead-snapshot: destroy both snapshot generations; the WAL (never
+	// truncated — no checkpoint ran) still covers the stream from 0.
+	for _, f := range []string{snapshotFile, snapshotFile + ".prev"} {
+		os.WriteFile(filepath.Join(root, "dead-snapshot", f), []byte("garbage, not a snapshot"), 0o644)
+	}
+
+	reg2, err := NewTenantRegistry(opts)
+	if err != nil {
+		t.Fatalf("restart over corrupt fleet: %v", err)
+	}
+	defer reg2.Close()
+	if h, ok := reg2.QuarantineInfo("bad-log"); !ok || h.Reason != "wal_unusable" {
+		t.Fatalf("bad-log quarantine = %+v (ok=%v), want reason wal_unusable", h, ok)
+	}
+
+	// The corrupt log is unrecoverable; the ladder drops it and restores
+	// from the mid-stream snapshot. The tail past the checkpoint is the
+	// acknowledged-loss price of destroying the log itself — the rung
+	// reports it via the restored position, and the producer replays.
+	tnt, step, err := reg2.RecoverTenant("bad-log")
+	if err != nil {
+		t.Fatalf("recover bad-log: %v", err)
+	}
+	if step != "replay_wal" {
+		t.Fatalf("bad-log recovery step = %q, want replay_wal", step)
+	}
+	if got := tnt.Service().RestoredPoints(); got != 300 {
+		t.Fatalf("bad-log restored %d points, want the checkpoint's 300", got)
+	}
+	if err := tnt.Feed(streams["bad-log"][300:]...); err != nil {
+		t.Fatalf("bad-log replay tail: %v", err)
+	}
+	drainChaos(t, tnt.Service(), 300)
+
+	// The destroyed snapshot is rebuilt wholesale from the log: the
+	// stream survives to the exact acknowledged position.
+	tnt, step, err = reg2.RecoverTenant("dead-snapshot")
+	if err != nil {
+		t.Fatalf("recover dead-snapshot: %v", err)
+	}
+	if step != "replay_wal" {
+		t.Fatalf("dead-snapshot recovery step = %q, want replay_wal", step)
+	}
+	if got := tnt.Service().RestoredPoints(); got != 600 {
+		t.Fatalf("dead-snapshot restored %d points from the log, want 600", got)
+	}
+	if got := tnt.Service().ReplayedPoints(); got != 600 {
+		t.Fatalf("dead-snapshot replayed %d points, want 600", got)
+	}
+}

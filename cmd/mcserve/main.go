@@ -39,8 +39,19 @@
 //
 // with codes: bad_tenant_id, tenant_exists, tenant_not_found,
 // tenant_quarantined, invalid_argument, invalid_point, empty_stream,
-// quota_exceeded, overloaded, watchdog_killed, request_too_large,
-// deadline_exceeded, service_closed, uncertified, internal.
+// quota_exceeded, overloaded, storage_unavailable, watchdog_killed,
+// request_too_large, deadline_exceeded, service_closed, uncertified,
+// internal.
+//
+// Durability: with -snapshot-dir set, -wal-sync selects the per-tenant
+// write-ahead-log policy — "batch" (default: a 202 ingest ack means the
+// batch is fsynced), "off" (log without fsync), a duration like "25ms"
+// (group commit), or "none" (no WAL; the legacy checkpoint-window
+// contract). A failing log refuses ingest with 503 storage_unavailable
+// rather than acking points it cannot keep. On SIGTERM/SIGINT the
+// server stops admitting work, drains in-flight requests and builds
+// under -drain-timeout, writes a final checkpoint and WAL sync for
+// every tenant, and exits 0.
 //
 // Degraded-mode serving: with -stale-max-age / -stale-max-points-behind
 // set, a failed fresh build (overload, uncertified, deadline, watchdog
@@ -99,6 +110,9 @@ func main() {
 	staleMaxAge := flag.Duration("stale-max-age", 0, "serve the last certified coreset (marked stale) when a fresh build fails, if at most this old (0 = stale serving off)")
 	staleBehind := flag.Int("stale-max-points-behind", 0, "additional stale-serving bound: max stream points the fallback may lag (0 = unbounded; needs -stale-max-age)")
 	maxBody := flag.Int64("max-body-bytes", 8<<20, "largest accepted request body in bytes (413 beyond it)")
+	walSync := flag.String("wal-sync", "batch", `write-ahead-log durability for snapshotted tenants: "batch" (fsync before acking), "off" (log without fsync), a group-commit window like "25ms", or "none" (no WAL)`)
+	walSegBytes := flag.Int64("wal-segment-bytes", 4<<20, "write-ahead-log segment rotation threshold in bytes")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget: drain in-flight work and write final checkpoints within this window")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "text", "log format: text|json")
 	flag.Parse()
@@ -119,6 +133,11 @@ func main() {
 	if *staleMaxAge > 0 {
 		stale = mincore.WithStaleServe(*staleMaxAge, *staleBehind)
 	}
+	walCfg, err := parseWALConfig(*walSync, *walSegBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcserve:", err)
+		os.Exit(2)
+	}
 	reg, err := mincore.NewTenantRegistry(mincore.RegistryOptions{
 		Dim: *dim, Eps: *eps, Alpha: *alpha, Seed: *seed,
 		SnapshotDir:        *snapshotDir,
@@ -130,6 +149,7 @@ func main() {
 		Logger:      logger,
 		BuildBudget: *watchdog,
 		StaleServe:  stale,
+		WAL:         walCfg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcserve:", err)
@@ -171,19 +191,12 @@ func main() {
 		WriteTimeout:      5 * time.Minute,
 		MaxHeaderBytes:    1 << 20,
 	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		log.Info("shutting down: draining tenant queues and writing final checkpoints")
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		srv.Shutdown(ctx)
-		if err := reg.Close(); err != nil && !errors.Is(err, mincore.ErrRegistryClosed) {
-			log.Error("registry shutdown", slog.Any("error", err))
-		}
+		gracefulShutdown(sig, srv, reg, log, *drainTimeout)
 	}()
 	log.Info("mcserve listening",
 		slog.String("addr", *addr), slog.Int("dim", *dim),
@@ -193,6 +206,69 @@ func main() {
 		os.Exit(1)
 	}
 	<-done
+}
+
+// parseWALConfig maps the -wal-sync / -wal-segment-bytes flags onto the
+// library's WALConfig: "none" disables the log entirely (nil config),
+// "batch" and "off" select the named policies, and any parseable
+// duration selects group commit with that window.
+func parseWALConfig(sync string, segBytes int64) (*mincore.WALConfig, error) {
+	cfg := &mincore.WALConfig{SegmentBytes: segBytes}
+	switch sync {
+	case "none":
+		return nil, nil
+	case "batch", "":
+		cfg.Sync = mincore.WALSyncEveryBatch
+	case "off":
+		cfg.Sync = mincore.WALSyncOff
+	default:
+		d, err := time.ParseDuration(sync)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf(`-wal-sync %q: want "batch", "off", "none", or a positive duration`, sync)
+		}
+		cfg.Sync = mincore.WALSyncInterval
+		cfg.SyncInterval = d
+	}
+	return cfg, nil
+}
+
+// gracefulShutdown blocks until a signal arrives on sig, then winds the
+// process down in order: the HTTP server stops admitting new requests
+// and drains the in-flight ones (ingest acks and running builds get to
+// finish), then the registry closes every tenant — final checkpoint,
+// WAL sync, scheduler stop — all under one drain budget. The signal
+// channel is injected so tests drive the whole sequence synchronously.
+func gracefulShutdown(sig <-chan os.Signal, srv *http.Server, reg *mincore.TenantRegistry, log *slog.Logger, timeout time.Duration) {
+	<-sig
+	log.Info("shutting down: refusing new work, draining in-flight builds, writing final checkpoints",
+		slog.Duration("drain_timeout", timeout))
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if srv != nil {
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Warn("HTTP drain incomplete; closing registry anyway", slog.Any("error", err))
+		}
+	}
+	if err := closeRegistry(ctx, reg); err != nil && !errors.Is(err, mincore.ErrRegistryClosed) {
+		log.Error("registry shutdown", slog.Any("error", err))
+		return
+	}
+	log.Info("shutdown complete: all tenants checkpointed and WALs synced")
+}
+
+// closeRegistry runs reg.Close under the drain deadline: Close drains
+// each tenant's ingest queue, writes its final snapshot generation, and
+// fsyncs+closes its WAL. A wedged tenant cannot hold shutdown hostage —
+// past the deadline the registry is abandoned and the process exits.
+func closeRegistry(ctx context.Context, reg *mincore.TenantRegistry) error {
+	done := make(chan error, 1)
+	go func() { done <- reg.Close() }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return fmt.Errorf("drain deadline exceeded: %w", ctx.Err())
+	}
 }
 
 // apiServer binds the route handlers to a registry. Tenant-scoped
@@ -557,6 +633,10 @@ func statsPayload(t *mincore.Tenant, legacy bool) map[string]any {
 		resp["quota_shed"] = st.QuotaShed
 		resp["stale_served"] = st.StaleServed
 		resp["degraded"] = st.Degraded
+		resp["replayed_points"] = st.ReplayedPoints
+		resp["wal_segments"] = st.WALSegments
+		resp["wal_bytes"] = st.WALBytes
+		resp["storage_degraded"] = st.StorageDegraded
 	}
 	if !st.LastCheckpoint.IsZero() {
 		resp["last_checkpoint"] = st.LastCheckpoint.Format(time.RFC3339Nano)
@@ -637,6 +717,10 @@ func errorCode(err error) (int, string) {
 		return http.StatusTooManyRequests, "quota_exceeded"
 	case errors.Is(err, mincore.ErrOverloaded):
 		return http.StatusServiceUnavailable, "overloaded"
+	case errors.Is(err, mincore.ErrStorageUnavailable):
+		// The WAL refused the batch: nothing was acknowledged, nothing
+		// ingested. Retryable — one successful write clears the state.
+		return http.StatusServiceUnavailable, "storage_unavailable"
 	case errors.Is(err, mincore.ErrWatchdogKilled):
 		return http.StatusServiceUnavailable, "watchdog_killed"
 	case errors.Is(err, mincore.ErrInvalidPoint):

@@ -3,8 +3,9 @@
 //
 // Production code hosts named failpoints (Fail calls at the simplex
 // pivot, the loss-LP oracle, the dominance-graph build, the
-// certification check, and the snapshot I/O path: write, fsync, and
-// read). Injection is off by default: a disabled check is
+// certification check, the snapshot I/O path: write, fsync, and
+// read, and the write-ahead log: append, fsync, and replay).
+// Injection is off by default: a disabled check is
 // a single atomic pointer load, so hot loops pay no measurable cost.
 // Tests call Enable with a Config to make a chosen subset of sites fire
 // deterministically, then Disable when done.
@@ -47,6 +48,15 @@ const (
 	// SiteSnapshotRead fails a snapshot read, as a lost sector or a
 	// truncated file would at restore time.
 	SiteSnapshotRead
+	// SiteWALAppend fails a write-ahead-log record write mid-frame,
+	// leaving a torn record tail exactly as a crash during append would.
+	SiteWALAppend
+	// SiteWALFsync fails the fsync that makes appended WAL records
+	// durable (disk full, EIO at the sync barrier).
+	SiteWALFsync
+	// SiteWALReplay fails a WAL segment read at restore time, as a lost
+	// sector under the log would.
+	SiteWALReplay
 
 	numSites
 )
@@ -67,6 +77,12 @@ func (s Site) String() string {
 		return "snapshot-fsync"
 	case SiteSnapshotRead:
 		return "snapshot-read"
+	case SiteWALAppend:
+		return "wal-append"
+	case SiteWALFsync:
+		return "wal-fsync"
+	case SiteWALReplay:
+		return "wal-replay"
 	default:
 		return fmt.Sprintf("site(%d)", int(s))
 	}

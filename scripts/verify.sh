@@ -30,6 +30,20 @@ done
 echo "== chaos kill/restore matrix"
 go test -race -count=1 -run 'TestChaosKillRestoreMatrix' .
 
+# Write-ahead log: the segment codec, torn-tail repair, and crash-point
+# matrix under the race detector, then the serve-level contract — with
+# per-batch sync no acknowledged point is ever lost across randomized
+# kills (mid-append, post-append-pre-ack, post-ack, post-truncation) and
+# the recovered summary is byte-identical to an uninterrupted run; a
+# failing log refuses ingest with ErrStorageUnavailable instead of
+# acking; graceful shutdown checkpoints and syncs every tenant.
+echo "== write-ahead log (crash points, zero acked-point loss)"
+go test -race -count=1 ./internal/wal/
+GOMAXPROCS=4 go test -race -count=1 \
+    -run 'TestChaosWAL|TestServeWAL|TestTenantWALRecoveryLadder' .
+GOMAXPROCS=4 go test -race -count=1 \
+    -run 'TestParseWALConfig|TestGracefulShutdownDrains|TestIngestStorageUnavailableHTTP|TestWALMetricFamilies' ./cmd/mcserve/
+
 # Observability: the metrics registry and exposition under the race
 # detector, plus an end-to-end smoke — the mcserve tests stand up the
 # real route table, scrape /metrics, and validate the scrape with the

@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,7 @@ import (
 	"mincore/internal/obs"
 	"mincore/internal/snapshot"
 	"mincore/internal/stream"
+	"mincore/internal/wal"
 )
 
 // The supervised long-running ingest mode. An IngestService owns a
@@ -32,6 +34,11 @@ import (
 //     back a generation on a torn write and reports the restored point
 //     count so producers can replay the tail (replay is idempotent —
 //     directional maxima are unaffected by duplicates),
+//   - never lose an acknowledged point (opt-in, ServeOptions.WAL): Feed
+//     appends each batch to a per-tenant write-ahead log and syncs per
+//     policy before acknowledging, restore replays the log past the
+//     snapshot position (idempotent by sequence number), and checkpoint
+//     success truncates the log — acknowledged == durable,
 //   - never collapse under load: the ingest queue and the build
 //     semaphore are bounded, and both shed with typed ErrOverloaded
 //     instead of queueing without bound,
@@ -69,6 +76,12 @@ var (
 	// request may still be answered from the stale fallback when one is
 	// configured and within bounds.
 	ErrWatchdogKilled = errors.New("mincore: build killed by watchdog")
+	// ErrStorageUnavailable is the durable-ingest refusal: the
+	// write-ahead log could not make the batch durable (disk full, I/O
+	// error at the sync barrier), so Feed refuses to acknowledge it.
+	// Nothing was ingested; the caller should back off and retry the
+	// same batch. The service reports degraded until a write succeeds.
+	ErrStorageUnavailable = errors.New("mincore: storage unavailable")
 )
 
 // StaleServePolicy opts a service into degraded-mode serving: when a
@@ -90,6 +103,72 @@ type StaleServePolicy struct {
 // ServeOptions.StaleServe / RegistryOptions.StaleServe.
 func WithStaleServe(maxAge time.Duration, maxPointsBehind int) *StaleServePolicy {
 	return &StaleServePolicy{MaxAge: maxAge, MaxPointsBehind: maxPointsBehind}
+}
+
+// WALSyncMode selects when write-ahead-log appends become durable.
+type WALSyncMode int
+
+const (
+	// WALSyncEveryBatch fsyncs before Feed acknowledges: the strongest
+	// contract, acknowledged == durable, at one fsync per batch.
+	WALSyncEveryBatch WALSyncMode = iota
+	// WALSyncInterval group-commits: appends fsync at most once per
+	// WALConfig.SyncInterval, so a crash loses at most the batches
+	// acknowledged inside the current group-commit window.
+	WALSyncInterval
+	// WALSyncOff never fsyncs on append (only on segment rotation and
+	// shutdown); loss on crash is bounded by the write buffer plus the
+	// OS page cache.
+	WALSyncOff
+)
+
+// String names the mode as the mcserve -wal-sync flag spells it.
+func (m WALSyncMode) String() string {
+	switch m {
+	case WALSyncInterval:
+		return "interval"
+	case WALSyncOff:
+		return "off"
+	default:
+		return "batch"
+	}
+}
+
+// WALConfig opts a service into durable ingest via a per-tenant
+// write-ahead log: Feed appends (and syncs per policy) before
+// acknowledging, restore replays records past the snapshot position,
+// and checkpoint success truncates the log. Requires SnapshotPath; the
+// log lives in a "wal" directory next to the snapshot. Nil disables
+// the WAL and keeps the legacy checkpoint-window durability contract.
+type WALConfig struct {
+	// Sync is the durability policy (default WALSyncEveryBatch).
+	Sync WALSyncMode
+	// SyncInterval is the group-commit window for WALSyncInterval
+	// (default 50ms; ≤ 0 syncs every batch).
+	SyncInterval time.Duration
+	// SegmentBytes is the segment-rotation threshold (default 4 MiB).
+	SegmentBytes int64
+}
+
+// withWALDefaults normalizes a WALConfig.
+func (c *WALConfig) withDefaults() *WALConfig {
+	v := *c
+	if v.Sync == WALSyncInterval && v.SyncInterval <= 0 {
+		v.SyncInterval = 50 * time.Millisecond
+	}
+	return &v
+}
+
+// walPolicy maps the public sync mode onto the log's policy.
+func (c *WALConfig) walPolicy() wal.SyncPolicy {
+	switch c.Sync {
+	case WALSyncInterval:
+		return wal.SyncInterval
+	case WALSyncOff:
+		return wal.SyncOff
+	default:
+		return wal.SyncEveryBatch
+	}
 }
 
 // WorkerPanicError carries a panic recovered inside an ingest worker.
@@ -180,6 +259,13 @@ type ServeOptions struct {
 	// coreset when a fresh build fails; nil (the default) keeps hard
 	// errors. See StaleServePolicy.
 	StaleServe *StaleServePolicy
+	// WAL opts into durable ingest: Feed appends each batch to a
+	// write-ahead log (and syncs per the configured policy) before
+	// acknowledging, so an acknowledged point survives any crash;
+	// restore replays the log past the snapshot position. Requires
+	// SnapshotPath. Nil (the default) keeps the legacy contract where
+	// durability of a fed point begins at the next checkpoint.
+	WAL *WALConfig
 
 	// sched, when non-nil, replaces the per-service build semaphore with
 	// the registry's shared weighted-fair scheduler.
@@ -224,6 +310,12 @@ func (o *ServeOptions) withDefaults() (ServeOptions, error) {
 	}
 	if v.clock == nil {
 		v.clock = time.Now
+	}
+	if v.WAL != nil {
+		if v.SnapshotPath == "" {
+			return v, fmt.Errorf("mincore: WAL requires SnapshotPath (the log lives next to the snapshot)")
+		}
+		v.WAL = v.WAL.withDefaults()
 	}
 	return v, nil
 }
@@ -294,10 +386,24 @@ type ServiceStats struct {
 	// StaleServed counts requests answered from the stale last-good
 	// fallback (always 0 without a StaleServePolicy).
 	StaleServed int64
-	// RestoredPoints is the stream position recovered from the snapshot
-	// at startup (0 for a fresh start): producers should replay their
-	// stream from this offset after a crash.
+	// RestoredPoints is the stream position recovered at startup — the
+	// snapshot position plus any write-ahead-log records replayed past
+	// it (0 for a fresh start): producers should replay their stream
+	// from this offset after a crash.
 	RestoredPoints int
+	// ReplayedPoints counts the points replayed from the write-ahead
+	// log into the restored summary at startup (0 without a WAL).
+	ReplayedPoints int
+	// WALSegments and WALBytes describe the live write-ahead-log
+	// footprint (both 0 without a WAL); the log is truncated after each
+	// durable checkpoint, so growth here means checkpoints are failing
+	// or lagging.
+	WALSegments int
+	WALBytes    int64
+	// StorageDegraded is set while the last WAL append or sync failed:
+	// Feed is refusing to acknowledge batches with
+	// ErrStorageUnavailable. One successful write clears it.
+	StorageDegraded bool
 	// CheckpointGeneration and CheckpointPoints describe the last
 	// durable generation; CheckpointFailures counts consecutive save
 	// failures (resets on success).
@@ -342,8 +448,20 @@ type IngestService struct {
 
 	base      *stream.Summary // restored snapshot, read-only (nil = fresh)
 	restoredN int
+	replayedN int // points replayed from the WAL into base at startup
 	shards    []*shard
 	store     *snapshot.Store // nil when durability is disabled
+
+	// wal, when non-nil, is the durable-ingest write-ahead log. walMu
+	// serializes every log operation AND the queue send that follows a
+	// successful append, so the append order and the queue order agree
+	// and a post-append queue send can never block (capacity is checked
+	// under the same lock).
+	walMu       sync.Mutex
+	wal         *wal.Log
+	walFailed   atomic.Bool // last WAL write failed; Feed refuses to ack
+	walAppends  atomic.Int64
+	walReplayed atomic.Int64
 
 	ctx      context.Context
 	cancel   context.CancelFunc
@@ -384,6 +502,12 @@ type IngestService struct {
 	// slot is granted, under the grant's context — the injection point for
 	// hung-build watchdog tests.
 	buildHook func(context.Context)
+	// walCrashHook, when set (tests only), runs inside Feed after the WAL
+	// append succeeded but before the batch is enqueued and acknowledged —
+	// the post-append-pre-ack crash point. A non-nil return aborts Feed
+	// with that error: the batch is durable but never acknowledged, so a
+	// restore may legitimately be AHEAD of the last ack.
+	walCrashHook func() error
 }
 
 // staleKey identifies one retained last-good build. No stream position:
@@ -469,6 +593,11 @@ func NewIngestService(opts ServeOptions) (*IngestService, error) {
 			return nil, err
 		}
 	}
+	if o.WAL != nil {
+		if err := s.openWAL(); err != nil {
+			return nil, err
+		}
+	}
 
 	s.shards = make([]*shard, o.IngestWorkers)
 	for i := range s.shards {
@@ -485,12 +614,90 @@ func NewIngestService(opts ServeOptions) (*IngestService, error) {
 	return s, nil
 }
 
+// WALDir returns the write-ahead-log directory for a snapshot path.
+func WALDir(snapshotPath string) string {
+	return filepath.Join(filepath.Dir(snapshotPath), "wal")
+}
+
+// openWAL opens (or creates) the service's write-ahead log, repairs any
+// torn tail, replays records past the restored snapshot position into
+// the base summary, and aligns the log with the restored position. The
+// restored stream is exactly what was durable: snapshot ∪ replayable
+// log suffix — byte-identical to an uninterrupted run because replay is
+// idempotent by sequence number.
+func (s *IngestService) openWAL() error {
+	o := s.opts
+	l, err := wal.Open(wal.Options{
+		Dir:          WALDir(o.SnapshotPath),
+		Dim:          o.Dim,
+		Directions:   o.Directions,
+		Seed:         o.Seed,
+		SegmentBytes: o.WAL.SegmentBytes,
+		Policy:       o.WAL.walPolicy(),
+		Interval:     o.WAL.SyncInterval,
+		OnFsync:      s.met.walFsyncs.Inc,
+		Now:          o.clock,
+	})
+	if err != nil {
+		return fmt.Errorf("mincore: wal open: %w", err)
+	}
+	afterSeq := uint64(s.restoredN)
+	if l.LastSeq() > afterSeq {
+		if s.base == nil {
+			if l.OldestSeq() > 0 {
+				l.Close()
+				return fmt.Errorf("%w: no snapshot but the log starts at seq %d — points 0..%d are unrecoverable",
+					wal.ErrBadLog, l.OldestSeq(), l.OldestSeq())
+			}
+			s.base = stream.NewSummary(o.Directions, o.Dim, o.Seed)
+		}
+		delivered, pos, err := l.Replay(afterSeq, func(batch [][]float64) error {
+			for _, p := range batch {
+				if ferr := s.base.Feed(p); ferr != nil {
+					return ferr
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			l.Close()
+			return fmt.Errorf("mincore: wal replay: %w", err)
+		}
+		s.replayedN = int(delivered)
+		s.restoredN = int(pos)
+		s.walReplayed.Add(int64(delivered))
+		s.met.walReplayedPoints.Add(delivered)
+		s.log.Info("replayed write-ahead log",
+			slog.Uint64("points", delivered),
+			slog.Int("restored_position", s.restoredN))
+	}
+	if err := l.SetStart(uint64(s.restoredN)); err != nil {
+		l.Close()
+		return fmt.Errorf("mincore: wal align: %w", err)
+	}
+	s.wal = l
+	s.publishWALStats(l.Stats())
+	return nil
+}
+
+// publishWALStats pushes the log's footprint gauges.
+func (s *IngestService) publishWALStats(st wal.Stats) {
+	s.met.walSegments.Set(int64(st.Segments))
+	s.met.walBytes.Set(st.Bytes)
+}
+
 // Feed validates and enqueues a batch of points for ingestion. Points
 // are deep-copied before return, so the caller may reuse its buffers.
 // A NaN/Inf coordinate or a point of the wrong dimension rejects the
 // whole batch with ErrInvalidPoint (nothing is enqueued); a full queue
-// sheds the batch with ErrOverloaded. Ingestion is asynchronous —
-// durability of a fed point begins at the next checkpoint.
+// sheds the batch with ErrOverloaded.
+//
+// Without a WAL, ingestion is asynchronous — durability of a fed point
+// begins at the next checkpoint. With ServeOptions.WAL set, the batch
+// is appended to the write-ahead log (and synced per the configured
+// policy) before Feed returns: under WALSyncEveryBatch a nil return
+// means the batch is durable; a failed append or sync refuses the
+// batch with ErrStorageUnavailable and nothing is ingested.
 func (s *IngestService) Feed(pts ...Point) error {
 	if len(pts) == 0 {
 		return nil
@@ -522,6 +729,9 @@ func (s *IngestService) Feed(pts ...Point) error {
 		return fmt.Errorf("%w: %g points/s (burst %d)", ErrQuotaExceeded,
 			s.opts.QuotaPointsPerSec, s.opts.QuotaBurst)
 	}
+	if s.wal != nil {
+		return s.feedDurable(batch)
+	}
 	select {
 	case s.queue <- batch:
 		s.met.ingestBatches.Inc()
@@ -538,6 +748,59 @@ func (s *IngestService) Feed(pts ...Point) error {
 			slog.Int("queue_size", s.opts.QueueSize))
 		return fmt.Errorf("%w: ingest queue full (%d batches)", ErrOverloaded, s.opts.QueueSize)
 	}
+}
+
+// feedDurable is Feed's WAL path: append (and sync per policy) BEFORE
+// enqueueing, so a nil return means the batch is in the log — under
+// per-batch sync, durable. The caller already holds feedMu.RLock and
+// has charged the quota. walMu serializes appenders, so the queue-
+// capacity check and the send form one atomic admission decision: a
+// shed batch never touches the log (its sequence numbers are never
+// consumed) and an appended batch's send can never block.
+func (s *IngestService) feedDurable(batch [][]float64) error {
+	n := len(batch)
+	refund := func() {
+		if s.quota != nil {
+			s.quota.refund(float64(n))
+		}
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if len(s.queue) == cap(s.queue) {
+		refund()
+		s.rejected.Add(int64(n))
+		s.met.ingestShed.Add(uint64(n))
+		s.log.Debug("ingest queue full; batch shed before WAL append",
+			slog.Int("points", n),
+			slog.Int("queue_size", s.opts.QueueSize))
+		return fmt.Errorf("%w: ingest queue full (%d batches)", ErrOverloaded, s.opts.QueueSize)
+	}
+	if _, err := s.wal.Append(batch); err != nil {
+		refund()
+		s.walFailed.Store(true)
+		s.met.walAppendFailures.Inc()
+		s.lastErr.Store(&errBox{err: fmt.Errorf("%w: %v", ErrStorageUnavailable, err)})
+		s.log.Warn("WAL append failed; batch refused without ack",
+			slog.Int("points", n),
+			slog.Any("error", err))
+		return fmt.Errorf("%w: wal append: %v", ErrStorageUnavailable, err)
+	}
+	s.walFailed.Store(false)
+	s.walAppends.Add(1)
+	s.met.walAppends.Inc()
+	s.met.walAppendedPoints.Add(uint64(n))
+	if s.walCrashHook != nil {
+		if err := s.walCrashHook(); err != nil {
+			// Crash point: the batch is in the log but will never be
+			// acknowledged — restore may exceed the last ack, never trail it.
+			refund()
+			return err
+		}
+	}
+	s.queue <- batch // cannot block: capacity was checked under walMu
+	s.met.ingestBatches.Inc()
+	s.met.queueDepth.Set(int64(len(s.queue)))
+	return nil
 }
 
 // validatePoint applies New's input contract to one stream point.
@@ -652,10 +915,20 @@ func (s *IngestService) StreamN() int {
 	return n
 }
 
-// RestoredPoints returns the stream position recovered from the
-// snapshot at startup; producers should replay from this offset after a
-// crash (replay past it is harmless — maxima are duplicate-insensitive).
+// RestoredPoints returns the stream position recovered at startup — the
+// snapshot position plus any WAL records replayed past it; producers
+// should replay from this offset after a crash (replay past it is
+// harmless — maxima are duplicate-insensitive).
 func (s *IngestService) RestoredPoints() int { return s.restoredN }
+
+// ReplayedPoints returns how many points were replayed from the
+// write-ahead log into the restored summary at startup.
+func (s *IngestService) ReplayedPoints() int { return s.replayedN }
+
+// StorageDegraded reports whether the last WAL append or sync failed
+// and Feed is refusing to acknowledge batches. One successful write
+// clears it.
+func (s *IngestService) StorageDegraded() bool { return s.walFailed.Load() }
 
 // Checkpoint writes the current merged summary as the next durable
 // generation. It is safe to call concurrently with ingestion and with
@@ -691,7 +964,29 @@ func (s *IngestService) Checkpoint() error {
 		slog.Uint64("generation", meta.Generation),
 		slog.Int("points", sum.N()),
 		slog.Duration("took", time.Since(start)))
+	s.truncateWAL(uint64(sum.N()))
 	return nil
+}
+
+// truncateWAL drops log data covered by a durable checkpoint at stream
+// position n. Failure is non-fatal: replay already skips records at or
+// below the snapshot position, so an un-truncated segment only costs
+// disk until the next successful truncation — exactly the behavior a
+// crash mid-truncate relies on.
+func (s *IngestService) truncateWAL(n uint64) {
+	if s.wal == nil {
+		return
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if err := s.wal.TruncateThrough(n); err != nil {
+		s.log.Warn("WAL truncation failed (log will be retried next checkpoint)",
+			slog.Uint64("through_seq", n),
+			slog.Any("error", err))
+	} else {
+		s.met.walTruncations.Inc()
+	}
+	s.publishWALStats(s.wal.Stats())
 }
 
 // checkpointLoop drives periodic checkpoints, doubling the period after
@@ -1018,12 +1313,21 @@ func (s *IngestService) Stats() ServiceStats {
 		CacheMisses:    s.cacheMisses.Load(),
 		StaleServed:    s.staleServed.Load(),
 		RestoredPoints: s.restoredN,
+		ReplayedPoints: s.replayedN,
+	}
+	if s.wal != nil {
+		st.StorageDegraded = s.walFailed.Load()
+		s.walMu.Lock()
+		ws := s.wal.Stats()
+		s.walMu.Unlock()
+		st.WALSegments = ws.Segments
+		st.WALBytes = ws.Bytes
 	}
 	s.ckptMu.Lock()
 	st.CheckpointGeneration = s.lastCkpt.Generation
 	st.CheckpointPoints = s.lastCkptN
 	st.CheckpointFailures = s.ckptFailures
-	st.Degraded = s.ckptFailures >= degradedCheckpointFailures
+	st.Degraded = s.ckptFailures >= degradedCheckpointFailures || st.StorageDegraded
 	st.LastCheckpoint = s.lastCkpt.SavedAt
 	if !s.lastCkpt.SavedAt.IsZero() {
 		st.CheckpointLag = time.Since(s.lastCkpt.SavedAt)
@@ -1052,7 +1356,19 @@ func (s *IngestService) Close() error {
 	s.workerWG.Wait() // drain the queue
 	s.cancel()        // stop the checkpoint loop
 	s.ckptWG.Wait()
-	return s.Checkpoint()
+	err := s.Checkpoint()
+	if s.wal != nil {
+		// Final sync + close AFTER the final checkpoint truncated the
+		// log: everything acknowledged is now in the snapshot, and
+		// whatever the truncation left behind is fsynced on the way out.
+		s.walMu.Lock()
+		if cerr := s.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		s.publishWALStats(s.wal.Stats())
+		s.walMu.Unlock()
+	}
+	return err
 }
 
 // Kill abandons the service as a crash would: goroutines stop as soon
@@ -1069,4 +1385,12 @@ func (s *IngestService) Kill() {
 	s.cancel()
 	s.workerWG.Wait()
 	s.ckptWG.Wait()
+	if s.wal != nil {
+		// Abandon, not Close: the write buffer is dropped unflushed,
+		// exactly as a crash would lose unsynced page-cache data — the
+		// durability window the sync policy bounds.
+		s.walMu.Lock()
+		s.wal.Abandon()
+		s.walMu.Unlock()
+	}
 }

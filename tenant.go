@@ -14,6 +14,7 @@ import (
 
 	"mincore/internal/obs"
 	"mincore/internal/snapshot"
+	"mincore/internal/wal"
 )
 
 // Multi-tenant serving. A TenantRegistry turns the one-process/one-
@@ -30,11 +31,13 @@ import (
 //
 // Durability is namespaced: tenant state lives under
 // <SnapshotDir>/<id>/ — a tenant.json manifest carrying the resolved
-// tenant configuration plus the two-generation snapshot store
-// (stream.snap / stream.snap.prev). NewTenantRegistry restores every
-// manifested tenant, so a restart recovers the full fleet; DeleteTenant
-// removes the tenant's directory, which is the whole of its on-disk
-// footprint.
+// tenant configuration, the two-generation snapshot store
+// (stream.snap / stream.snap.prev), and, when RegistryOptions.WAL is
+// set, the tenant's write-ahead log under <SnapshotDir>/<id>/wal/.
+// NewTenantRegistry restores every manifested tenant (snapshot plus
+// replayed log suffix), so a restart recovers the full fleet;
+// DeleteTenant removes the tenant's directory, which is the whole of
+// its on-disk footprint.
 
 // Typed registry errors.
 var (
@@ -165,6 +168,11 @@ type RegistryOptions struct {
 	// last certified coreset (see StaleServePolicy); nil keeps hard
 	// errors.
 	StaleServe *StaleServePolicy
+	// WAL opts every durable tenant into write-ahead-logged ingest
+	// (acknowledged == durable; see WALConfig). Tenants without a
+	// snapshot path — SnapshotDir empty and no per-tenant override —
+	// ignore it.
+	WAL *WALConfig
 
 	// clock overrides time.Now for quota buckets and the build watchdog
 	// (tests; injecting it disables the watchdog's background sweeper —
@@ -259,7 +267,7 @@ type TenantRegistry struct {
 type quarantinedTenant struct {
 	id     string
 	dir    string
-	reason string // "bad_manifest" | "snapshot_unusable" | "start_failed"
+	reason string // "bad_manifest" | "snapshot_unusable" | "wal_unusable" | "start_failed"
 	err    error
 	since  time.Time
 	// cfg and createdAt are the manifest contents when it parsed (nil
@@ -393,6 +401,8 @@ func (r *TenantRegistry) restoreTenants() error {
 			reason := "start_failed"
 			if errors.Is(err, ErrSnapshotIncompatible) || errors.Is(err, snapshot.ErrBadSnapshot) {
 				reason = "snapshot_unusable"
+			} else if errors.Is(err, wal.ErrBadLog) {
+				reason = "wal_unusable"
 			}
 			r.quarantineLocked(id, dir, reason, err, &cfg, m.CreatedAt)
 			continue
@@ -474,10 +484,15 @@ func (r *TenantRegistry) startTenant(cfg TenantConfig, createdAt time.Time, pers
 		}
 		path = filepath.Join(dir, snapshotFile)
 	}
+	var walCfg *WALConfig
+	if path != "" {
+		walCfg = r.opts.WAL
+	}
 	svc, err := NewIngestService(ServeOptions{
 		Dim: cfg.Dim, Eps: cfg.Eps, Alpha: cfg.Alpha,
 		Directions: cfg.Directions, Seed: cfg.Seed,
 		SnapshotPath:       path,
+		WAL:                walCfg,
 		CheckpointInterval: r.opts.CheckpointInterval,
 		IngestWorkers:      cfg.IngestWorkers,
 		QueueSize:          cfg.QueueSize,
@@ -647,6 +662,11 @@ func (r *TenantRegistry) Health() []TenantHealth {
 		if st.Degraded {
 			h.State = "degraded"
 			h.Reason = "checkpoint_failures"
+			if st.StorageDegraded {
+				// The WAL write path itself is failing: Feed refuses to
+				// acknowledge (ErrStorageUnavailable) until a write lands.
+				h.Reason = "storage_unavailable"
+			}
 			h.CheckpointFailures = st.CheckpointFailures
 			if st.LastError != nil {
 				h.Error = st.LastError.Error()
@@ -707,13 +727,19 @@ func (r *TenantRegistry) DeleteTenant(id string) error {
 		rmErr = os.RemoveAll(t.dir)
 	case t.cfg.SnapshotPath != "":
 		// Override path outside the registry dir: remove just the
-		// snapshot generations, not the surrounding directory.
+		// snapshot generations and the write-ahead log, not the
+		// surrounding directory.
 		for _, p := range []string{
 			t.cfg.SnapshotPath,
 			t.cfg.SnapshotPath + snapshot.PrevSuffix,
 			t.cfg.SnapshotPath + ".tmp",
 		} {
 			if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+				rmErr = err
+			}
+		}
+		if r.opts.WAL != nil {
+			if err := wal.Remove(WALDir(t.cfg.SnapshotPath)); err != nil {
 				rmErr = err
 			}
 		}
@@ -737,9 +763,16 @@ func (r *TenantRegistry) DeleteTenant(id string) error {
 //     config (Dim, Directions, Seed) from the snapshot header, take
 //     registry defaults for the rest, and write a fresh manifest: the
 //     stream data survives,
-//  3. "fallback_generation" — discard the current snapshot generation so
-//     the previous one serves (loses the last checkpoint window),
-//  4. "reset_stream"        — remove every generation and restart empty
+//  3. "replay_wal"          — when the snapshot generations are unusable
+//     but the write-ahead log reaches back to stream position 0, drop
+//     the snapshots and rebuild the summary purely from the log (no
+//     loss); conversely, when the log itself is the corruption, drop
+//     the log and restore from the snapshot (loss bounded by the
+//     checkpoint window),
+//  4. "fallback_generation" — discard the current snapshot generation so
+//     the previous one serves (loses the last checkpoint window; with a
+//     WAL, the log suffix past the previous generation still replays),
+//  5. "reset_stream"        — remove every generation and restart empty
 //     (producers replay from offset 0; replay is idempotent).
 //
 // On success the tenant is live again and the ladder step taken is
@@ -806,17 +839,25 @@ func (r *TenantRegistry) recoverLadder(q *quarantinedTenant) (*Tenant, string, e
 	if cfg == nil {
 		step = "rewrite_manifest"
 		sum, _, err := store.Load()
-		if err != nil {
-			// No decodable generation either: fall through to the stream
+		if err == nil {
+			st := sum.State()
+			cfg = &TenantConfig{ID: q.id, Dim: st.D, Directions: st.M, Seed: st.Seed}
+		} else if r.opts.WAL != nil {
+			// No decodable snapshot, but the WAL segment header mirrors
+			// the snapshot header fields — an intact log still recovers
+			// the stream-critical config.
+			if d, m, seed, ok := wal.PeekHeader(WALDir(snapPath)); ok {
+				cfg = &TenantConfig{ID: q.id, Dim: d, Directions: m, Seed: seed}
+			}
+		}
+		if cfg == nil {
+			// Nothing decodable anywhere: fall through to the stream
 			// reset with a default config.
 			if rerr := store.Reset(); rerr != nil {
 				return nil, "reset_stream", rerr
 			}
 			step = "reset_stream"
 			cfg = &TenantConfig{ID: q.id}
-		} else {
-			st := sum.State()
-			cfg = &TenantConfig{ID: q.id, Dim: st.D, Directions: st.M, Seed: st.Seed}
 		}
 		createdAt = time.Now()
 		if err := writeManifest(q.dir, r.resolve(*cfg), createdAt); err != nil {
@@ -829,7 +870,32 @@ func (r *TenantRegistry) recoverLadder(q *quarantinedTenant) (*Tenant, string, e
 		return t, step, nil
 	}
 
-	// Step 3: drop the current generation so Load serves the previous
+	// Step 3 "replay_wal": repair whichever side of the durable pair is
+	// sick using the other. A corrupt log is dropped (the snapshot still
+	// bounds the loss to the checkpoint window); unusable snapshots are
+	// dropped when the log reaches back to position 0 and can rebuild
+	// the stream alone.
+	if r.opts.WAL != nil {
+		walDir := WALDir(snapPath)
+		switch {
+		case errors.Is(err, wal.ErrBadLog):
+			if werr := wal.Remove(walDir); werr == nil {
+				if t, err = r.startTenant(*cfg, createdAt, false); err == nil {
+					return t, "replay_wal", nil
+				}
+			}
+		case errors.Is(err, ErrSnapshotIncompatible) || errors.Is(err, snapshot.ErrBadSnapshot):
+			if wal.StartsAtZero(walDir) {
+				if rerr := store.Reset(); rerr == nil {
+					if t, err = r.startTenant(*cfg, createdAt, false); err == nil {
+						return t, "replay_wal", nil
+					}
+				}
+			}
+		}
+	}
+
+	// Step 4: drop the current generation so Load serves the previous
 	// one. Only worth a retry when the failure was the snapshot's.
 	if errors.Is(err, ErrSnapshotIncompatible) || errors.Is(err, snapshot.ErrBadSnapshot) {
 		if derr := store.DiscardCurrent(); derr == nil {
@@ -839,9 +905,16 @@ func (r *TenantRegistry) recoverLadder(q *quarantinedTenant) (*Tenant, string, e
 		}
 	}
 
-	// Step 4: reset the stream entirely — config survives, data replays.
+	// Step 5: reset the stream entirely — config survives, data replays.
+	// The WAL goes with the snapshots: a log whose prefix no longer
+	// exists cannot seed a fresh stream.
 	if rerr := store.Reset(); rerr != nil {
 		return nil, "reset_stream", rerr
+	}
+	if r.opts.WAL != nil {
+		if werr := wal.Remove(WALDir(snapPath)); werr != nil {
+			return nil, "reset_stream", werr
+		}
 	}
 	t, err = r.startTenant(*cfg, createdAt, false)
 	if err != nil {
