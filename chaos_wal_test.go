@@ -311,6 +311,92 @@ func TestServeWALStorageUnavailable(t *testing.T) {
 	}
 }
 
+// TestTenantWALGenerationGapQuarantined pins the snapshot/log
+// contiguity check: when the restore lands on a generation OLDER than
+// the log's oldest record — a torn current generation falls back to
+// ".prev" after a checkpoint already truncated the log through the
+// newer position — the acknowledged points between the two exist in
+// neither half of the durable pair. The tenant must quarantine as
+// wal_unusable (never silently replay across the hole and report the
+// log's end as the restored position), and recovery must drop the log
+// and restore to the snapshot position so the producer replays the gap.
+func TestTenantWALGenerationGapQuarantined(t *testing.T) {
+	root := t.TempDir()
+	opts := RegistryOptions{
+		Dim: 2, Eps: chaosEps, Seed: 7,
+		SnapshotDir:        root,
+		CheckpointInterval: -1,
+		WAL:                &WALConfig{Sync: WALSyncEveryBatch, SegmentBytes: 1024},
+	}
+	reg, err := NewTenantRegistry(opts)
+	if err != nil {
+		t.Fatalf("registry: %v", err)
+	}
+	tnt, err := reg.CreateTenant(TenantConfig{ID: "gap"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	pts := servePoints(500, 5005)
+	feed := func(lo, hi int) {
+		t.Helper()
+		for ; lo < hi; lo += 25 {
+			if err := tnt.Feed(pts[lo:min(lo+25, hi)]...); err != nil {
+				t.Fatalf("feed at %d: %v", lo, err)
+			}
+		}
+	}
+	// Two checkpoints build two generations: prev at 200, current at
+	// 400; the second truncates the log through 400. Then 100 more
+	// acked points land only in the log (400..500).
+	feed(0, 200)
+	drainChaos(t, tnt.Service(), 200)
+	if err := tnt.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint 1: %v", err)
+	}
+	feed(200, 400)
+	drainChaos(t, tnt.Service(), 400)
+	if err := tnt.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint 2: %v", err)
+	}
+	feed(400, 500)
+	drainChaos(t, tnt.Service(), 500)
+	tnt.Service().Kill()
+
+	// Tear the current generation so Load falls back to prev (200); the
+	// log's oldest record starts at 400: points 200..400 are gone.
+	if err := os.WriteFile(filepath.Join(root, "gap", snapshotFile), []byte("torn mid-write"), 0o644); err != nil {
+		t.Fatalf("tear current generation: %v", err)
+	}
+
+	reg2, err := NewTenantRegistry(opts)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer reg2.Close()
+	if h, ok := reg2.QuarantineInfo("gap"); !ok || h.Reason != "wal_unusable" {
+		t.Fatalf("gap tenant quarantine = %+v (ok=%v), want reason wal_unusable", h, ok)
+	}
+
+	// Recovery drops the disjoint log and restores the prev generation:
+	// position 200, so the producer replays everything past it. The old
+	// behavior silently reported 500 with points 200..400 missing.
+	tnt, step, err := reg2.RecoverTenant("gap")
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if step != "replay_wal" {
+		t.Fatalf("recovery step = %q, want replay_wal", step)
+	}
+	if got := tnt.Service().RestoredPoints(); got != 200 {
+		t.Fatalf("restored position %d, want the prev generation's 200", got)
+	}
+	feed(200, 500)
+	drainChaos(t, tnt.Service(), 300)
+	if got, want := walSummaryBytes(t, tnt.Service()), walReferenceBytes(t, pts, 500); !bytes.Equal(got, want) {
+		t.Fatalf("replayed summary differs from uninterrupted run")
+	}
+}
+
 // TestTenantWALRecoveryLadder exercises the replay_wal rung and the
 // wal_unusable quarantine through the registry: a corrupt log is
 // dropped in favor of the snapshot, and a destroyed snapshot is rebuilt

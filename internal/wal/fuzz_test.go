@@ -52,6 +52,7 @@ func FuzzWALDecode(f *testing.F) {
 	mut := append([]byte{}, seg...)
 	mut[headerSize+3] ^= 0x40 // hostile record length
 	f.Add(mut)
+	f.Add(hostileCountSegment()) // CRC-valid count that wraps uint32 validation
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		base, end, valid, err := DecodeSegment(data, 2)

@@ -104,7 +104,9 @@ const (
 	// group-commit window.
 	SyncInterval
 	// SyncOff never fsyncs on append (only on rotate and Close); loss
-	// on crash is bounded by the OS page cache plus the write buffer.
+	// on crash is bounded by the OS page cache. Records are written
+	// straight to the file on every append — there is no user-space
+	// write buffer.
 	SyncOff
 )
 
@@ -170,20 +172,26 @@ type segment struct {
 
 // Log is a segmented write-ahead log. It is not goroutine-safe; the
 // ingest service serializes access to it.
+//
+// Record frames are written directly to the file — never via a
+// user-space buffer — so the active file always holds every
+// acknowledged record in full. That invariant is what makes
+// repairActive's truncation safe: the file can only be LONGER than
+// active.size (by one torn frame), never shorter, so truncating to
+// active.size can never zero-extend the file and punch a hole in the
+// middle of the log.
 type Log struct {
 	opts     Options
 	segments []segment // sealed segments, oldest first
 	active   segment
 	f        *os.File
-	bw       *bufio.Writer
 
-	nextSeq    uint64 // stream position after the last appended record
-	flushedSeq uint64 // position after the last record flushed to the file
-	syncedSeq  uint64 // position after the last record fsynced
-	torn       uint64 // torn tails repaired at Open
-	lastSync   time.Time
-	broken     bool // active file may hold a torn frame; repair before next append
-	closed     bool
+	nextSeq   uint64 // stream position after the last appended record
+	syncedSeq uint64 // position after the last record fsynced
+	torn      uint64 // torn tails repaired at Open
+	lastSync  time.Time
+	broken    bool // active file may hold a torn frame; repair before next append
+	closed    bool
 }
 
 // Open scans dir, repairs a torn tail on the newest segment, and
@@ -271,9 +279,7 @@ func (l *Log) scan() error {
 			return err
 		}
 		l.f = f
-		l.bw = bufio.NewWriter(f)
 	}
-	l.flushedSeq = l.nextSeq
 	l.syncedSeq = l.nextSeq
 	return nil
 }
@@ -304,8 +310,15 @@ func (l *Log) scanSegment(path string, tail bool) (segment, error) {
 
 	hdr, err := readHeader(br)
 	if err != nil {
-		if tail && (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
-			return segment{}, errTornHeader
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			if tail {
+				return segment{}, errTornHeader
+			}
+			// A truncated (or empty) header mid-log is a hole, the same
+			// class as a corrupt mid-log record: ErrBadLog, so the
+			// recovery ladder's replay_wal rung can drop just the log
+			// instead of escalating to a full stream reset.
+			return segment{}, fmt.Errorf("%w: truncated segment header in %s", ErrBadLog, filepath.Base(path))
 		}
 		return segment{}, err
 	}
@@ -438,7 +451,10 @@ func decodeRecord(r io.Reader, dim int, prevEnd uint64, points *[][]float64) (ui
 	}
 	endSeq := binary.LittleEndian.Uint64(payload[0:8])
 	count := binary.LittleEndian.Uint32(payload[8:12])
-	if uint32(len(payload)-recFixedSize) != count*uint32(8*dim) || count == 0 {
+	// Widen before multiplying: count*uint32(8*dim) can wrap uint32, so
+	// a CRC-valid crafted record with an inflated count would pass a
+	// 32-bit check and drive the decode loop past the payload's end.
+	if count == 0 || uint64(len(payload)-recFixedSize) != uint64(count)*uint64(8*dim) {
 		return 0, 0, 0, fmt.Errorf("%w: record count %d does not match payload", errTornRecord, count)
 	}
 	if endSeq != prevEnd+uint64(count) {
@@ -513,14 +529,12 @@ func (l *Log) SetStart(n uint64) error {
 		return err
 	}
 	l.nextSeq = n
-	l.flushedSeq = n
 	l.syncedSeq = n
 	return nil
 }
 
 func (l *Log) dropAllSegments() error {
 	if l.f != nil {
-		l.bw = nil
 		if err := l.f.Close(); err != nil {
 			return err
 		}
@@ -576,12 +590,14 @@ func (l *Log) Append(batch [][]float64) (uint64, error) {
 		// A firing hit lands half the frame in the file and reports an
 		// error, leaving a torn record exactly as a crash mid-append
 		// would. The sequence number is not consumed.
-		l.bw.Write(frame[:len(frame)/2])
-		l.bw.Flush()
+		l.f.Write(frame[:len(frame)/2])
 		l.broken = true
 		return 0, fmt.Errorf("wal: injected append failure")
 	}
-	if _, err := l.bw.Write(frame); err != nil {
+	if _, err := l.f.Write(frame); err != nil {
+		// A short write leaves a partial frame after the last good
+		// record — strictly past active.size, so repairActive's
+		// truncation removes exactly the torn frame.
 		l.broken = true
 		return 0, err
 	}
@@ -616,20 +632,24 @@ func (l *Log) Append(batch [][]float64) (uint64, error) {
 }
 
 // repairActive truncates the active file back to the last good record
-// after a failed append left a possibly-torn frame.
+// after a failed append left a possibly-torn frame. Because every
+// acknowledged record was written to the file in full by its own
+// Append, the file is exactly active.size bytes of good records plus at
+// most one torn frame: the truncation can only shrink the file, never
+// extend it (an extension would zero-fill a hole mid-segment that later
+// fsynced appends would land past, and crash recovery would then
+// truncate at the hole — losing records acked after the repair).
 func (l *Log) repairActive() error {
 	if l.f == nil {
 		l.broken = false
 		return nil
 	}
-	l.bw.Reset(io.Discard) // drop any buffered bytes of the torn frame
 	if err := l.f.Truncate(l.active.size); err != nil {
 		return err
 	}
 	if _, err := l.f.Seek(l.active.size, io.SeekStart); err != nil {
 		return err
 	}
-	l.bw.Reset(l.f)
 	l.broken = false
 	return nil
 }
@@ -645,7 +665,7 @@ func (l *Log) rotate() error {
 			return err
 		}
 		l.segments = append(l.segments, l.active)
-		l.f, l.bw = nil, nil
+		l.f = nil
 		l.active = segment{}
 	}
 	path := filepath.Join(l.opts.Dir, segmentName(l.nextSeq))
@@ -666,22 +686,15 @@ func (l *Log) rotate() error {
 	}
 	syncDir(l.opts.Dir)
 	l.f = f
-	l.bw = bufio.NewWriter(f)
 	l.active = segment{path: path, baseSeq: l.nextSeq, endSeq: l.nextSeq, size: headerSize}
 	return nil
 }
 
-// Sync flushes the write buffer and fsyncs the active segment, making
-// every appended record durable.
+// Sync fsyncs the active segment, making every appended record durable.
 func (l *Log) Sync() error {
 	if l.f == nil {
 		return nil
 	}
-	if err := l.bw.Flush(); err != nil {
-		l.broken = true
-		return err
-	}
-	l.flushedSeq = l.nextSeq
 	if faultinject.Fail(faultinject.SiteWALFsync) {
 		return fmt.Errorf("wal: injected fsync failure")
 	}
@@ -711,6 +724,17 @@ func (l *Log) Replay(afterSeq uint64, fn func(batch [][]float64) error) (uint64,
 				pos = seg.endSeq
 			}
 			continue
+		}
+		if seg.baseSeq > pos {
+			// The log's replayable records start past the position
+			// already covered (snapshot + preceding segments): points
+			// pos..baseSeq exist in neither half of the durable pair.
+			// Replaying over the hole would produce a summary that
+			// matches no prefix of the true stream and report a restored
+			// position telling producers NOT to replay the gap — silent
+			// acknowledged-data loss. Refuse instead.
+			return delivered, pos, fmt.Errorf("%w: segment %s starts at seq %d but replay position is %d — points %d..%d are missing",
+				ErrBadLog, filepath.Base(seg.path), seg.baseSeq, pos, pos, seg.baseSeq)
 		}
 		f, err := os.Open(seg.path)
 		if err != nil {
@@ -810,10 +834,11 @@ func (l *Log) Close() error {
 	return err
 }
 
-// Abandon closes the active segment WITHOUT flushing the write buffer,
-// modeling a crash: records appended since the last Sync (or buffered
-// past the last flush) are lost, exactly as unflushed page-cache data
-// would be. Used by the ingest service's Kill path so chaos tests
+// Abandon closes the active segment WITHOUT a final fsync, modeling a
+// crash: records appended since the last Sync live only in the OS page
+// cache and carry no durability promise — recovery may land anywhere at
+// or past syncedSeq, which is exactly the window the sync policy
+// bounds. Used by the ingest service's Kill path so chaos tests
 // exercise real durability windows.
 func (l *Log) Abandon() {
 	if l.closed {

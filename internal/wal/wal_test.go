@@ -1,8 +1,10 @@
 package wal
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -611,6 +613,189 @@ func TestWALStartsAtZeroAndPeekHeader(t *testing.T) {
 	l2.Close()
 	if StartsAtZero(opts.Dir) {
 		t.Fatalf("log starting at 5 claims coverage from 0")
+	}
+}
+
+// TestWALReplayGapRejected pins the gap guard: when the log's
+// replayable records start past the replay position — points that exist
+// in neither the snapshot nor the log — Replay must refuse with
+// ErrBadLog instead of silently skipping the hole and reporting the
+// log's end as the restored position.
+func TestWALReplayGapRejected(t *testing.T) {
+	opts := testOpts(t)
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	// A log whose oldest record starts at 10 (a checkpoint at 10
+	// truncated everything before it).
+	if err := l.SetStart(10); err != nil {
+		t.Fatalf("set start: %v", err)
+	}
+	if _, err := l.Append(mkBatch(10, 4)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	// Replaying onto a snapshot at position 5 would skip points 5..10.
+	if _, _, err := l.Replay(5, func([][]float64) error { return nil }); !errors.Is(err, ErrBadLog) {
+		t.Fatalf("replay across gap returned %v, want ErrBadLog", err)
+	}
+	// At or past the log's start the replay is sound.
+	pts, pos := collect(t, l, 10)
+	if len(pts) != 4 || pos != 14 {
+		t.Fatalf("aligned replay: %d points to %d, want 4 to 14", len(pts), pos)
+	}
+}
+
+// TestWALMidLogTornHeaderIsBadLog pins the corruption classification: a
+// truncated or empty segment header in the MIDDLE of the log is a hole
+// — ErrBadLog, the class the recovery ladder's replay_wal rung keys on
+// — not a bare read error that would quarantine as start_failed and
+// escalate recovery to a full stream reset.
+func TestWALMidLogTornHeaderIsBadLog(t *testing.T) {
+	for _, tear := range []struct {
+		name string
+		size int64
+	}{
+		{"truncated-header", headerSize / 2},
+		{"empty-file", 0},
+	} {
+		t.Run(tear.name, func(t *testing.T) {
+			opts := testOpts(t)
+			opts.SegmentBytes = 150 // several records per segment
+			l, err := Open(opts)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			for i := uint64(0); i < 12; i++ {
+				if _, err := l.Append(mkBatch(i*2, 2)); err != nil {
+					t.Fatalf("append: %v", err)
+				}
+			}
+			if len(l.segments) < 1 {
+				t.Fatalf("need a sealed segment, have %d", len(l.segments))
+			}
+			first := l.segments[0].path
+			l.Close()
+			if err := os.Truncate(first, tear.size); err != nil {
+				t.Fatalf("tear header: %v", err)
+			}
+			if _, err := Open(opts); !errors.Is(err, ErrBadLog) {
+				t.Fatalf("mid-log torn header classified as %v, want ErrBadLog", err)
+			}
+		})
+	}
+}
+
+// hostileCountSegment encodes a CRC-valid segment whose single record
+// carries an inflated count chosen so count*uint32(8*dim) wraps uint32
+// back to the true payload size: 32-bit validation passes, and decoding
+// the record's points would index far past the payload's end.
+func hostileCountSegment() []byte {
+	const count = 1<<28 + 1 // count*16 == 1<<32 + 16, wraps to 16
+	payload := make([]byte, recFixedSize+16)
+	binary.LittleEndian.PutUint64(payload[0:8], count) // endSeq = prevEnd + count
+	binary.LittleEndian.PutUint32(payload[8:12], count)
+	frame := make([]byte, recHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[recHeaderSize:], payload)
+	return append(encodeHeader(Options{Dim: 2, Directions: 8, Seed: 7}, 0), frame...)
+}
+
+// TestWALHostileCountOverflow pins the widened count check: the crafted
+// record must be rejected as torn (truncated at Open, erroring cleanly
+// in DecodeSegment) — with 32-bit arithmetic it passed validation and
+// the point decode panicked indexing past the payload during replay.
+func TestWALHostileCountOverflow(t *testing.T) {
+	opts := testOpts(t)
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	data := hostileCountSegment()
+	if err := os.WriteFile(filepath.Join(opts.Dir, segmentName(0)), data, 0o644); err != nil {
+		t.Fatalf("write hostile segment: %v", err)
+	}
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("open over hostile record: %v", err)
+	}
+	defer l.Close()
+	if l.LastSeq() != 0 || l.Stats().TornTruncations == 0 {
+		t.Fatalf("hostile record not truncated: LastSeq %d, torn %d",
+			l.LastSeq(), l.Stats().TornTruncations)
+	}
+	if pts, pos := collect(t, l, 0); len(pts) != 0 || pos != 0 {
+		t.Fatalf("replay after hostile truncation: %d points to %d", len(pts), pos)
+	}
+	if _, _, valid, _ := DecodeSegment(data, 2); valid != headerSize {
+		t.Fatalf("DecodeSegment accepted %d bytes of hostile record, want %d (header only)", valid, headerSize)
+	}
+}
+
+// TestWALFileTracksAckedBytes pins the no-user-space-buffer invariant
+// repairActive's safety depends on: after every acknowledged append —
+// fsynced or not — the active file is exactly active.size bytes, so
+// truncating to active.size after a torn frame can only shrink the
+// file. (With buffered writes, acked records could sit in the buffer
+// while active.size counted them; a repair's truncate then EXTENDED the
+// shorter file with zeros, and recovery treated the hole as a torn tail
+// — losing records acked and fsynced after the repair.)
+func TestWALFileTracksAckedBytes(t *testing.T) {
+	defer faultinject.Disable()
+	opts := testOpts(t)
+	opts.Policy = SyncOff // nothing fsyncs: the invariant must not depend on Sync
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	checkSize := func(when string) {
+		t.Helper()
+		fi, err := os.Stat(l.active.path)
+		if err != nil {
+			t.Fatalf("%s: stat: %v", when, err)
+		}
+		if fi.Size() != l.active.size {
+			t.Fatalf("%s: file %d bytes, active.size %d — acked records not on file", when, fi.Size(), l.active.size)
+		}
+	}
+	seq := uint64(0)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(mkBatch(seq, 3)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		seq += 3
+		checkSize("after unsynced append")
+	}
+	// A torn frame, then a repair: the truncation lands exactly on the
+	// acked prefix and every earlier unsynced record survives.
+	faultinject.Enable(faultinject.Config{Rate: 1, Times: 1,
+		Sites: []faultinject.Site{faultinject.SiteWALAppend}})
+	if _, err := l.Append(mkBatch(seq, 3)); err == nil {
+		t.Fatalf("injected append fault did not surface")
+	}
+	faultinject.Disable()
+	if _, err := l.Append(mkBatch(seq, 3)); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	seq += 3
+	checkSize("after repair")
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	l2, err := Open(opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	pts, pos := collect(t, l2, 0)
+	if pos != seq || uint64(len(pts)) != seq {
+		t.Fatalf("replay after repair: %d points to %d, want %d", len(pts), pos, seq)
+	}
+	for i, p := range pts {
+		if p[0] != float64(i) {
+			t.Fatalf("replayed point %d = %v: hole or reorder in the log", i, p)
+		}
 	}
 }
 

@@ -40,7 +40,7 @@ go test -race -count=1 -run 'TestChaosKillRestoreMatrix' .
 echo "== write-ahead log (crash points, zero acked-point loss)"
 go test -race -count=1 ./internal/wal/
 GOMAXPROCS=4 go test -race -count=1 \
-    -run 'TestChaosWAL|TestServeWAL|TestTenantWALRecoveryLadder' .
+    -run 'TestChaosWAL|TestServeWAL|TestTenantWAL' .
 GOMAXPROCS=4 go test -race -count=1 \
     -run 'TestParseWALConfig|TestGracefulShutdownDrains|TestIngestStorageUnavailableHTTP|TestWALMetricFamilies' ./cmd/mcserve/
 

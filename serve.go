@@ -650,6 +650,20 @@ func (s *IngestService) openWAL() error {
 					wal.ErrBadLog, l.OldestSeq(), l.OldestSeq())
 			}
 			s.base = stream.NewSummary(o.Directions, o.Dim, o.Seed)
+		} else if oldest := l.OldestSeq(); oldest > afterSeq {
+			// The restore landed on a generation older than the log's
+			// oldest record — e.g. a torn current generation fell back
+			// to ".prev" after a checkpoint had already truncated the
+			// log through the newer position. Points afterSeq..oldest
+			// were acknowledged but exist in neither half of the durable
+			// pair; replaying across the hole would silently lose them
+			// while reporting the log's end as the restored position, so
+			// producers would never re-send the gap. Fail as ErrBadLog:
+			// the recovery ladder drops the log and restores to the
+			// snapshot position, and producers replay from there.
+			l.Close()
+			return fmt.Errorf("%w: snapshot restored position %d but the log starts at seq %d — acknowledged points %d..%d are unrecoverable from the log",
+				wal.ErrBadLog, afterSeq, oldest, afterSeq, oldest)
 		}
 		delivered, pos, err := l.Replay(afterSeq, func(batch [][]float64) error {
 			for _, p := range batch {
@@ -1386,9 +1400,9 @@ func (s *IngestService) Kill() {
 	s.workerWG.Wait()
 	s.ckptWG.Wait()
 	if s.wal != nil {
-		// Abandon, not Close: the write buffer is dropped unflushed,
-		// exactly as a crash would lose unsynced page-cache data — the
-		// durability window the sync policy bounds.
+		// Abandon, not Close: no final fsync, so records past the last
+		// sync carry no durability promise — exactly the window the
+		// sync policy bounds, as a crash losing page-cache data would.
 		s.walMu.Lock()
 		s.wal.Abandon()
 		s.walMu.Unlock()

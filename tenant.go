@@ -902,6 +902,20 @@ func (r *TenantRegistry) recoverLadder(q *quarantinedTenant) (*Tenant, string, e
 			if t, err = r.startTenant(*cfg, createdAt, false); err == nil {
 				return t, "fallback_generation", nil
 			}
+			// The surviving generation can predate the log's oldest
+			// record (a checkpoint truncated the log through the
+			// discarded generation's position), which openWAL refuses
+			// as ErrBadLog rather than replaying across the hole. Drop
+			// the log too: the rung then costs one checkpoint window
+			// (producers replay from the older generation's position)
+			// instead of escalating to a full stream reset.
+			if r.opts.WAL != nil && errors.Is(err, wal.ErrBadLog) {
+				if werr := wal.Remove(WALDir(snapPath)); werr == nil {
+					if t, err = r.startTenant(*cfg, createdAt, false); err == nil {
+						return t, "fallback_generation", nil
+					}
+				}
+			}
 		}
 	}
 
