@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-workers bench-json bench-cache faults fuzz chaos tenants degrade wal
+.PHONY: build test vet race verify bench bench-workers bench-json bench-cache faults fuzz chaos tenants degrade wal trace
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,20 @@ degrade:
 		-run 'TestSchedulerWatchdog|TestStaleFallback|TestWatchdogKillAnsweredStale|TestCheckpointFailuresDegrade|TestChaosFleetCorruption' .
 	GOMAXPROCS=4 $(GO) test -race -count=1 \
 		-run 'TestQuarantineLifecycleHTTP|TestStaleServingHTTP|TestRequestBodyLimits|TestDegradedMetricFamilies' ./cmd/mcserve/
+
+# Request tracing and the flight recorder under the race detector: span
+# propagation end to end (fallback chain, watchdog kill, WAL replay at
+# restore), the bounded trace store's keep-policy, the HTTP trace
+# endpoints, exemplar'd latency histograms, and the serve-path tracing
+# overhead benchmark (budget < 2%, committed in BENCH_observability.json).
+trace:
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+		-run 'TestTraceStaleServePropagation|TestTraceWatchdogKillFlightRecorder|TestTraceRestoreReplay|TestTraceWALAppendSpans' .
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+		-run 'TestTraceEndToEndHTTP|TestTraceAnomalyRetentionHTTP|TestTraceSlowThresholdHTTP|TestTraceEndpointsDisabled|TestHTTPMetricsAndRuntimeGauges|TestDebugTracesEndpoint|TestRouteLabelTable' ./cmd/mcserve/
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+		-run 'TestTraceStore|TestRequestTrace|TestFlightRecorder|TestFlightBundle|TestHistogramExemplar|TestRegisterRuntimeGauges' ./internal/obs/
+	$(GO) test -bench ServeTraceOverhead -benchtime 5x -run '^$$' .
 
 # Short fuzz smoke of the public build pipeline (never panics; nil error
 # implies certified loss ≤ ε).

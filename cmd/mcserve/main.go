@@ -24,6 +24,8 @@
 //	                                 lag and cache hit/miss counts
 //	POST   /v1/tenants/{id}/snapshot force a durable checkpoint now
 //	POST   /v1/tenants/{id}/recover  repair a quarantined tenant in place
+//	GET    /v1/tenants/{id}/traces   retained request traces (?n= limit,
+//	                                 ?anomalies=1 anomaly ring only)
 //	GET    /v1/stats                 per-tenant rows + fair-share
 //	                                 scheduler counters
 //	GET    /healthz                  liveness (the process answers)
@@ -32,6 +34,17 @@
 //	GET    /metrics                  Prometheus text metrics (solver +
 //	                                 per-tenant service families)
 //	GET    /debug/vars, /debug/pprof/ introspection
+//	GET    /debug/traces             every tenant's retained traces +
+//	                                 trace-store admission counters
+//
+// Tracing: every request carries a trace ID (X-Request-Id in, echoed
+// back out) whose spans cover quota admission, scheduler queue wait,
+// the build span tree, and WAL append+fsync. -trace-retain bounds the
+// per-tenant trace rings (0 = off), -trace-sample keeps 1-in-N normal
+// traces (anomalies — errors, watchdog kills, stale serves,
+// uncertified builds, slow requests past -trace-slow-threshold — are
+// always retained), and -diag-dir roots the flight-recorder bundles
+// dumped on watchdog kills, quarantines, and storage failures.
 //
 // Every error response uses one envelope:
 //
@@ -112,6 +125,10 @@ func main() {
 	maxBody := flag.Int64("max-body-bytes", 8<<20, "largest accepted request body in bytes (413 beyond it)")
 	walSync := flag.String("wal-sync", "batch", `write-ahead-log durability for snapshotted tenants: "batch" (fsync before acking), "off" (log without fsync), a group-commit window like "25ms", or "none" (no WAL)`)
 	walSegBytes := flag.Int64("wal-segment-bytes", 4<<20, "write-ahead-log segment rotation threshold in bytes")
+	traceRetain := flag.Int("trace-retain", 64, "retained traces per tenant per ring (anomaly and sampled-normal rings each; 0 = tracing off)")
+	traceSample := flag.Int("trace-sample", 1, "keep 1 of every N normal (non-anomalous) traces; anomalies are always retained")
+	traceSlow := flag.Duration("trace-slow-threshold", time.Second, "requests slower than this are retained as anomalies (0 = no slow flagging)")
+	diagDir := flag.String("diag-dir", "", "root directory for flight-recorder diagnostic bundles (empty = <snapshot-dir>/<tenant>/diag when -snapshot-dir is set, else log-only)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget: drain in-flight work and write final checkpoints within this window")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "text", "log format: text|json")
@@ -138,6 +155,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mcserve:", err)
 		os.Exit(2)
 	}
+	var traces *obs.TraceStore
+	if *traceRetain > 0 {
+		traces = obs.NewTraceStore(obs.StoreOptions{
+			Retain:        *traceRetain,
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+		})
+	}
 	reg, err := mincore.NewTenantRegistry(mincore.RegistryOptions{
 		Dim: *dim, Eps: *eps, Alpha: *alpha, Seed: *seed,
 		SnapshotDir:        *snapshotDir,
@@ -150,6 +175,8 @@ func main() {
 		BuildBudget: *watchdog,
 		StaleServe:  stale,
 		WAL:         walCfg,
+		TraceStore:  traces,
+		DiagDir:     *diagDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcserve:", err)
@@ -185,7 +212,7 @@ func main() {
 	// itself.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(reg, log, *maxBody),
+		Handler:           newMux(reg, log, *maxBody, traces),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		WriteTimeout:      5 * time.Minute,
@@ -278,7 +305,8 @@ func closeRegistry(ctx context.Context, reg *mincore.TenantRegistry) error {
 type apiServer struct {
 	reg        *mincore.TenantRegistry
 	log        *slog.Logger
-	maxBody    int64 // largest accepted ingest body, in bytes
+	maxBody    int64           // largest accepted ingest body, in bytes
+	traces     *obs.TraceStore // retained request traces; nil = tracing off
 	deprecated sync.Once
 }
 
@@ -287,15 +315,18 @@ type apiServer struct {
 // scalars.
 const createBodyLimit = 1 << 20
 
-// newMux builds the full route table. Split from main so tests can
-// drive the handlers through httptest without a listener. maxBody
-// bounds ingest request bodies; past it the request fails with the 413
-// request_too_large envelope.
-func newMux(reg *mincore.TenantRegistry, log *slog.Logger, maxBody int64) *http.ServeMux {
+// newMux builds the full route table wrapped in the request-tracing
+// and HTTP-metrics middleware. Split from main so tests can drive the
+// handlers through httptest without a listener. maxBody bounds ingest
+// request bodies; past it the request fails with the 413
+// request_too_large envelope. traces is the retained trace store (nil
+// disables tracing and the trace endpoints, metrics stay on).
+func newMux(reg *mincore.TenantRegistry, log *slog.Logger, maxBody int64, traces *obs.TraceStore) http.Handler {
 	if maxBody <= 0 {
 		maxBody = 8 << 20
 	}
-	api := &apiServer{reg: reg, log: log, maxBody: maxBody}
+	obs.Default.RegisterRuntimeGauges()
+	api := &apiServer{reg: reg, log: log, maxBody: maxBody, traces: traces}
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/tenants", api.createTenant)
@@ -308,6 +339,7 @@ func newMux(reg *mincore.TenantRegistry, log *slog.Logger, maxBody int64) *http.
 	mux.HandleFunc("GET /v1/tenants/{id}/stats", api.tenantH(api.tenantStats))
 	mux.HandleFunc("POST /v1/tenants/{id}/snapshot", api.tenantH(api.snapshot))
 	mux.HandleFunc("POST /v1/tenants/{id}/recover", api.recoverTenant)
+	mux.HandleFunc("GET /v1/tenants/{id}/traces", api.tenantTraces)
 	mux.HandleFunc("GET /v1/stats", api.registryStats)
 
 	// Legacy unversioned aliases onto the default tenant (deprecated).
@@ -327,6 +359,7 @@ func newMux(reg *mincore.TenantRegistry, log *slog.Logger, maxBody int64) *http.
 		obs.Default.WritePrometheus(w)
 	})
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/traces", api.debugTraces)
 	// net/http/pprof registers on DefaultServeMux; mount its handlers
 	// explicitly since this mux is not the default one.
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -335,7 +368,7 @@ func newMux(reg *mincore.TenantRegistry, log *slog.Logger, maxBody int64) *http.
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 
-	return mux
+	return withTracing(mux, traces)
 }
 
 // tenantHandler is a handler scoped to one resolved tenant. legacy is
@@ -527,7 +560,7 @@ func (a *apiServer) ingest(w http.ResponseWriter, r *http.Request, t *mincore.Te
 	if !decodeBody(w, r, a.maxBody, &req) {
 		return
 	}
-	if err := t.Feed(req.Points...); err != nil {
+	if err := t.FeedCtx(r.Context(), req.Points...); err != nil {
 		httpError(w, err)
 		return
 	}
@@ -659,7 +692,7 @@ func (a *apiServer) legacyStats(w http.ResponseWriter, r *http.Request, t *minco
 }
 
 func (a *apiServer) snapshot(w http.ResponseWriter, r *http.Request, t *mincore.Tenant, legacy bool) {
-	if err := t.Checkpoint(); err != nil {
+	if err := t.CheckpointCtx(r.Context()); err != nil {
 		httpError(w, err)
 		return
 	}

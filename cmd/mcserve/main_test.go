@@ -38,7 +38,7 @@ func newTestServer(t *testing.T, opts mincore.RegistryOptions) (*httptest.Server
 		}
 	}
 	t.Cleanup(func() { reg.Close() })
-	ts := httptest.NewServer(newMux(reg, obs.Discard(), testMaxBody))
+	ts := httptest.NewServer(newMux(reg, obs.Discard(), testMaxBody, opts.TraceStore))
 	t.Cleanup(ts.Close)
 	return ts, reg
 }

@@ -18,6 +18,7 @@ import (
 // escaped help text and label values. Output order is deterministic
 // (families by name, series by sorted label key).
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runExposeHooks()
 	r.mu.Lock()
 	fams := r.snapshotLocked()
 	r.mu.Unlock()
@@ -108,10 +109,11 @@ func formatFloat(v float64) string {
 // Count the observation count, and Buckets the cumulative counts keyed
 // by upper bound ("+Inf" included).
 type SeriesJSON struct {
-	Labels  Labels            `json:"labels,omitempty"`
-	Value   float64           `json:"value"`
-	Count   uint64            `json:"count,omitempty"`
-	Buckets map[string]uint64 `json:"buckets,omitempty"`
+	Labels   Labels            `json:"labels,omitempty"`
+	Value    float64           `json:"value"`
+	Count    uint64            `json:"count,omitempty"`
+	Buckets  map[string]uint64 `json:"buckets,omitempty"`
+	Exemplar *Exemplar         `json:"exemplar,omitempty"`
 }
 
 // FamilyJSON is one metric family in the JSON exposition.
@@ -124,6 +126,7 @@ type FamilyJSON struct {
 // Snapshot returns a point-in-time copy of every metric, keyed by
 // family name — the JSON/expvar exposition payload.
 func (r *Registry) Snapshot() map[string]FamilyJSON {
+	r.runExposeHooks()
 	r.mu.Lock()
 	fams := r.snapshotLocked()
 	r.mu.Unlock()
@@ -150,6 +153,9 @@ func (r *Registry) Snapshot() map[string]FamilyJSON {
 				}
 				cum += h.buckets[len(h.bounds)].Load()
 				sj.Buckets["+Inf"] = cum
+				if e, ok := h.Exemplar(); ok {
+					sj.Exemplar = &e
+				}
 			}
 			fj.Series = append(fj.Series, sj)
 		}
@@ -169,6 +175,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // Prometheus wire: `name` or `name{k="v",...}`; histograms contribute
 // their _sum and _count. Useful for tests and bench snapshots.
 func (r *Registry) Flatten() map[string]float64 {
+	r.runExposeHooks()
 	r.mu.Lock()
 	fams := r.snapshotLocked()
 	r.mu.Unlock()

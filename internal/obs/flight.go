@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// A FlightBundle is the bounded diagnostic capsule the flight recorder
+// dumps when something goes wrong: what triggered it, the recent
+// anomaly traces for that tenant, and a flat metrics snapshot. It is
+// sized to be read whole by a human during an incident, not streamed.
+type FlightBundle struct {
+	Kind    string             `json:"kind"`
+	Tenant  string             `json:"tenant,omitempty"`
+	At      time.Time          `json:"at"`
+	Trigger *TraceRecord       `json:"trigger,omitempty"`
+	Recent  []*TraceRecord     `json:"recent_anomalies,omitempty"`
+	Stats   map[string]float64 `json:"stats,omitempty"`
+}
+
+// Flight-recorder trigger kinds.
+const (
+	FlightWatchdogKill = "watchdog_kill"
+	FlightQuarantine   = "quarantine"
+	FlightStorage      = "storage_unavailable"
+)
+
+// maxBundleTraces bounds the recent-anomaly section of a bundle.
+const maxBundleTraces = 8
+
+// maxBundleFiles bounds how many bundle files one diagnostic directory
+// keeps; older bundles are pruned oldest-first.
+const maxBundleFiles = 8
+
+// A FlightRecorder assembles and emits FlightBundles. Every dump goes
+// to the structured log; when the call site supplies a directory the
+// bundle is additionally written as an indented JSON file (one file per
+// dump, bounded per directory). The recorder is deliberately best-
+// effort: a failed file write logs a warning and never propagates —
+// diagnostics must not take down the path they are diagnosing.
+type FlightRecorder struct {
+	log   *slog.Logger
+	store *TraceStore
+	reg   *Registry
+
+	mu  sync.Mutex
+	seq uint64
+}
+
+// NewFlightRecorder builds a recorder. log may be nil (discard), store
+// may be nil (bundles carry no recent traces), reg may be nil (no stats
+// snapshot).
+func NewFlightRecorder(log *slog.Logger, store *TraceStore, reg *Registry) *FlightRecorder {
+	if log == nil {
+		log = Discard()
+	}
+	return &FlightRecorder{log: log, store: store, reg: reg}
+}
+
+// Dump assembles a bundle for the given trigger kind and emits it. dir
+// is the per-tenant diagnostic directory ("" logs only). trigger may be
+// nil (e.g. a quarantine transition with no in-flight request). It
+// returns the bundle file path, or "" when none was written. Nil-safe.
+func (f *FlightRecorder) Dump(kind, tenant, dir string, trigger *TraceRecord) string {
+	if f == nil {
+		return ""
+	}
+	b := &FlightBundle{
+		Kind:    kind,
+		Tenant:  tenant,
+		At:      time.Now(),
+		Trigger: trigger,
+		Recent:  f.store.Anomalies(tenant, maxBundleTraces),
+	}
+	if f.reg != nil {
+		b.Stats = f.reg.Flatten()
+	}
+
+	attrs := []any{
+		slog.String("kind", kind),
+		slog.String("tenant", tenant),
+		slog.Int("recent_anomalies", len(b.Recent)),
+	}
+	if trigger != nil {
+		attrs = append(attrs, slog.String("trace_id", trigger.ID), slog.String("route", trigger.Route))
+	}
+
+	path := ""
+	if dir != "" {
+		var err error
+		if path, err = f.writeBundle(dir, b); err != nil {
+			f.log.Warn("flight recorder: bundle write failed",
+				slog.String("kind", kind), slog.String("tenant", tenant), slog.Any("err", err))
+			path = ""
+		} else {
+			attrs = append(attrs, slog.String("bundle", path))
+		}
+	}
+	f.log.Error("flight recorder dump", attrs...)
+	return path
+}
+
+// writeBundle writes the bundle under dir and prunes old bundles so at
+// most maxBundleFiles remain.
+func (f *FlightRecorder) writeBundle(dir string, b *FlightBundle) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	f.mu.Lock()
+	f.seq++
+	seq := f.seq
+	f.mu.Unlock()
+	name := fmt.Sprintf("%d-%04d-%s.json", b.At.UnixNano(), seq, b.Kind)
+	path := filepath.Join(dir, name)
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	f.pruneBundles(dir)
+	return path, nil
+}
+
+// pruneBundles deletes the oldest bundle files beyond maxBundleFiles.
+// Bundle names sort lexicographically by fixed-width nanosecond
+// timestamp within one process lifetime; cross-restart ordering is
+// close enough for a cleanup policy.
+func (f *FlightRecorder) pruneBundles(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) <= maxBundleFiles {
+		return
+	}
+	sort.Strings(names)
+	for _, n := range names[:len(names)-maxBundleFiles] {
+		os.Remove(filepath.Join(dir, n))
+	}
+}
+
+// Snapshot freezes an in-flight request into a shallow TraceRecord for
+// a flight bundle's trigger slot: identity, elapsed time, and anomaly
+// flags, but not the live span tree — other goroutines may still be
+// appending spans to it, and the full tree lands in the trace store
+// anyway once the request finishes. Nil-safe.
+func (rt *RequestTrace) Snapshot() *TraceRecord {
+	if rt == nil {
+		return nil
+	}
+	var start time.Time
+	route := ""
+	if rt.Root != nil {
+		start = rt.Root.Start
+		route = rt.Root.Name
+	}
+	return &TraceRecord{
+		ID:        rt.ID,
+		Tenant:    rt.Tenant(),
+		Route:     route,
+		Start:     start,
+		Duration:  time.Since(start),
+		Anomalies: rt.Anomalies(),
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Labels are constant per-series labels fixed at registration time.
@@ -48,6 +49,21 @@ type Histogram struct {
 	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
 	count   atomic.Uint64
 	sumBits atomic.Uint64 // math.Float64bits of the running sum
+	ex      atomic.Pointer[Exemplar]
+}
+
+// An Exemplar ties one observed value to the trace that produced it, so
+// a latency distribution can be cross-referenced with the retained
+// trace store ("which request landed in the 2.5s bucket?"). One
+// exemplar is kept per series, last-writer-wins — enough to jump from a
+// histogram to a concrete trace without per-bucket storage. Exemplars
+// are exposed on the JSON/expvar surface only; the Prometheus text
+// output stays plain 0.0.4 so the strict ParsePrometheus round-trip is
+// unchanged.
+type Exemplar struct {
+	TraceID string    `json:"trace_id"`
+	Value   float64   `json:"value"`
+	Time    time.Time `json:"time"`
 }
 
 // Observe records one observation.
@@ -62,6 +78,25 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one observation and, when traceID is
+// non-empty, replaces the series exemplar with it. The exemplar store
+// is a single atomic pointer swap on top of Observe's cost.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID != "" {
+		h.ex.Store(&Exemplar{TraceID: traceID, Value: v, Time: time.Now()})
+	}
+}
+
+// Exemplar returns the most recent exemplar, if any observation carried
+// a trace ID.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	if e := h.ex.Load(); e != nil {
+		return *e, true
+	}
+	return Exemplar{}, false
 }
 
 // Count returns the total number of observations.
@@ -118,8 +153,29 @@ type family struct {
 // or JSON form. Registration and exposition take a mutex; metric
 // updates never do — callers hold direct pointers to the atomics.
 type Registry struct {
-	mu   sync.Mutex
-	fams map[string]*family
+	mu    sync.Mutex
+	fams  map[string]*family
+	hooks []func()
+}
+
+// OnExpose registers a hook run at the start of every exposition
+// (WritePrometheus, Snapshot, Flatten) — the place to refresh gauges
+// whose source of truth lives elsewhere, like the runtime health
+// gauges. Hooks run outside the registry lock and must be fast and
+// non-blocking; they are never invoked on the metric update path.
+func (r *Registry) OnExpose(f func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, f)
+	r.mu.Unlock()
+}
+
+func (r *Registry) runExposeHooks() {
+	r.mu.Lock()
+	hooks := r.hooks
+	r.mu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
 }
 
 // NewRegistry returns an empty registry.

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+)
+
+// A RequestTrace is the per-request spine of the tracing layer: one
+// trace ID plus a root span that every stage of a request's journey —
+// quota admission, scheduler queue wait, the build span tree, WAL
+// append and fsync — hangs child spans off. It rides the
+// context.Context from the HTTP front door down through the ingest
+// service, so library code retrieves it with RequestFrom and never
+// takes an extra parameter. All methods are safe on a nil receiver and
+// RequestFrom returns nil when no trace was started, which is how the
+// whole layer stays free when tracing is off: untraced requests pay one
+// context lookup and a nil check per instrumentation site.
+type RequestTrace struct {
+	ID   string
+	Root *Span
+
+	mu        sync.Mutex
+	tenant    string
+	anomalies map[string]bool
+}
+
+// StartRequest begins a request trace named name (conventionally the
+// normalized route). id is the caller-supplied trace ID (the
+// X-Request-Id header); when empty a random 16-hex-digit ID is minted.
+func StartRequest(name, id string) *RequestTrace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	return &RequestTrace{
+		ID:   id,
+		Root: &Span{Name: name, Start: time.Now()},
+	}
+}
+
+// NewTraceID mints a random 64-bit trace ID in lowercase hex.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID
+		// beats a panic on an observability path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SetTenant records which tenant the request resolved to.
+func (rt *RequestTrace) SetTenant(id string) {
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	rt.tenant = id
+	rt.mu.Unlock()
+}
+
+// Tenant returns the tenant recorded by SetTenant, or "".
+func (rt *RequestTrace) Tenant() string {
+	if rt == nil {
+		return ""
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.tenant
+}
+
+// MarkAnomaly flags the request with an anomaly kind ("watchdog_kill",
+// "stale_serve", "uncertified", ...). The trace store always retains
+// flagged traces regardless of sampling. Duplicate kinds collapse.
+func (rt *RequestTrace) MarkAnomaly(kind string) {
+	if rt == nil || kind == "" {
+		return
+	}
+	rt.mu.Lock()
+	if rt.anomalies == nil {
+		rt.anomalies = make(map[string]bool, 2)
+	}
+	rt.anomalies[kind] = true
+	rt.mu.Unlock()
+}
+
+// Anomalies returns the sorted anomaly kinds marked so far.
+func (rt *RequestTrace) Anomalies() []string {
+	if rt == nil {
+		return nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.anomalies) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(rt.anomalies))
+	for k := range rt.anomalies {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StartChild starts a child span under the trace's root. Nil-safe.
+func (rt *RequestTrace) StartChild(name string) *Span {
+	if rt == nil {
+		return nil
+	}
+	return rt.Root.StartChild(name)
+}
+
+// TraceIDOf returns the request trace ID carried by ctx, or "". It is
+// the hook metric sites use to attach exemplars.
+func TraceIDOf(ctx context.Context) string {
+	if rt := RequestFrom(ctx); rt != nil {
+		return rt.ID
+	}
+	return ""
+}
+
+type reqTraceKey struct{}
+
+// WithRequest returns a context carrying rt.
+func WithRequest(ctx context.Context, rt *RequestTrace) context.Context {
+	if rt == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, reqTraceKey{}, rt)
+}
+
+// RequestFrom returns the RequestTrace carried by ctx, or nil.
+func RequestFrom(ctx context.Context) *RequestTrace {
+	if ctx == nil {
+		return nil
+	}
+	rt, _ := ctx.Value(reqTraceKey{}).(*RequestTrace)
+	return rt
+}
+
+// StartSpan starts a child span under the request trace carried by ctx.
+// It returns nil (safe for End/SetAttr) when the request is untraced,
+// so instrumentation sites need no conditionals.
+func StartSpan(ctx context.Context, name string) *Span {
+	rt := RequestFrom(ctx)
+	if rt == nil {
+		return nil
+	}
+	return rt.Root.StartChild(name)
+}

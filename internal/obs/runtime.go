@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RegisterRuntimeGauges registers process health gauges — goroutine
+// count, heap in use, and the most recent GC pause — on the registry
+// and refreshes them lazily via an OnExpose hook, so their cost (one
+// runtime.ReadMemStats) is paid per scrape rather than on any serving
+// path. Idempotent per registry. It returns the refresh hook so tests
+// can force an update without a full exposition.
+func (r *Registry) RegisterRuntimeGauges() func() {
+	runtimeGaugeMu.Lock()
+	defer runtimeGaugeMu.Unlock()
+	if f, ok := runtimeGaugeHooks[r]; ok {
+		return f
+	}
+
+	goroutines := r.Gauge("mincore_runtime_goroutines",
+		"Current number of goroutines.", nil)
+	heapInuse := r.Gauge("mincore_runtime_heap_inuse_bytes",
+		"Bytes in in-use heap spans (runtime.MemStats.HeapInuse).", nil)
+	gcPause := r.Gauge("mincore_runtime_gc_pause_last_ns",
+		"Duration of the most recent stop-the-world GC pause, in nanoseconds.", nil)
+
+	update := func() {
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapInuse.Set(int64(ms.HeapInuse))
+		if ms.NumGC > 0 {
+			gcPause.Set(int64(ms.PauseNs[(ms.NumGC+255)%256]))
+		}
+	}
+	update()
+	r.OnExpose(update)
+	runtimeGaugeHooks[r] = update
+	return update
+}
+
+var (
+	runtimeGaugeMu    sync.Mutex
+	runtimeGaugeHooks = map[*Registry]func(){}
+)

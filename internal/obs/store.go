@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// A TraceRecord is one finished request as retained by the TraceStore:
+// identity, outcome, anomaly flags, and the full span tree.
+type TraceRecord struct {
+	ID        string        `json:"id"`
+	Tenant    string        `json:"tenant,omitempty"`
+	Route     string        `json:"route"`
+	Method    string        `json:"method,omitempty"`
+	Status    int           `json:"status,omitempty"`
+	Start     time.Time     `json:"start"`
+	Duration  time.Duration `json:"duration_ns"`
+	Anomalies []string      `json:"anomalies,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Trace     *Trace        `json:"trace,omitempty"`
+}
+
+// Anomalous reports whether the record carries any anomaly flag.
+func (r *TraceRecord) Anomalous() bool { return r != nil && len(r.Anomalies) > 0 }
+
+// StoreOptions configure a TraceStore.
+type StoreOptions struct {
+	// Retain is the ring capacity per tenant, applied separately to the
+	// anomaly ring and the sampled-normal ring. <= 0 selects 64.
+	Retain int
+	// SampleEvery keeps 1 of every N normal (non-anomalous) traces;
+	// anomalies are always retained. <= 1 keeps every normal trace
+	// (until its ring evicts it).
+	SampleEvery int
+	// SlowThreshold, when positive, flags any record whose Duration
+	// exceeds it with the "slow" anomaly at Add time.
+	SlowThreshold time.Duration
+}
+
+// StoreStats count a store's admission decisions.
+type StoreStats struct {
+	Added         uint64 `json:"added"`
+	Anomalies     uint64 `json:"anomalies"`
+	SampledOut    uint64 `json:"sampled_out"`
+	EvictedNormal uint64 `json:"evicted_normal"`
+	EvictedAnom   uint64 `json:"evicted_anomalies"`
+}
+
+// AnomalySlow is the anomaly kind stamped on records slower than the
+// store's SlowThreshold.
+const AnomalySlow = "slow"
+
+// A TraceStore retains finished request traces in bounded per-tenant
+// ring buffers with a two-class keep-policy: anomalous traces (errors,
+// watchdog kills, quarantine transitions, stale serves, uncertified
+// builds, slow requests) always enter their own ring, while normal
+// traces are sampled 1-in-SampleEvery into a second ring. The split
+// guarantees a burst of healthy traffic can never wash the one trace
+// that explains an incident out of the buffer. Records survive tenant
+// deletion until ring eviction — deliberately, since post-mortems
+// usually start after the tenant is gone.
+type TraceStore struct {
+	mu      sync.Mutex
+	opts    StoreOptions
+	tenants map[string]*tenantTraces
+	stats   StoreStats
+}
+
+type tenantTraces struct {
+	normal *traceRing
+	anom   *traceRing
+	seen   uint64 // normal traces offered, for sampling
+}
+
+// traceRing is a fixed-capacity FIFO ring of trace records.
+type traceRing struct {
+	buf   []*TraceRecord
+	head  int // next write position
+	count int
+}
+
+func newTraceRing(capacity int) *traceRing {
+	return &traceRing{buf: make([]*TraceRecord, capacity)}
+}
+
+// push appends rec, reporting whether an older record was evicted.
+func (r *traceRing) push(rec *TraceRecord) bool {
+	evicted := r.count == len(r.buf)
+	r.buf[r.head] = rec
+	r.head = (r.head + 1) % len(r.buf)
+	if !evicted {
+		r.count++
+	}
+	return evicted
+}
+
+// all returns records oldest-first.
+func (r *traceRing) all() []*TraceRecord {
+	out := make([]*TraceRecord, 0, r.count)
+	start := r.head - r.count
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[((start+i)%len(r.buf)+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// NewTraceStore builds a store with the given options.
+func NewTraceStore(opts StoreOptions) *TraceStore {
+	if opts.Retain <= 0 {
+		opts.Retain = 64
+	}
+	if opts.SampleEvery < 1 {
+		opts.SampleEvery = 1
+	}
+	return &TraceStore{opts: opts, tenants: make(map[string]*tenantTraces)}
+}
+
+// SlowThreshold returns the configured slow-request threshold.
+func (s *TraceStore) SlowThreshold() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.opts.SlowThreshold
+}
+
+// Add admits one finished record, applying the slow-threshold flag and
+// the keep-policy. Nil-safe so call sites can hold an optional store.
+func (s *TraceStore) Add(rec *TraceRecord) {
+	if s == nil || rec == nil {
+		return
+	}
+	if s.opts.SlowThreshold > 0 && rec.Duration > s.opts.SlowThreshold && !hasKind(rec.Anomalies, AnomalySlow) {
+		rec.Anomalies = append(rec.Anomalies, AnomalySlow)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tt := s.tenants[rec.Tenant]
+	if tt == nil {
+		tt = &tenantTraces{
+			normal: newTraceRing(s.opts.Retain),
+			anom:   newTraceRing(s.opts.Retain),
+		}
+		s.tenants[rec.Tenant] = tt
+	}
+	s.stats.Added++
+	if rec.Anomalous() {
+		s.stats.Anomalies++
+		if tt.anom.push(rec) {
+			s.stats.EvictedAnom++
+		}
+		return
+	}
+	tt.seen++
+	if (tt.seen-1)%uint64(s.opts.SampleEvery) != 0 {
+		s.stats.SampledOut++
+		return
+	}
+	if tt.normal.push(rec) {
+		s.stats.EvictedNormal++
+	}
+}
+
+func hasKind(kinds []string, k string) bool {
+	for _, s := range kinds {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Tenant returns the retained traces for one tenant, newest-first,
+// anomalies and sampled normals merged. max <= 0 returns everything.
+func (s *TraceStore) Tenant(id string, max int) []*TraceRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	tt := s.tenants[id]
+	var recs []*TraceRecord
+	if tt != nil {
+		recs = append(tt.anom.all(), tt.normal.all()...)
+	}
+	s.mu.Unlock()
+	sortNewestFirst(recs)
+	if max > 0 && len(recs) > max {
+		recs = recs[:max]
+	}
+	return recs
+}
+
+// Anomalies returns the retained anomaly traces for one tenant,
+// newest-first. max <= 0 returns everything.
+func (s *TraceStore) Anomalies(id string, max int) []*TraceRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	var recs []*TraceRecord
+	if tt := s.tenants[id]; tt != nil {
+		recs = tt.anom.all()
+	}
+	s.mu.Unlock()
+	sortNewestFirst(recs)
+	if max > 0 && len(recs) > max {
+		recs = recs[:max]
+	}
+	return recs
+}
+
+// Tenants returns the tenant keys present in the store, sorted.
+func (s *TraceStore) Tenants() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]string, 0, len(s.tenants))
+	for id := range s.tenants {
+		out = append(out, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a copy of the admission counters.
+func (s *TraceStore) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func sortNewestFirst(recs []*TraceRecord) {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start.After(recs[j].Start) })
+}

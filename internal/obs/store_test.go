@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func rec(id, tenant string, d time.Duration, anomalies ...string) *TraceRecord {
+	return &TraceRecord{
+		ID: id, Tenant: tenant, Route: "GET /x",
+		Start: time.Unix(1000, 0).Add(d), Duration: d,
+		Anomalies: anomalies,
+	}
+}
+
+// TestTraceStoreKeepPolicy: anomalies always land in their own ring;
+// normal traces are sampled 1-in-N; slow records are flagged and
+// promoted to the anomaly ring at Add time.
+func TestTraceStoreKeepPolicy(t *testing.T) {
+	s := NewTraceStore(StoreOptions{Retain: 4, SampleEvery: 3, SlowThreshold: time.Second})
+
+	for i := 0; i < 9; i++ {
+		s.Add(rec("n", "a", time.Duration(i)*time.Millisecond))
+	}
+	s.Add(rec("anom", "a", time.Millisecond, "watchdog_kill"))
+	s.Add(rec("slow", "a", 2*time.Second))
+
+	anoms := s.Anomalies("a", 0)
+	if len(anoms) != 2 {
+		t.Fatalf("anomaly ring holds %d, want 2 (explicit + slow)", len(anoms))
+	}
+	var sawSlow bool
+	for _, r := range anoms {
+		if r.ID == "slow" {
+			sawSlow = true
+			if !hasKind(r.Anomalies, AnomalySlow) {
+				t.Errorf("slow record anomalies = %v, want %q stamped", r.Anomalies, AnomalySlow)
+			}
+		}
+	}
+	if !sawSlow {
+		t.Error("slow record not retained as anomaly")
+	}
+
+	// 9 normal offered, 1-in-3 sampling → 3 kept, all within Retain.
+	st := s.Stats()
+	if st.SampledOut != 6 {
+		t.Errorf("SampledOut = %d, want 6", st.SampledOut)
+	}
+	normals := 0
+	for _, r := range s.Tenant("a", 0) {
+		if !r.Anomalous() {
+			normals++
+		}
+	}
+	if normals != 3 {
+		t.Errorf("kept %d normal traces, want 3", normals)
+	}
+}
+
+// TestTraceStoreAnomalyRingSurvivesFlood: a burst of healthy traffic
+// can evict sampled-normal records but never the anomaly that explains
+// an incident — the two-ring split is the whole point of the store.
+func TestTraceStoreAnomalyRingSurvivesFlood(t *testing.T) {
+	s := NewTraceStore(StoreOptions{Retain: 2})
+	s.Add(rec("incident", "a", time.Millisecond, "error"))
+	for i := 0; i < 100; i++ {
+		s.Add(rec("flood", "a", time.Millisecond))
+	}
+	anoms := s.Anomalies("a", 0)
+	if len(anoms) != 1 || anoms[0].ID != "incident" {
+		t.Fatalf("anomaly ring after flood = %v, want the incident", anoms)
+	}
+	if st := s.Stats(); st.EvictedNormal != 98 || st.EvictedAnom != 0 {
+		t.Errorf("evictions = %+v, want 98 normal / 0 anomaly", st)
+	}
+}
+
+// TestTraceStoreNewestFirstAndLimit: Tenant merges both rings newest
+// first and honors the max bound.
+func TestTraceStoreNewestFirstAndLimit(t *testing.T) {
+	s := NewTraceStore(StoreOptions{Retain: 8})
+	s.Add(rec("old", "a", 1*time.Millisecond))
+	s.Add(rec("mid", "a", 2*time.Millisecond, "error"))
+	s.Add(rec("new", "a", 3*time.Millisecond))
+
+	all := s.Tenant("a", 0)
+	if len(all) != 3 || all[0].ID != "new" || all[2].ID != "old" {
+		t.Fatalf("order = %v, want new/mid/old", ids(all))
+	}
+	if got := s.Tenant("a", 2); len(got) != 2 || got[0].ID != "new" {
+		t.Fatalf("limited = %v, want [new mid]", ids(got))
+	}
+	if got := s.Tenant("missing", 0); len(got) != 0 {
+		t.Fatalf("unknown tenant returned %d records", len(got))
+	}
+}
+
+func ids(recs []*TraceRecord) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// TestTraceStoreNilSafe: a nil store accepts every call — that is the
+// tracing-off configuration.
+func TestTraceStoreNilSafe(t *testing.T) {
+	var s *TraceStore
+	s.Add(rec("x", "a", time.Second))
+	if s.Tenant("a", 0) != nil || s.Anomalies("a", 0) != nil || s.Tenants() != nil {
+		t.Error("nil store returned data")
+	}
+	if s.Stats() != (StoreStats{}) || s.SlowThreshold() != 0 {
+		t.Error("nil store returned non-zero stats")
+	}
+}
+
+// TestRequestTracePropagation: the request trace rides the context,
+// marks anomalies idempotently, and hands out spans rooted under one
+// tree. Nil receivers (untraced requests) are inert.
+func TestRequestTracePropagation(t *testing.T) {
+	rt := StartRequest("GET /x", "")
+	if len(rt.ID) != 16 {
+		t.Fatalf("minted ID %q, want 16 hex digits", rt.ID)
+	}
+	if got := StartRequest("GET /x", "caller-id").ID; got != "caller-id" {
+		t.Fatalf("caller ID not honored: %q", got)
+	}
+
+	ctx := WithRequest(context.Background(), rt)
+	if TraceIDOf(ctx) != rt.ID || RequestFrom(ctx) != rt {
+		t.Fatal("context round-trip lost the trace")
+	}
+	if TraceIDOf(context.Background()) != "" || RequestFrom(context.Background()) != nil {
+		t.Fatal("empty context produced a trace")
+	}
+
+	sp := StartSpan(ctx, "stage")
+	sp.SetAttr("k", "v")
+	sp.End()
+	if (&Trace{Root: rt.Root}).Find("stage") == nil {
+		t.Error("span not attached under the request root")
+	}
+	if s := StartSpan(context.Background(), "untraced"); s != nil {
+		t.Error("untraced context produced a span")
+	}
+
+	rt.MarkAnomaly("stale_serve")
+	rt.MarkAnomaly("error")
+	rt.MarkAnomaly("stale_serve") // duplicate collapses
+	if got := rt.Anomalies(); len(got) != 2 || got[0] != "error" || got[1] != "stale_serve" {
+		t.Errorf("anomalies = %v, want sorted [error stale_serve]", got)
+	}
+
+	var nilRT *RequestTrace
+	nilRT.MarkAnomaly("x")
+	nilRT.SetTenant("t")
+	if nilRT.StartChild("c") != nil || nilRT.Anomalies() != nil || nilRT.Tenant() != "" {
+		t.Error("nil RequestTrace not inert")
+	}
+}
+
+// TestFlightRecorderDump: a dump always logs, optionally writes one
+// bounded JSON bundle per event, prunes the directory to its cap, and
+// embeds the recent anomaly traces plus a metrics snapshot.
+func TestFlightRecorderDump(t *testing.T) {
+	dir := t.TempDir()
+	store := NewTraceStore(StoreOptions{Retain: 16})
+	for i := 0; i < 12; i++ {
+		store.Add(rec("a", "acme", time.Millisecond, "error"))
+	}
+	reg := NewRegistry()
+	reg.Counter("mincore_test_flight_total", "h", nil).Inc()
+
+	f := NewFlightRecorder(nil, store, reg)
+	trigger := rec("trigger-1", "acme", time.Second, FlightWatchdogKill)
+	path := f.Dump(FlightWatchdogKill, "acme", dir, trigger)
+	if path == "" {
+		t.Fatal("dump with dir returned no path")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read bundle: %v", err)
+	}
+	var b FlightBundle
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("bundle not JSON: %v", err)
+	}
+	if b.Kind != FlightWatchdogKill || b.Tenant != "acme" || b.Trigger.ID != "trigger-1" {
+		t.Errorf("bundle = kind %q tenant %q trigger %+v", b.Kind, b.Tenant, b.Trigger)
+	}
+	if len(b.Recent) == 0 || len(b.Recent) > maxBundleTraces {
+		t.Errorf("recent traces = %d, want 1..%d", len(b.Recent), maxBundleTraces)
+	}
+	if b.Stats["mincore_test_flight_total"] != 1 {
+		t.Errorf("stats snapshot = %v, want the counter", b.Stats)
+	}
+
+	// Flood the dir: it must stay pruned to maxBundleFiles.
+	for i := 0; i < maxBundleFiles+5; i++ {
+		f.Dump(FlightQuarantine, "acme", dir, nil)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read dir: %v", err)
+	}
+	if len(entries) > maxBundleFiles {
+		t.Errorf("diag dir holds %d bundles, cap is %d", len(entries), maxBundleFiles)
+	}
+
+	// Log-only mode (no dir) and nil receiver are both safe.
+	if p := f.Dump(FlightStorage, "acme", "", nil); p != "" {
+		t.Errorf("dir-less dump wrote %q", p)
+	}
+	var nilF *FlightRecorder
+	if p := nilF.Dump(FlightStorage, "acme", dir, nil); p != "" {
+		t.Error("nil recorder wrote a bundle")
+	}
+}
+
+// TestRequestTraceSnapshot: the flight-recorder trigger snapshot is
+// shallow — identity and anomaly flags without the live span tree, so
+// dumping mid-request cannot race still-running spans.
+func TestRequestTraceSnapshot(t *testing.T) {
+	rt := StartRequest("GET /x", "snap-1")
+	rt.SetTenant("acme")
+	rt.MarkAnomaly("watchdog_kill")
+	s := rt.Snapshot()
+	if s.ID != "snap-1" || s.Tenant != "acme" || s.Route != "GET /x" {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if !hasKind(s.Anomalies, "watchdog_kill") {
+		t.Errorf("snapshot anomalies = %v", s.Anomalies)
+	}
+	if s.Trace != nil {
+		t.Error("snapshot carries the live span tree")
+	}
+	var nilRT *RequestTrace
+	if nilRT.Snapshot() != nil {
+		t.Error("nil trace snapshot not nil")
+	}
+}
+
+// TestHistogramExemplar: ObserveExemplar keeps the last trace ID and
+// surfaces it on the JSON exposition only — the Prometheus text format
+// must stay byte-compatible with the strict parser.
+func TestHistogramExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("mincore_test_exemplar_seconds", "h", nil, nil)
+	h.Observe(0.5) // plain observe: no exemplar yet
+	if _, ok := h.Exemplar(); ok {
+		t.Fatal("exemplar before ObserveExemplar")
+	}
+	h.ObserveExemplar(0.1, "trace-a")
+	h.ObserveExemplar(0.2, "trace-b")
+	h.ObserveExemplar(0.3, "") // empty ID must not clobber
+	ex, ok := h.Exemplar()
+	if !ok || ex.TraceID != "trace-b" || ex.Value != 0.2 {
+		t.Fatalf("exemplar = %+v ok=%v, want trace-b/0.2", ex, ok)
+	}
+
+	snap := reg.Snapshot()
+	sj := snap["mincore_test_exemplar_seconds"].Series[0]
+	if sj.Exemplar == nil || sj.Exemplar.TraceID != "trace-b" {
+		t.Errorf("JSON exposition exemplar = %+v", sj.Exemplar)
+	}
+	if sj.Count != 4 {
+		t.Errorf("count = %d, want 4 (exemplar observes count)", sj.Count)
+	}
+
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	if strings.Contains(buf.String(), "trace-b") {
+		t.Error("exemplar leaked into the Prometheus text exposition")
+	}
+	if _, err := ParsePrometheus(strings.NewReader(buf.String())); err != nil {
+		t.Errorf("text exposition no longer parses: %v", err)
+	}
+}
+
+// TestRegisterRuntimeGauges: the runtime health gauges register once
+// per registry and refresh on every exposition via the OnExpose hook.
+func TestRegisterRuntimeGauges(t *testing.T) {
+	reg := NewRegistry()
+	upd := reg.RegisterRuntimeGauges()
+	if upd2 := reg.RegisterRuntimeGauges(); upd2 == nil {
+		t.Fatal("second registration returned nil")
+	}
+	upd()
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"mincore_runtime_goroutines",
+		"mincore_runtime_heap_inuse_bytes",
+		"mincore_runtime_gc_pause_last_ns",
+	} {
+		fam, ok := snap[name]
+		if !ok {
+			t.Fatalf("gauge %s not registered", name)
+		}
+		if name != "mincore_runtime_gc_pause_last_ns" && fam.Series[0].Value <= 0 {
+			t.Errorf("%s = %v, want > 0", name, fam.Series[0].Value)
+		}
+	}
+	// Idempotent: one series per gauge even after double registration
+	// and an exposition.
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	n := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "mincore_runtime_goroutines ") {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("goroutines series rendered %d times, want 1", n)
+	}
+}
+
+// TestFlightBundleFilesSortable: bundle file names order by time then
+// sequence so operators can ls the newest incident.
+func TestFlightBundleFilesSortable(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlightRecorder(nil, nil, nil)
+	p1 := f.Dump(FlightStorage, "a", dir, nil)
+	p2 := f.Dump(FlightStorage, "a", dir, nil)
+	if filepath.Base(p1) >= filepath.Base(p2) {
+		t.Errorf("bundle names not monotonic: %q then %q", p1, p2)
+	}
+}

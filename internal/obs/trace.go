@@ -65,6 +65,18 @@ func (s *Span) StartChild(name string) *Span {
 	return c
 }
 
+// AttachChild grafts an already-built span (typically the root of a
+// build trace) under s, so a request trace can adopt the BuildReport's
+// span tree as a child without re-recording it.
+func (s *Span) AttachChild(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+}
+
 // End fixes the span's duration. Only the first call takes effect.
 func (s *Span) End() {
 	if s == nil {

@@ -142,8 +142,9 @@ type Options struct {
 	Policy   SyncPolicy
 	Interval time.Duration
 	// OnFsync, when non-nil, is invoked after every successful fsync
-	// (metrics hook).
-	OnFsync func()
+	// with the wall time the barrier took (metrics hook: fsync counters
+	// and latency histograms).
+	OnFsync func(d time.Duration)
 	// Now is the clock for the group-commit window; time.Now when nil.
 	Now func() time.Time
 }
@@ -698,13 +699,14 @@ func (l *Log) Sync() error {
 	if faultinject.Fail(faultinject.SiteWALFsync) {
 		return fmt.Errorf("wal: injected fsync failure")
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
 	l.syncedSeq = l.nextSeq
 	l.lastSync = l.opts.Now()
 	if l.opts.OnFsync != nil {
-		l.opts.OnFsync()
+		l.opts.OnFsync(time.Since(start))
 	}
 	return nil
 }

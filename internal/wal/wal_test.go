@@ -421,7 +421,7 @@ func TestWALGroupCommitWindow(t *testing.T) {
 	opts.Policy = SyncInterval
 	opts.Interval = time.Second
 	opts.Now = clock
-	opts.OnFsync = func() { fsyncs++ }
+	opts.OnFsync = func(time.Duration) { fsyncs++ }
 	l, err := Open(opts)
 	if err != nil {
 		t.Fatalf("open: %v", err)

@@ -104,9 +104,12 @@ type serviceMetrics struct {
 	serveBuilds, serveShed, schedGrants     *obs.Counter
 	staleServes                             *obs.Counter
 	serveBuildDuration                      *obs.Histogram
+	schedQueueWait                          *obs.Histogram
+	ackDuration                             *obs.Histogram
 	cache                                   cacheMetrics
 	walAppends, walAppendedPoints           *obs.Counter
 	walAppendFailures, walFsyncs            *obs.Counter
+	walAppendDuration, walFsyncDuration     *obs.Histogram
 	walReplayedPoints, walTruncations       *obs.Counter
 	walSegments, walBytes                   *obs.Gauge
 }
@@ -162,6 +165,32 @@ var (
 		"Total size of live write-ahead-log segments, in bytes.", nil)
 )
 
+// Request-latency histograms. fsyncBuckets resolve the sub-millisecond
+// range where fdatasync on a healthy disk lives, up through the
+// multi-second stalls that indicate a sick one; the same shape fits WAL
+// appends and ingest acks, which are fsync-dominated under per-batch
+// sync. Observations attach the requesting trace ID as an exemplar when
+// one rides the context, linking a bucket back to a retained trace.
+var fsyncBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
+
+const (
+	helpSchedQueueWait = "Time a build request waited in the fair-share scheduler queue before its grant, in seconds."
+	helpAckDuration    = "End-to-end ingest acknowledgement time (validation, quota, WAL append+fsync, enqueue), in seconds."
+	helpWALAppendDur   = "Wall time of write-ahead-log appends including any policy-driven fsync, in seconds."
+	helpWALFsyncDur    = "Wall time of write-ahead-log fsync barriers, in seconds."
+)
+
+var (
+	mSchedQueueWait = obs.Default.Histogram("mincore_sched_queue_wait_seconds",
+		helpSchedQueueWait, nil, nil)
+	mAckDuration = obs.Default.Histogram("mincore_ingest_ack_seconds",
+		helpAckDuration, fsyncBuckets, nil)
+	mWALAppendDuration = obs.Default.Histogram("mincore_wal_append_seconds",
+		helpWALAppendDur, fsyncBuckets, nil)
+	mWALFsyncDuration = obs.Default.Histogram("mincore_wal_fsync_seconds",
+		helpWALFsyncDur, fsyncBuckets, nil)
+)
+
 // defaultServiceMetrics returns the unlabeled process-global bundle —
 // the legacy single-tenant fast path.
 func defaultServiceMetrics() serviceMetrics {
@@ -174,9 +203,12 @@ func defaultServiceMetrics() serviceMetrics {
 		serveBuilds: mServeBuilds, serveShed: mServeShed, schedGrants: mSchedGrants,
 		staleServes:        mStaleServes,
 		serveBuildDuration: mServeBuildDuration,
+		schedQueueWait:     mSchedQueueWait,
+		ackDuration:        mAckDuration,
 		cache:              serveCacheMetrics(),
 		walAppends:         mWALAppends, walAppendedPoints: mWALAppendedPoints,
 		walAppendFailures: mWALAppendFailures, walFsyncs: mWALFsyncs,
+		walAppendDuration: mWALAppendDuration, walFsyncDuration: mWALFsyncDuration,
 		walReplayedPoints: mWALReplayedPoints, walTruncations: mWALTruncations,
 		walSegments: mWALSegments, walBytes: mWALBytes,
 	}
@@ -220,6 +252,10 @@ func tenantServiceMetrics(tenant string) serviceMetrics {
 			"Coreset requests answered from the stale last-good fallback.", l),
 		serveBuildDuration: obs.Default.Histogram("mincore_serve_build_duration_seconds",
 			"Wall time of served coreset builds, in seconds.", nil, l),
+		schedQueueWait: obs.Default.Histogram("mincore_sched_queue_wait_seconds",
+			helpSchedQueueWait, nil, l),
+		ackDuration: obs.Default.Histogram("mincore_ingest_ack_seconds",
+			helpAckDuration, fsyncBuckets, l),
 		cache: cacheMetrics{
 			hits: obs.Default.Counter("mincore_build_cache_hits_total",
 				"Memoized build cache hits (including singleflight followers), by layer.", cl),
@@ -236,6 +272,10 @@ func tenantServiceMetrics(tenant string) serviceMetrics {
 			"Write-ahead-log appends or syncs that failed (batch not acknowledged).", l),
 		walFsyncs: obs.Default.Counter("mincore_wal_fsyncs_total",
 			"fsync barriers issued by the write-ahead log.", l),
+		walAppendDuration: obs.Default.Histogram("mincore_wal_append_seconds",
+			helpWALAppendDur, fsyncBuckets, l),
+		walFsyncDuration: obs.Default.Histogram("mincore_wal_fsync_seconds",
+			helpWALFsyncDur, fsyncBuckets, l),
 		walReplayedPoints: obs.Default.Counter("mincore_wal_replayed_points_total",
 			"Points replayed from the write-ahead log into a restored summary.", l),
 		walTruncations: obs.Default.Counter("mincore_wal_truncations_total",

@@ -4,8 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"time"
+
+	"mincore/internal/obs"
 )
 
 // Fair-share build scheduling. A single process hosts many tenant
@@ -82,7 +85,13 @@ type schedGrant struct {
 	cancel   context.CancelCauseFunc // nil when no watchdog budget is set
 	deadline time.Time               // zero when no watchdog budget is set
 	tenant   string
-	done     bool // released by the holder or reclaimed by the watchdog
+	seq      uint64 // grant sequence number, stamped at dispatch
+	done     bool   // released by the holder or reclaimed by the watchdog
+
+	// startSpan is the request trace's grant-to-start span, begun when
+	// the slot is granted; the holder ends it as the build begins, so
+	// the gap between winning the slot and doing work is visible.
+	startSpan *obs.Span
 }
 
 // release returns the slot unless the watchdog already reclaimed it, and
@@ -263,7 +272,15 @@ func (b *buildScheduler) acquire(ctx context.Context, tenant string, weight floa
 	}
 	w := &schedWaiter{grant: make(chan struct{}), g: g}
 
+	// The enqueue→grant wait as a request span (nil and free when the
+	// request is untraced). The grant sequence number is the scheduler's
+	// virtual clock, so a trace can be replayed against the DRR order.
+	span := obs.StartSpan(ctx, "sched-wait")
+	span.SetAttr("tenant", tenant)
+
 	fail := func(err error) (context.Context, *schedGrant, error) {
+		span.SetAttr("error", err.Error())
+		span.End()
 		if g.cancel != nil {
 			g.cancel(nil)
 		}
@@ -295,6 +312,12 @@ func (b *buildScheduler) acquire(ctx context.Context, tenant string, weight floa
 		if w.err != nil {
 			return fail(w.err)
 		}
+		// w.seq was stamped by the dispatcher before the close; the
+		// channel receive orders the read.
+		g.seq = w.seq
+		span.SetAttr("grant_seq", strconv.FormatUint(w.seq, 10))
+		span.End()
+		g.startSpan = obs.StartSpan(ctx, "grant-to-start")
 		return bctx, g, nil
 	case <-ctx.Done():
 		b.mu.Lock()

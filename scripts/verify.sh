@@ -84,4 +84,20 @@ GOMAXPROCS=4 go test -race -count=1 \
 GOMAXPROCS=4 go test -race -count=1 \
     -run 'TestQuarantineLifecycleHTTP|TestStaleServingHTTP|TestRequestBodyLimits|TestDegradedMetricFamilies' ./cmd/mcserve/
 
+# Request tracing: one trace ID end to end — the library leg drives the
+# fallback chain, watchdog-kill flight recorder, and WAL-replay restore
+# trace under the race detector; the HTTP leg boots the real mux through
+# httptest, sends X-Request-Id'd requests, scrapes the retained traces
+# back off /v1/tenants/{id}/traces (anomaly retention included), and
+# checks the latency histograms carry exemplar trace IDs on the JSON
+# surface while the Prometheus text exposition still round-trips the
+# strict parser.
+echo "== request tracing (trace store, flight recorder, exemplars)"
+GOMAXPROCS=4 go test -race -count=1 \
+    -run 'TestTraceStaleServePropagation|TestTraceWatchdogKillFlightRecorder|TestTraceRestoreReplay|TestTraceWALAppendSpans' .
+GOMAXPROCS=4 go test -race -count=1 \
+    -run 'TestTraceEndToEndHTTP|TestTraceAnomalyRetentionHTTP|TestTraceSlowThresholdHTTP|TestTraceEndpointsDisabled|TestHTTPMetricsAndRuntimeGauges|TestDebugTracesEndpoint|TestRouteLabelTable' ./cmd/mcserve/
+GOMAXPROCS=4 go test -race -count=1 \
+    -run 'TestTraceStore|TestRequestTrace|TestFlightRecorder|TestFlightBundle|TestHistogramExemplar|TestRegisterRuntimeGauges' ./internal/obs/
+
 echo "verify: OK"

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -267,12 +268,25 @@ type ServeOptions struct {
 	// durability of a fed point begins at the next checkpoint.
 	WAL *WALConfig
 
+	// TraceStore, when non-nil, retains this service's startup restore
+	// trace and receives the anomaly context for flight-recorder dumps.
+	// Request traces themselves ride the context (obs.WithRequest) and
+	// are recorded by whoever owns the request boundary — the HTTP front
+	// door in mcserve. Nil disables both, at zero per-request cost.
+	TraceStore *obs.TraceStore
+
 	// sched, when non-nil, replaces the per-service build semaphore with
 	// the registry's shared weighted-fair scheduler.
 	sched *buildScheduler
 	// clock overrides time.Now for the quota bucket (tests and the
 	// registry's deterministic quota tests).
 	clock func() time.Time
+	// flight and diagDir, set by the registry, arm the flight recorder:
+	// watchdog kills and storage_unavailable transitions dump a bounded
+	// diagnostic bundle to the log and (when diagDir is non-empty) to
+	// disk.
+	flight  *obs.FlightRecorder
+	diagDir string
 }
 
 func (o *ServeOptions) withDefaults() (ServeOptions, error) {
@@ -508,6 +522,12 @@ type IngestService struct {
 	// with that error: the batch is durable but never acknowledged, so a
 	// restore may legitimately be AHEAD of the last ack.
 	walCrashHook func() error
+
+	// restoreRT traces startup restoration (snapshot load + WAL replay)
+	// while NewIngestService runs; the finished trace is recorded into
+	// the TraceStore and the field cleared before the constructor
+	// returns. Nil when no TraceStore is configured.
+	restoreRT *obs.RequestTrace
 }
 
 // staleKey identifies one retained last-good build. No stream position:
@@ -565,12 +585,22 @@ func NewIngestService(opts ServeOptions) (*IngestService, error) {
 		s.stale = make(map[staleKey]*staleEntry)
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
+	if o.TraceStore != nil {
+		// The restore journey gets a trace of its own, retained in the
+		// store under the route "restore": span tree shape (snapshot-load,
+		// wal-replay) and trace ID are then assertable after the fact,
+		// exactly like a served request's.
+		s.restoreRT = obs.StartRequest("restore", "")
+	}
 
 	if o.SnapshotPath != "" {
 		s.store = snapshot.NewStore(o.SnapshotPath)
+		loadSpan := s.restoreRT.StartChild("snapshot-load")
 		sum, meta, err := s.store.Load()
 		switch {
 		case err == nil:
+			loadSpan.SetAttr("generation", strconv.FormatUint(meta.Generation, 10))
+			loadSpan.SetAttr("points", strconv.Itoa(sum.N()))
 			// The restored summary must merge with live shards: probe
 			// against a fresh summary of the configured parameters.
 			probe := stream.NewSummary(o.Directions, o.Dim, o.Seed)
@@ -589,9 +619,11 @@ func NewIngestService(opts ServeOptions) (*IngestService, error) {
 				slog.String("path", o.SnapshotPath))
 		case errors.Is(err, os.ErrNotExist):
 			// Fresh start.
+			loadSpan.SetAttr("outcome", "fresh")
 		default:
 			return nil, err
 		}
+		loadSpan.End()
 	}
 	if o.WAL != nil {
 		if err := s.openWAL(); err != nil {
@@ -610,6 +642,20 @@ func NewIngestService(opts ServeOptions) (*IngestService, error) {
 	if s.store != nil && o.CheckpointInterval > 0 {
 		s.ckptWG.Add(1)
 		go s.checkpointLoop()
+	}
+	if rt := s.restoreRT; rt != nil {
+		rt.Root.SetAttr("restored_points", strconv.Itoa(s.restoredN))
+		rt.Root.End()
+		o.TraceStore.Add(&obs.TraceRecord{
+			ID:        rt.ID,
+			Tenant:    o.Tenant,
+			Route:     "restore",
+			Start:     rt.Root.Start,
+			Duration:  rt.Root.Duration,
+			Anomalies: rt.Anomalies(),
+			Trace:     &obs.Trace{Root: rt.Root},
+		})
+		s.restoreRT = nil
 	}
 	return s, nil
 }
@@ -635,8 +681,11 @@ func (s *IngestService) openWAL() error {
 		SegmentBytes: o.WAL.SegmentBytes,
 		Policy:       o.WAL.walPolicy(),
 		Interval:     o.WAL.SyncInterval,
-		OnFsync:      s.met.walFsyncs.Inc,
-		Now:          o.clock,
+		OnFsync: func(d time.Duration) {
+			s.met.walFsyncs.Inc()
+			s.met.walFsyncDuration.Observe(d.Seconds())
+		},
+		Now: o.clock,
 	})
 	if err != nil {
 		return fmt.Errorf("mincore: wal open: %w", err)
@@ -665,6 +714,7 @@ func (s *IngestService) openWAL() error {
 			return fmt.Errorf("%w: snapshot restored position %d but the log starts at seq %d — acknowledged points %d..%d are unrecoverable from the log",
 				wal.ErrBadLog, afterSeq, oldest, afterSeq, oldest)
 		}
+		replaySpan := s.restoreRT.StartChild("wal-replay")
 		delivered, pos, err := l.Replay(afterSeq, func(batch [][]float64) error {
 			for _, p := range batch {
 				if ferr := s.base.Feed(p); ferr != nil {
@@ -677,6 +727,9 @@ func (s *IngestService) openWAL() error {
 			l.Close()
 			return fmt.Errorf("mincore: wal replay: %w", err)
 		}
+		replaySpan.SetAttr("replayed_points", strconv.FormatUint(delivered, 10))
+		replaySpan.SetAttr("position", strconv.FormatUint(pos, 10))
+		replaySpan.End()
 		s.replayedN = int(delivered)
 		s.restoredN = int(pos)
 		s.walReplayed.Add(int64(delivered))
@@ -692,6 +745,13 @@ func (s *IngestService) openWAL() error {
 	s.wal = l
 	s.publishWALStats(l.Stats())
 	return nil
+}
+
+// flightDump emits a flight-recorder bundle for this service's tenant.
+// No-op unless the registry armed the recorder; rt (the in-flight
+// request, may be nil) becomes the bundle's trigger slot.
+func (s *IngestService) flightDump(kind string, rt *obs.RequestTrace) {
+	s.opts.flight.Dump(kind, s.opts.Tenant, s.opts.diagDir, rt.Snapshot())
 }
 
 // publishWALStats pushes the log's footprint gauges.
@@ -713,9 +773,34 @@ func (s *IngestService) publishWALStats(st wal.Stats) {
 // means the batch is durable; a failed append or sync refuses the
 // batch with ErrStorageUnavailable and nothing is ingested.
 func (s *IngestService) Feed(pts ...Point) error {
+	return s.FeedCtx(context.Background(), pts...)
+}
+
+// FeedCtx is Feed with a request context: when ctx carries a request
+// trace (obs.WithRequest), the admission decision — quota, WAL
+// append+fsync, queue admission — is recorded as spans under it, and
+// the end-to-end acknowledgement latency lands in
+// mincore_ingest_ack_seconds with the trace ID as its exemplar. The
+// ingestion itself stays asynchronous (Feed's durability contract is
+// unchanged); ctx is not a cancellation handle here, only a trace
+// carrier.
+func (s *IngestService) FeedCtx(ctx context.Context, pts ...Point) error {
 	if len(pts) == 0 {
 		return nil
 	}
+	start := time.Now()
+	span := obs.StartSpan(ctx, "ingest-admit")
+	span.SetAttr("points", strconv.Itoa(len(pts)))
+	err := s.feedAdmit(ctx, pts)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	s.met.ackDuration.ObserveExemplar(time.Since(start).Seconds(), obs.TraceIDOf(ctx))
+	return err
+}
+
+func (s *IngestService) feedAdmit(ctx context.Context, pts []Point) error {
 	batch := make([][]float64, len(pts))
 	for i, p := range pts {
 		if err := validatePoint(p, s.opts.Dim, i); err != nil {
@@ -744,7 +829,7 @@ func (s *IngestService) Feed(pts ...Point) error {
 			s.opts.QuotaPointsPerSec, s.opts.QuotaBurst)
 	}
 	if s.wal != nil {
-		return s.feedDurable(batch)
+		return s.feedDurable(ctx, batch)
 	}
 	select {
 	case s.queue <- batch:
@@ -771,7 +856,7 @@ func (s *IngestService) Feed(pts ...Point) error {
 // capacity check and the send form one atomic admission decision: a
 // shed batch never touches the log (its sequence numbers are never
 // consumed) and an appended batch's send can never block.
-func (s *IngestService) feedDurable(batch [][]float64) error {
+func (s *IngestService) feedDurable(ctx context.Context, batch [][]float64) error {
 	n := len(batch)
 	refund := func() {
 		if s.quota != nil {
@@ -789,9 +874,24 @@ func (s *IngestService) feedDurable(batch [][]float64) error {
 			slog.Int("queue_size", s.opts.QueueSize))
 		return fmt.Errorf("%w: ingest queue full (%d batches)", ErrOverloaded, s.opts.QueueSize)
 	}
-	if _, err := s.wal.Append(batch); err != nil {
+	wspan := obs.StartSpan(ctx, "wal-append")
+	appendStart := time.Now()
+	seq, err := s.wal.Append(batch)
+	s.met.walAppendDuration.ObserveExemplar(time.Since(appendStart).Seconds(), obs.TraceIDOf(ctx))
+	if err != nil {
+		wspan.SetAttr("error", err.Error())
+		wspan.End()
 		refund()
-		s.walFailed.Store(true)
+		// The flight recorder fires only on the healthy→failed transition,
+		// not on every refused batch, so a dead disk produces one bundle
+		// per outage rather than one per request.
+		if !s.walFailed.Swap(true) {
+			rt := obs.RequestFrom(ctx)
+			rt.MarkAnomaly(obs.FlightStorage)
+			s.flightDump(obs.FlightStorage, rt)
+		} else {
+			obs.RequestFrom(ctx).MarkAnomaly(obs.FlightStorage)
+		}
 		s.met.walAppendFailures.Inc()
 		s.lastErr.Store(&errBox{err: fmt.Errorf("%w: %v", ErrStorageUnavailable, err)})
 		s.log.Warn("WAL append failed; batch refused without ack",
@@ -799,6 +899,8 @@ func (s *IngestService) feedDurable(batch [][]float64) error {
 			slog.Any("error", err))
 		return fmt.Errorf("%w: wal append: %v", ErrStorageUnavailable, err)
 	}
+	wspan.SetAttr("seq", strconv.FormatUint(seq, 10))
+	wspan.End()
 	s.walFailed.Store(false)
 	s.walAppends.Add(1)
 	s.met.walAppends.Inc()
@@ -949,9 +1051,28 @@ func (s *IngestService) StorageDegraded() bool { return s.walFailed.Load() }
 // the automatic checkpoint loop. Returns nil when durability is
 // disabled.
 func (s *IngestService) Checkpoint() error {
+	return s.CheckpointCtx(context.Background())
+}
+
+// CheckpointCtx is Checkpoint with a request context: when ctx carries
+// a request trace, the save is recorded as a "checkpoint" span whose
+// attrs carry the durable provenance (generation, points) the rest of
+// the trace's builds will reference. ctx is a trace carrier only; the
+// save itself is not cancellable.
+func (s *IngestService) CheckpointCtx(ctx context.Context) error {
 	if s.store == nil {
 		return nil
 	}
+	span := obs.StartSpan(ctx, "checkpoint")
+	defer span.End()
+	err := s.checkpointSave(span)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	return err
+}
+
+func (s *IngestService) checkpointSave(span *obs.Span) error {
 	start := time.Now()
 	sum, err := s.mergedSummary()
 	if err != nil {
@@ -972,6 +1093,8 @@ func (s *IngestService) Checkpoint() error {
 	s.lastCkpt = meta
 	s.lastCkptN = sum.N()
 	s.ckptFailures = 0
+	span.SetAttr("generation", strconv.FormatUint(meta.Generation, 10))
+	span.SetAttr("points", strconv.Itoa(sum.N()))
 	s.met.ckptSaves.Inc()
 	s.met.ckptDuration.Observe(time.Since(start).Seconds())
 	s.log.Debug("checkpoint saved",
@@ -1094,10 +1217,13 @@ func (s *IngestService) Coreset(ctx context.Context, eps float64, algo Algorithm
 	}
 	q, err := s.coresetFresh(ctx, eps, algo)
 	if err != nil {
+		if errors.Is(err, ErrUncertified) {
+			obs.RequestFrom(ctx).MarkAnomaly("uncertified")
+		}
 		// The stale fallback runs outside the serve cache's singleflight,
 		// so a degraded answer is never stored as if it were fresh; each
 		// follower of a failed flight degrades (or not) on its own.
-		if sq, ok := s.tryStale(eps, algo, err); ok {
+		if sq, ok := s.tryStale(ctx, eps, algo, err); ok {
 			return sq, nil
 		}
 	}
@@ -1170,7 +1296,7 @@ func (s *IngestService) retainLastGood(eps float64, algo Algorithm, q *Coreset, 
 // entry within the configured age and points-behind bounds. The result
 // is explicitly marked (Report.Stale, Report.Staleness) and counted —
 // degraded mode is never silent.
-func (s *IngestService) tryStale(eps float64, algo Algorithm, cause error) (*Coreset, bool) {
+func (s *IngestService) tryStale(ctx context.Context, eps float64, algo Algorithm, cause error) (*Coreset, bool) {
 	pol := s.opts.StaleServe
 	if pol == nil || !staleEligible(cause) {
 		return nil, false
@@ -1203,6 +1329,17 @@ func (s *IngestService) tryStale(eps float64, algo Algorithm, cause error) (*Cor
 		// live one — the certified ε holds there.
 		q.Report.Checkpoint = s.checkpointMeta(e.streamN)
 	}
+	// The degraded decision is an anomaly on the request trace: the
+	// span captures why the fresh build failed and what was served
+	// instead, and the anomaly flag pins the trace in the store.
+	if rt := obs.RequestFrom(ctx); rt != nil {
+		rt.MarkAnomaly("stale_serve")
+		sspan := rt.StartChild("stale-serve")
+		sspan.SetAttr("reason", staleReason(cause))
+		sspan.SetAttr("age", age.String())
+		sspan.SetAttr("points_behind", strconv.Itoa(behind))
+		sspan.End()
+	}
 	s.staleServed.Add(1)
 	s.met.staleServes.Inc()
 	s.log.Warn("serving stale coreset (degraded mode)",
@@ -1219,6 +1356,7 @@ func (s *IngestService) tryStale(eps float64, algo Algorithm, cause error) (*Cor
 // round-robin order), or the legacy fast-fail semaphore otherwise.
 func (s *IngestService) buildServed(ctx context.Context, eps float64, algo Algorithm) (*Coreset, error) {
 	if s.opts.sched != nil {
+		waitStart := time.Now()
 		bctx, grant, err := s.opts.sched.acquire(ctx, s.opts.Tenant, s.opts.Weight)
 		if err != nil {
 			if errors.Is(err, ErrOverloaded) {
@@ -1229,11 +1367,13 @@ func (s *IngestService) buildServed(ctx context.Context, eps float64, algo Algor
 			}
 			return nil, err
 		}
+		s.met.schedQueueWait.ObserveExemplar(time.Since(waitStart).Seconds(), obs.TraceIDOf(ctx))
 		s.met.schedGrants.Inc()
 		defer grant.release()
 		// The build runs under the grant's context so a watchdog kill
 		// cancels it mid-pipeline.
 		ctx = bctx
+		grant.startSpan.End()
 	} else {
 		select {
 		case s.buildSem <- struct{}{}:
@@ -1249,7 +1389,11 @@ func (s *IngestService) buildServed(ctx context.Context, eps float64, algo Algor
 	s.builds.Add(1)
 	s.met.serveBuilds.Inc()
 	buildStart := time.Now()
-	defer func() { s.met.serveBuildDuration.Observe(time.Since(buildStart).Seconds()) }()
+	defer func() { s.met.serveBuildDuration.ObserveExemplar(time.Since(buildStart).Seconds(), obs.TraceIDOf(ctx)) }()
+	bspan := obs.StartSpan(ctx, "build")
+	defer bspan.End()
+	bspan.SetAttr("eps", strconv.FormatFloat(eps, 'g', -1, 64))
+	bspan.SetAttr("algo", string(algo))
 
 	if s.buildHook != nil {
 		s.buildHook(ctx)
@@ -1281,13 +1425,31 @@ func (s *IngestService) buildServed(ctx context.Context, eps float64, algo Algor
 		// (and the stale path) can tell a kill from a caller hang-up.
 		err = fmt.Errorf("%w: slot budget exhausted mid-build", ErrWatchdogKilled)
 	}
+	if errors.Is(err, ErrWatchdogKilled) {
+		rt := obs.RequestFrom(ctx)
+		rt.MarkAnomaly(obs.FlightWatchdogKill)
+		bspan.SetAttr("error", "watchdog_killed")
+		s.flightDump(obs.FlightWatchdogKill, rt)
+	}
 	meta := s.checkpointMeta(sum.N())
+	// Checkpoint provenance on the build span: which durable generation
+	// the served stream state descends from.
+	bspan.SetAttr("checkpoint_generation", strconv.FormatUint(meta.Generation, 10))
+	bspan.SetAttr("stream_n", strconv.Itoa(meta.StreamN))
 	if q != nil && q.Report != nil {
 		q.Report.Checkpoint = meta
+		// The request trace adopts the build's own span tree, linking the
+		// front-door trace ID to every attempt/certify/repair span.
+		if q.Report.Trace != nil {
+			bspan.AttachChild(q.Report.Trace.Root)
+		}
 	}
 	var ue *UncertifiedError
 	if errors.As(err, &ue) && ue.Report != nil {
 		ue.Report.Checkpoint = meta
+		if ue.Report.Trace != nil {
+			bspan.AttachChild(ue.Report.Trace.Root)
+		}
 	}
 	if err == nil && s.stale != nil && q != nil && q.Report != nil && q.Report.Certified {
 		s.retainLastGood(eps, algo, q, sum.N())

@@ -173,6 +173,16 @@ type RegistryOptions struct {
 	// snapshot path — SnapshotDir empty and no per-tenant override —
 	// ignore it.
 	WAL *WALConfig
+	// TraceStore, when non-nil, arms the tracing layer fleet-wide: each
+	// tenant's restore trace is retained there, and the registry's
+	// flight recorder pulls a tenant's recent anomaly traces into its
+	// diagnostic bundles on watchdog kills, quarantine transitions, and
+	// storage failures. Nil disables both.
+	TraceStore *obs.TraceStore
+	// DiagDir overrides where flight-recorder bundles land. Empty
+	// derives <SnapshotDir>/<id>/diag/ per tenant (or nothing when the
+	// registry has no SnapshotDir — bundles then go to the log only).
+	DiagDir string
 
 	// clock overrides time.Now for quota buckets and the build watchdog
 	// (tests; injecting it disables the watchdog's background sweeper —
@@ -204,6 +214,12 @@ func (t *Tenant) Service() *IngestService { return t.svc }
 // IngestService.Feed; quota shedding adds ErrQuotaExceeded).
 func (t *Tenant) Feed(pts ...Point) error { return t.svc.Feed(pts...) }
 
+// FeedCtx is Feed with a request context for the tracing layer (see
+// IngestService.FeedCtx).
+func (t *Tenant) FeedCtx(ctx context.Context, pts ...Point) error {
+	return t.svc.FeedCtx(ctx, pts...)
+}
+
 // Coreset builds a certified coreset of the tenant's stream under the
 // registry's fair-share scheduler. eps ≤ 0 selects the tenant's
 // default ε.
@@ -220,6 +236,10 @@ func (t *Tenant) Stats() ServiceStats { return t.svc.Stats() }
 
 // Checkpoint forces a durable snapshot of the tenant's stream.
 func (t *Tenant) Checkpoint() error { return t.svc.Checkpoint() }
+
+// CheckpointCtx is Checkpoint with a request context for the tracing
+// layer (see IngestService.CheckpointCtx).
+func (t *Tenant) CheckpointCtx(ctx context.Context) error { return t.svc.CheckpointCtx(ctx) }
 
 // TenantInfo is one row of TenantRegistry.List.
 type TenantInfo struct {
@@ -243,9 +263,10 @@ type RegistryStats struct {
 // fair-share build scheduler. Create with NewTenantRegistry; stop with
 // Close (graceful per-tenant shutdown with final checkpoints).
 type TenantRegistry struct {
-	opts  RegistryOptions
-	log   *slog.Logger
-	sched *buildScheduler
+	opts   RegistryOptions
+	log    *slog.Logger
+	sched  *buildScheduler
+	flight *obs.FlightRecorder
 
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
@@ -351,6 +372,9 @@ func NewTenantRegistry(opts RegistryOptions) (*TenantRegistry, error) {
 		reserved:    make(map[string]struct{}),
 		quarantined: make(map[string]*quarantinedTenant),
 	}
+	// The flight recorder exists before restoreTenants so a quarantine
+	// during boot already dumps a bundle.
+	r.flight = obs.NewFlightRecorder(r.log, opts.TraceStore, obs.Default)
 	if opts.SnapshotDir != "" {
 		if err := os.MkdirAll(opts.SnapshotDir, 0o755); err != nil {
 			return nil, err
@@ -439,6 +463,20 @@ func (r *TenantRegistry) quarantineLocked(id, dir, reason string, err error, cfg
 		slog.String("tenant", id),
 		slog.String("reason", reason),
 		slog.Any("error", err))
+	r.flight.Dump(obs.FlightQuarantine, id, r.diagDir(id), nil)
+}
+
+// diagDir is where tenant id's flight-recorder bundles land: the
+// DiagDir override, else diag/ inside the tenant's snapshot directory,
+// else nowhere (log-only bundles).
+func (r *TenantRegistry) diagDir(id string) string {
+	switch {
+	case r.opts.DiagDir != "":
+		return filepath.Join(r.opts.DiagDir, id)
+	case r.opts.SnapshotDir != "":
+		return filepath.Join(r.opts.SnapshotDir, id, "diag")
+	}
+	return ""
 }
 
 // resolve fills a TenantConfig's zero fields from the registry
@@ -505,8 +543,11 @@ func (r *TenantRegistry) startTenant(cfg TenantConfig, createdAt time.Time, pers
 		QuotaPointsPerSec:  cfg.QuotaPointsPerSec,
 		QuotaBurst:         cfg.QuotaBurst,
 		StaleServe:         r.opts.StaleServe,
+		TraceStore:         r.opts.TraceStore,
 		sched:              r.sched,
 		clock:              r.opts.clock,
+		flight:             r.flight,
+		diagDir:            r.diagDir(cfg.ID),
 	})
 	if err != nil {
 		return nil, err
