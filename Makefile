@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-workers bench-json bench-cache faults fuzz chaos tenants degrade wal trace
+.PHONY: build test vet race verify bench bench-workers bench-json bench-cache bench-speed faults fuzz chaos tenants degrade wal trace speed
 
 build:
 	$(GO) build ./...
@@ -112,3 +112,19 @@ bench-json:
 # FixedSize full-build counts with and without a primed cache.
 bench-cache:
 	./scripts/bench_cache.sh
+
+# Regenerate the raw-speed snapshot (BENCH_speed.json): cold DG build
+# baseline vs pooled+warm-started (>= 5x speedup and >= 5x fewer allocs
+# required), cold certified auto build with the prefilter on vs off, and
+# the prefilter shrink ratio n/ξ.
+bench-speed:
+	./scripts/bench_speed.sh
+
+# Raw-speed correctness: the warm-start/prefilter determinism matrix
+# under the race detector, then the allocation-regression gates (plain —
+# race instrumentation inflates alloc counts, and the gate files are
+# built with //go:build !race).
+speed:
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+		-run 'TestDGWarmMatchesBaselineBitwise|TestSolverWarm|TestPrefilter' . ./internal/core/ ./internal/lp/
+	$(GO) test -count=1 -run 'TestSolverAllocsSteadyState|TestEdgeLPAllocs' ./internal/lp/ ./internal/core/

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"mincore/internal/faultinject"
@@ -123,9 +124,35 @@ func (inst *Instance) BuildDominanceGraphCtx(ctx context.Context, ipdg *voronoi.
 	// lower bounds on ε_ij (any u ∈ R(t_j) has loss ≤ the LP optimum), so
 	// a pair whose witness already shows ⟨t_i,u⟩ ≤ 0 — loss ≥ 1 — can
 	// skip its LP. This removes the far side of the hull from every
-	// cell's pair loop.
-	witnesses := inst.cellWitnesses(16*xi, 8)
-	stats := make([]dgStats, parallel.WorkersFor(inst.Workers, xi))
+	// cell's pair loop. Witnesses and the scan tour are memoized on the
+	// instance: both are pure functions of the extreme points.
+	witnesses, order := inst.dgSubstrate()
+	numW := parallel.WorkersFor(inst.Workers, xi)
+	stats := make([]dgStats, numW)
+	// One Solver and one scratch arena per worker: the constraint matrix
+	// of Eq. 2 is fixed per cell j (only the right-hand side t_i varies
+	// per pair), so within a cell every pair after the first warm-starts
+	// from the previous pair's optimal basis. The warm chain never
+	// crosses a cell boundary (each cell builds a fresh Problem), so the
+	// worker→cell partition cannot influence any result.
+	scratch := make([]dgScratch, numW)
+	for w := range scratch {
+		scratch[w].solver = &lp.Solver{
+			SkipFarkas: true, // eq2 ignores the certificate
+			ValueOnly:  true, // only Value/Status are read per pair
+			NoWarm:     inst.DisableLPWarmStart,
+		}
+	}
+	// Pair scan order: a greedy nearest-neighbor tour over the extreme
+	// points, so consecutive pairs hand the warm-started solver nearby
+	// right-hand sides. The previous pair's optimal basis is then usually
+	// feasible outright for the next pair (the zero-pivot warm tier) and
+	// otherwise a short dual repair, instead of the many-pivot repairs an
+	// index-order scan provokes. The tour is invisible in the output:
+	// edge weights are pair-local (canonical extraction makes them
+	// pivot-path-independent) and the per-cell lists are sorted by
+	// (weight, source index) below — exactly the order the old ascending
+	// scan plus stable-by-weight sort produced.
 	cellErrs := make([]error, xi)
 	err := parallel.ForWorker(ctx, inst.Workers, xi, func(w, j int) {
 		nbrs := ipdg.Neighbors(j)
@@ -133,18 +160,14 @@ func (inst *Instance) BuildDominanceGraphCtx(ctx context.Context, ipdg *voronoi.
 			nbrs = inst.augmentNeighbors(j, nbrs, 3*d+2)
 		}
 		tj := inst.ExtPts[j]
-		// Constraint rows are shared across all i for this j.
-		rows := make([][]float64, 0, len(nbrs))
-		for _, t := range nbrs {
-			row := make([]float64, d)
-			for k := 0; k < d; k++ {
-				row[k] = tj[k] - inst.ExtPts[t][k]
-			}
-			rows = append(rows, row)
-		}
+		scr := &scratch[w]
+		// Constraint rows (rows[k] = t_j − t_k) are shared across all i
+		// for this j; the backing arrays live in the worker's arena.
+		rows := scr.cellRows(inst, j, nbrs)
+		prob := scr.cellProblem(inst, rows, tj)
 		var edges []domEdge
 	pairs:
-		for i := 0; i < xi; i++ {
+		for _, i := range order {
 			if i == j {
 				continue
 			}
@@ -155,7 +178,10 @@ func (inst *Instance) BuildDominanceGraphCtx(ctx context.Context, ipdg *voronoi.
 				}
 			}
 			stats[w].lps++
-			ew, ok, lerr := inst.eq2LP(i, j, rows)
+			for dim := 0; dim < d; dim++ {
+				prob.SetConstraintRHS(dim, ti[dim])
+			}
+			ew, ok, lerr := eq2FromSolution(scr.solver.Solve(prob))
 			if lerr != nil {
 				cellErrs[j] = lerr
 				return
@@ -169,11 +195,11 @@ func (inst *Instance) BuildDominanceGraphCtx(ctx context.Context, ipdg *voronoi.
 			edges = append(edges, domEdge{from: i, weight: ew})
 			stats[w].edges++
 		}
-		// Ties sort by the (deterministic) scan order over i, so the
-		// per-cell list is stable across worker counts.
-		sort.SliceStable(edges, func(a, b int) bool {
-			return edges[a].weight < edges[b].weight
-		})
+		// Sorting by (weight, source index) reproduces the ascending
+		// scan's stable-by-weight order, so the list is identical across
+		// worker counts and scan orders. Concrete sort.Interface: the
+		// reflect-based sort.Slice swap was visible in the build profile.
+		sort.Sort(domEdgesByWeight(edges))
 		dg.edges[j] = edges
 	})
 	if err != nil {
@@ -195,6 +221,218 @@ func (inst *Instance) BuildDominanceGraphCtx(ctx context.Context, ipdg *voronoi.
 	return dg, nil
 }
 
+// dgScratch is a per-worker arena for the dominance-graph build: the LP
+// solver (with its pooled tableau and warm-start state) plus the
+// per-cell constraint-row and coefficient buffers, all reused across
+// every cell the worker processes. Nothing in it is shared between
+// workers, and nothing it holds influences results — cells build fresh
+// Problems, so solver state cannot leak across cells.
+type dgScratch struct {
+	solver   *lp.Solver
+	rowsBack []float64   // flat nr×d backing for the constraint rows
+	rows     [][]float64 // row views into rowsBack
+	crow     []float64   // one coefficient row of the Eq. 2 dual
+	obj      []float64   // objective buffer (cloned by SetObjective)
+}
+
+// cellRows fills the arena with the constraint rows for cell j
+// (rows[k] = t_j − t_k over the neighbor set) and returns the row views.
+func (scr *dgScratch) cellRows(inst *Instance, j int, nbrs []int) [][]float64 {
+	d := inst.D
+	nr := len(nbrs)
+	if cap(scr.rowsBack) < nr*d {
+		scr.rowsBack = make([]float64, nr*d)
+	}
+	back := scr.rowsBack[:nr*d]
+	if cap(scr.rows) < nr {
+		scr.rows = make([][]float64, nr)
+	}
+	rows := scr.rows[:nr]
+	tj := inst.ExtPts[j]
+	for k, t := range nbrs {
+		row := back[k*d : (k+1)*d : (k+1)*d]
+		tk := inst.ExtPts[t]
+		for dim := 0; dim < d; dim++ {
+			row[dim] = tj[dim] - tk[dim]
+		}
+		rows[k] = row
+	}
+	return rows
+}
+
+// cellProblem builds the Eq. 2 dual for cell j with placeholder
+// right-hand sides; the per-pair loop retargets them with
+// SetConstraintRHS, which is what keeps the solver's warm basis valid
+// across pairs. The problem matches eq2LP's construction coefficient
+// for coefficient.
+func (scr *dgScratch) cellProblem(inst *Instance, rows [][]float64, tj geom.Vector) *lp.Problem {
+	d := inst.D
+	nr := len(rows)
+	prob := lp.NewProblem(nr + 1) // vars: w_k ≥ 0, v free
+	for k := 0; k < nr; k++ {
+		prob.SetNonNegative(k)
+	}
+	if cap(scr.obj) < nr+1 {
+		scr.obj = make([]float64, nr+1)
+	}
+	obj := scr.obj[:nr+1]
+	for k := range obj {
+		obj[k] = 0
+	}
+	obj[nr] = 1
+	prob.SetObjective(obj, true)
+	if cap(scr.crow) < nr+1 {
+		scr.crow = make([]float64, nr+1)
+	}
+	crow := scr.crow[:nr+1]
+	for dim := 0; dim < d; dim++ {
+		for k := 0; k < nr; k++ {
+			crow[k] = rows[k][dim]
+		}
+		crow[nr] = tj[dim]
+		prob.AddEQ(crow, 0)
+	}
+	return prob
+}
+
+// domEdgesByWeight orders a cell's incoming edges by (weight, source
+// index) — a total order (sources are distinct), so every sort
+// algorithm produces the same list.
+type domEdgesByWeight []domEdge
+
+func (e domEdgesByWeight) Len() int      { return len(e) }
+func (e domEdgesByWeight) Swap(i, j int) { e[i], e[j] = e[j], e[i] }
+func (e domEdgesByWeight) Less(i, j int) bool {
+	if e[i].weight != e[j].weight {
+		return e[i].weight < e[j].weight
+	}
+	return e[i].from < e[j].from
+}
+
+// dgSubstrate returns the memoized dominance-graph build substrate:
+// the per-cell witness directions and the greedy nearest-neighbor scan
+// tour. Both are pure deterministic functions of the extreme points,
+// so one computation serves every build on this instance.
+func (inst *Instance) dgSubstrate() ([][]geom.Vector, []int) {
+	inst.dgOnce.Do(func() {
+		inst.dgWitnesses = inst.cellWitnesses(16*inst.Xi(), 8)
+		inst.dgTour = scanTour(inst.ExtPts)
+	})
+	return inst.dgWitnesses, inst.dgTour
+}
+
+// scanTour returns a greedy nearest-neighbor tour over the points,
+// starting at index 0 and always stepping to the closest unvisited
+// point (squared Euclidean distance, ties to the smaller index). The
+// dominance-graph pair loop scans in this order so that consecutive LP
+// right-hand sides are spatially close — the property the solver's
+// warm tiers feed on. O(ξ²·d), a rounding error next to the ξ² LPs it
+// accelerates, and fully deterministic.
+func scanTour(pts []geom.Vector) []int {
+	n := len(pts)
+	order := make([]int, 0, n)
+	visited := make([]bool, n)
+	cur := 0
+	for len(order) < n {
+		order = append(order, cur)
+		visited[cur] = true
+		tc := pts[cur]
+		next, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if visited[i] {
+				continue
+			}
+			var d2 float64
+			for k, v := range pts[i] {
+				dv := v - tc[k]
+				d2 += dv * dv
+			}
+			if d2 < best {
+				best, next = d2, i
+			}
+		}
+		if next < 0 {
+			break
+		}
+		cur = next
+	}
+	return order
+}
+
+// eq2FromSolution maps an Eq. 2 dual solution to (ε_ij, edge-exists,
+// error) exactly as eq2LP does.
+func eq2FromSolution(sol lp.Solution) (float64, bool, error) {
+	switch sol.Status {
+	case lp.Optimal:
+		return 1 - sol.Value, true, nil
+	case lp.Infeasible, lp.Unbounded:
+		// Infeasible dual ⇒ unbounded primal ⇒ no edge. An unbounded
+		// dual ⇒ infeasible primal, impossible for t_j ≠ 0; dropping
+		// the edge is conservative either way (coresets only grow).
+		return 0, false, nil
+	default:
+		return 0, false, lpFailure(sol.Status)
+	}
+}
+
+// BuildDominanceGraphBaseline is the pre-warm-start reference build: one
+// freshly allocated Problem and cold two-phase solve per ordered pair,
+// sequential. It exists for the speed benchmarks and for the
+// differential test pinning the pooled warm-started path to it — the
+// two must agree bitwise on every edge weight.
+func (inst *Instance) BuildDominanceGraphBaseline(ipdg *voronoi.IPDG) (*DominanceGraph, error) {
+	xi := inst.Xi()
+	dg := &DominanceGraph{Xi: xi, edges: make([][]domEdge, xi), IPDGEdges: ipdg.NumEdges()}
+	d := inst.D
+	witnesses, _ := inst.dgSubstrate() // same memoized filter as the fast path
+	for j := 0; j < xi; j++ {
+		nbrs := ipdg.Neighbors(j)
+		if d > 3 {
+			nbrs = inst.augmentNeighbors(j, nbrs, 3*d+2)
+		}
+		tj := inst.ExtPts[j]
+		rows := make([][]float64, 0, len(nbrs))
+		for _, t := range nbrs {
+			row := make([]float64, d)
+			for k := 0; k < d; k++ {
+				row[k] = tj[k] - inst.ExtPts[t][k]
+			}
+			rows = append(rows, row)
+		}
+		var edges []domEdge
+	pairs:
+		for i := 0; i < xi; i++ {
+			if i == j {
+				continue
+			}
+			ti := inst.ExtPts[i]
+			for _, u := range witnesses[j] {
+				if geom.Dot(ti, u) <= 0 {
+					continue pairs
+				}
+			}
+			dg.NumLPs++
+			ew, ok, lerr := inst.eq2LP(i, j, rows)
+			if lerr != nil {
+				return nil, fmt.Errorf("core: dominance-graph edge LP: %w", lerr)
+			}
+			if !ok || ew >= 1 {
+				continue
+			}
+			if ew < 0 {
+				ew = 0
+			}
+			edges = append(edges, domEdge{from: i, weight: ew})
+			dg.NumEdges++
+		}
+		sort.SliceStable(edges, func(a, b int) bool {
+			return edges[a].weight < edges[b].weight
+		})
+		dg.edges[j] = edges
+	}
+	return dg, nil
+}
+
 // cellWitnesses samples directions on the sphere and records, for each
 // extreme point, up to maxPer directions it owns (directions inside its
 // exact Voronoi cell).
@@ -212,9 +450,15 @@ func (inst *Instance) cellWitnesses(samples, maxPer int) [][]geom.Vector {
 
 // augmentNeighbors extends a sampled neighbor list with the k extreme
 // points of largest cosine similarity to t_j (excluding j itself and
-// points already listed).
+// points already listed), ties to the smaller index. Partial selection
+// into a k-slot buffer instead of a full sort: k is a small constant
+// (3d+2) while the candidate set is all ξ extreme points, and this runs
+// once per cell in every dominance-graph build. Deterministic, and
+// shared by the pooled and baseline builds, so both see identical
+// neighbor sets.
 func (inst *Instance) augmentNeighbors(j int, nbrs []int, k int) []int {
-	have := make(map[int]bool, len(nbrs)+1)
+	xi := inst.Xi()
+	have := make([]bool, xi)
 	have[j] = true
 	for _, t := range nbrs {
 		have[t] = true
@@ -224,19 +468,33 @@ func (inst *Instance) augmentNeighbors(j int, nbrs []int, k int) []int {
 		id  int
 		sim float64
 	}
-	cands := make([]cand, 0, inst.Xi()-1)
-	for t := 0; t < inst.Xi(); t++ {
+	// top is kept sorted by (sim descending, id ascending). The scan
+	// visits ids in ascending order, so an incumbent never loses a tie:
+	// equal-sim candidates neither displace the buffer tail nor bubble
+	// past an earlier entry.
+	top := make([]cand, 0, k)
+	for t := 0; t < xi; t++ {
 		if have[t] {
 			continue
 		}
-		p := inst.ExtPts[t]
-		sim := geomDotCos(tj, p)
-		cands = append(cands, cand{t, sim})
+		sim := geomDotCos(tj, inst.ExtPts[t])
+		if len(top) == k {
+			if sim <= top[k-1].sim {
+				continue
+			}
+			top = top[:k-1]
+		}
+		i := len(top)
+		top = append(top, cand{t, sim})
+		for i > 0 && top[i-1].sim < sim {
+			top[i], top[i-1] = top[i-1], top[i]
+			i--
+		}
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].sim > cands[b].sim })
-	out := append([]int(nil), nbrs...)
-	for i := 0; i < k && i < len(cands); i++ {
-		out = append(out, cands[i].id)
+	out := make([]int, 0, len(nbrs)+len(top))
+	out = append(out, nbrs...)
+	for _, c := range top {
+		out = append(out, c.id)
 	}
 	return out
 }

@@ -51,6 +51,12 @@ type Instance struct {
 	// bitwise identical for every value.
 	Workers int
 
+	// DisableLPWarmStart forces every dominance-graph edge LP to solve
+	// cold instead of warm-starting from the previous pair's basis.
+	// Outputs are bitwise identical either way (see lp.Solver); the
+	// switch exists for determinism tests and benchmarks.
+	DisableLPWarmStart bool
+
 	// 2D-only caches (nil in higher dimensions).
 	BoundaryVecs []geom.Vector // u*_i between consecutive extreme points
 
@@ -63,6 +69,14 @@ type Instance struct {
 	// scmcDirBlock.
 	scmcMu     sync.Mutex
 	scmcBlocks map[scmcBlockKey]*scmcBlock
+
+	// Dominance-graph substrate memo: the witness directions and the
+	// warm-start scan tour are pure deterministic functions of the
+	// extreme points (fixed sample seed, greedy tour), so repeated
+	// builds on one instance share them. See dgSubstrate.
+	dgOnce      sync.Once
+	dgWitnesses [][]geom.Vector
+	dgTour      []int
 }
 
 // NewInstance preprocesses pts: extracts extreme points (Clarkson / hulls),
@@ -106,6 +120,42 @@ func NewInstance(pts []geom.Vector, opts ...hull.Option) (*Instance, error) {
 	}
 	inst.tree = mips.NewKDTree(pts)
 	inst.extTree = mips.NewKDTree(inst.ExtPts)
+	return inst, nil
+}
+
+// NewInstanceFromExtremes builds an instance over a point set that is
+// already known to consist solely of extreme points in canonical order —
+// the ExtPts of a previously built instance (CCW-sorted for d=2). It
+// skips hull enumeration entirely: X is the identity and both search
+// trees share one kd-tree. This is the extreme-point prefilter's work
+// instance: every derived structure (ExtPts order, fatness, boundary
+// vectors) is bitwise identical to the parent's, so algorithms running
+// on it produce the same selections as on the parent, just over ξ
+// points instead of n.
+func NewInstanceFromExtremes(extPts []geom.Vector) (*Instance, error) {
+	if len(extPts) == 0 {
+		return nil, fmt.Errorf("core: empty point set")
+	}
+	d := extPts[0].Dim()
+	inst := &Instance{Pts: extPts, D: d}
+	inst.X = make([]int, len(extPts))
+	for i := range inst.X {
+		inst.X[i] = i
+	}
+	inst.ExtPts = extPts
+	inst.Alpha = transform.EmpiricalFatness(inst.ExtPts, 1024, 1)
+	if inst.Alpha <= 0 {
+		return nil, fmt.Errorf("core: point set is not fat (α=%g ≤ 0); apply transform.Fatten first", inst.Alpha)
+	}
+	if d == 2 {
+		bv, err := voronoi.BoundaryVectors2D(inst.ExtPts)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		inst.BoundaryVecs = bv
+	}
+	inst.tree = mips.NewKDTree(extPts)
+	inst.extTree = inst.tree
 	return inst, nil
 }
 

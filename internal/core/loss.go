@@ -178,7 +178,12 @@ func (inst *Instance) LossExactLPCtx(ctx context.Context, q []int) (float64, err
 	vals := make([]float64, len(inst.ExtPts))
 	errs := make([]error, len(inst.ExtPts))
 	var lossOne atomic.Bool
-	err = parallel.For(ctx, inst.Workers, len(inst.ExtPts), func(k int) {
+	// Per-worker scratch: the owner LPs differ in their coefficient
+	// matrix (the owner point is a column), so no warm-starting — but the
+	// pooled solver still reuses the tableau and extraction buffers
+	// across every owner the worker evaluates.
+	scratch := make([]lossScratch, parallel.WorkersFor(inst.Workers, len(inst.ExtPts)))
+	err = parallel.ForWorker(ctx, inst.Workers, len(inst.ExtPts), func(w, k int) {
 		if lossOne.Load() {
 			return
 		}
@@ -188,7 +193,7 @@ func (inst *Instance) LossExactLPCtx(ctx context.Context, q []int) (float64, err
 		if inQ[coordKey(t)] {
 			return
 		}
-		val, ok, lerr := lossLPForOwner(t, qx, d)
+		val, ok, lerr := scratch[w].lossLPForOwner(t, qx, d)
 		if lerr != nil {
 			errs[k] = lerr
 			return
@@ -219,6 +224,15 @@ func (inst *Instance) LossExactLPCtx(ctx context.Context, q []int) (float64, err
 	return clampLoss(worst), nil
 }
 
+// lossScratch is the per-worker arena for LossExactLP: a pooled solver
+// plus the objective/row coefficient buffers (the Problem clones what it
+// keeps, so the buffers never alias solver state).
+type lossScratch struct {
+	solver lp.Solver
+	obj    []float64
+	row    []float64
+}
+
 // lossLPForOwner solves the per-owner loss LP. ok=false signals an
 // unbounded primal (loss 1); a non-nil error signals a solver failure
 // (iteration limit, malformed tableau, or an impossible status) whose
@@ -234,34 +248,42 @@ func (inst *Instance) LossExactLPCtx(ctx context.Context, q []int) (float64, err
 // By strong duality the optimum equals the primal maximum; an infeasible
 // dual means an unbounded primal (the coreset leaves a whole direction
 // cone uncovered).
-func lossLPForOwner(t geom.Vector, qx []geom.Vector, d int) (float64, bool, error) {
+func (scr *lossScratch) lossLPForOwner(t geom.Vector, qx []geom.Vector, d int) (float64, bool, error) {
 	if faultinject.Fail(faultinject.SiteLossLP) {
 		return 0, false, fmt.Errorf("core: loss-LP failpoint: %w", ErrNumericalInstability)
 	}
+	scr.solver.SkipFarkas = true // only Status/Value are read
+	scr.solver.ValueOnly = true
 	nq := len(qx)
 	prob := lp.NewProblem(nq + 1) // vars: y_q ≥ 0, z free
 	for j := 0; j < nq; j++ {
 		prob.SetNonNegative(j)
 	}
-	obj := make([]float64, nq+1)
+	if cap(scr.obj) < nq+1 {
+		scr.obj = make([]float64, nq+1)
+	}
+	obj := scr.obj[:nq+1]
 	for j := range obj {
 		obj[j] = 1
 	}
 	prob.SetObjective(obj, false)
-	row := make([]float64, nq+1)
+	if cap(scr.row) < nq+1 {
+		scr.row = make([]float64, nq+1)
+	}
+	row := scr.row[:nq+1]
 	for i := 0; i < d; i++ {
 		for j, qp := range qx {
 			row[j] = qp[i]
 		}
 		row[nq] = t[i]
-		prob.AddEQ(append([]float64(nil), row...), 0)
+		prob.AddEQ(row, 0)
 	}
-	ones := make([]float64, nq+1)
 	for j := 0; j < nq; j++ {
-		ones[j] = 1
+		row[j] = 1
 	}
-	prob.AddEQ(ones, 1)
-	sol := prob.Solve()
+	row[nq] = 0
+	prob.AddEQ(row, 1)
+	sol := scr.solver.Solve(prob)
 	switch sol.Status {
 	case lp.Optimal:
 		return sol.Value, true, nil

@@ -207,9 +207,19 @@ func (inst *Instance) scmcSolveCtx(ctx context.Context, dirs []geom.Vector, gamm
 // maxima (omega[k] = ω(P, dirs[k]); nil computes them inline). The
 // precomputed values are the same exact MIPS answers the inline path
 // produces, so results are bitwise identical either way.
+//
+// Candidates are restricted to the extreme points: every direction's
+// exact maximizer is extreme and lies in its own γ-approximate set, so a
+// cover over extreme candidates always exists, and the doubling loop
+// revalidates each stage with the exact loss — the restriction never
+// costs correctness. It also keys the whole computation (threshold
+// queries, owner ordering, greedy tie-breaks) to the extreme-point
+// indexing, which is what makes the extreme-point prefilter's work
+// instance produce exactly the same cover as the full instance, and
+// shrinks the range queries from n points to ξ.
 func (inst *Instance) scmcSolveOmega(ctx context.Context, dirs []geom.Vector, omega []float64, gamma float64) ([]int, error) {
-	// Stage 1 (parallel): for each direction, collect the points within
-	// the γ-approximation of the maximum.
+	// Stage 1 (parallel): for each direction, collect the extreme points
+	// within the γ-approximation of the maximum.
 	hits := make([][]int, len(dirs))
 	skip := make([]bool, len(dirs))
 	bufs := make([][]int, parallel.WorkersFor(inst.Workers, len(dirs)))
@@ -225,22 +235,22 @@ func (inst *Instance) scmcSolveOmega(ctx context.Context, dirs []geom.Vector, om
 			skip[k] = true
 			return
 		}
-		bufs[w] = inst.tree.AboveThreshold(u, (1-gamma)*wmax, bufs[w][:0])
+		bufs[w] = inst.extTree.AboveThreshold(u, (1-gamma)*wmax, bufs[w][:0])
 		hits[k] = append([]int(nil), bufs[w]...)
 	})
 	if err != nil {
 		return nil, err
 	}
 	// Stage 2 (sequential): compact skipped directions and invert into
-	// per-point sets in direction order.
+	// per-extreme-point sets in direction order.
 	perPoint := make(map[int][]int)
 	kept := 0
 	for k := range hits {
 		if skip[k] {
 			continue
 		}
-		for _, pid := range hits[k] {
-			perPoint[pid] = append(perPoint[pid], kept)
+		for _, e := range hits[k] {
+			perPoint[e] = append(perPoint[e], kept)
 		}
 		kept++
 	}
@@ -248,13 +258,15 @@ func (inst *Instance) scmcSolveOmega(ctx context.Context, dirs []geom.Vector, om
 		return nil, nil
 	}
 	owners := make([]int, 0, len(perPoint))
-	for pid := range perPoint {
-		owners = append(owners, pid)
+	for e := range perPoint {
+		owners = append(owners, e)
 	}
-	sort.Ints(owners) // fixed greedy tie-breaking, independent of map order
+	// Fixed greedy tie-breaking in extreme-point index order, independent
+	// of map order and of the instance's original point numbering.
+	sort.Ints(owners)
 	sets := make([][]int, len(owners))
-	for i, pid := range owners {
-		sets[i] = perPoint[pid]
+	for i, e := range owners {
+		sets[i] = perPoint[e]
 	}
 	chosen, uncovered := setcover.Greedy(kept, sets)
 	if uncovered > 0 {
@@ -264,7 +276,7 @@ func (inst *Instance) scmcSolveOmega(ctx context.Context, dirs []geom.Vector, om
 	}
 	out := make([]int, len(chosen))
 	for i, s := range chosen {
-		out[i] = owners[s]
+		out[i] = inst.X[owners[s]]
 	}
 	return out, nil
 }

@@ -1,0 +1,34 @@
+//go:build !race
+
+package core
+
+import "testing"
+
+// Allocation-regression gate on the dominance-graph edge-LP loop: the
+// pooled per-worker solvers and per-cell problems keep the build at a
+// handful of allocations per CELL (currently ~70, dominated by the
+// witness directions and per-cell problem setup), where the pre-pooling
+// code paid hundreds per PAIR (~840 per cell, ~219k per build on this
+// instance). The ceiling is set with headroom above the per-cell cost
+// but far below any per-pair regression, which would blow past it by an
+// order of magnitude. Excluded under the race detector, whose
+// instrumentation inflates allocation counts.
+func TestEdgeLPAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate builds a ξ≈260 instance")
+	}
+	inst := gaussianInstance(t, 5000, 5, 7)
+	ipdg := inst.BuildIPDG(0, 1)
+	inst.Workers = 1
+	avg := testing.AllocsPerRun(3, func() {
+		if _, err := inst.BuildDominanceGraph(ipdg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	xi := inst.Xi()
+	ceiling := float64(120*xi + 2000)
+	if avg > ceiling {
+		t.Fatalf("DG build allocates %.0f objects (ξ=%d, %.1f/cell), ceiling %.0f — the allocation diet regressed",
+			avg, xi, avg/float64(xi), ceiling)
+	}
+}

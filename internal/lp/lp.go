@@ -17,8 +17,6 @@ package lp
 import (
 	"errors"
 	"fmt"
-
-	"mincore/internal/obs"
 )
 
 // Status reports the outcome of Solve.
@@ -88,6 +86,12 @@ type Problem struct {
 	constraints []constraint
 	nonneg      []bool
 	err         error // first construction error; sticky
+
+	// structGen counts structural mutations (constraints added, objective
+	// or nonnegativity changed). A retained Solver warm-starts only while
+	// the generation it captured still matches; SetConstraintRHS leaves it
+	// untouched, which is exactly what makes rhs-only resolves warm.
+	structGen uint64
 }
 
 // NewProblem returns an empty problem over numVars free variables with a
@@ -123,10 +127,14 @@ func (p *Problem) SetObjective(coeffs []float64, maximize bool) {
 	}
 	p.objective = append([]float64(nil), coeffs...)
 	p.maximize = maximize
+	p.structGen++
 }
 
 // SetNonNegative constrains variable i to x_i ≥ 0.
-func (p *Problem) SetNonNegative(i int) { p.nonneg[i] = true }
+func (p *Problem) SetNonNegative(i int) {
+	p.nonneg[i] = true
+	p.structGen++
+}
 
 // AddConstraint appends the constraint coeffs·x (sense) rhs. A
 // coefficient vector of the wrong length marks the problem malformed
@@ -143,6 +151,23 @@ func (p *Problem) AddConstraint(coeffs []float64, sense Sense, rhs float64) {
 		sense:  sense,
 		rhs:    rhs,
 	})
+	p.structGen++
+}
+
+// SetConstraintRHS replaces the right-hand side of constraint i, keeping
+// its coefficients and sense. This is the warm-restart hook: a Solver
+// that solved this problem can resolve after rhs-only changes from the
+// previous optimal basis without rebuilding the tableau. An out-of-range
+// index marks the problem malformed (Solve reports BadProblem) instead
+// of panicking.
+func (p *Problem) SetConstraintRHS(i int, rhs float64) {
+	if i < 0 || i >= len(p.constraints) {
+		if p.err == nil {
+			p.err = fmt.Errorf("%w: SetConstraintRHS(%d) with %d constraints", ErrBadProblem, i, len(p.constraints))
+		}
+		return
+	}
+	p.constraints[i].rhs = rhs
 }
 
 // AddLE appends coeffs·x ≤ rhs.
@@ -171,40 +196,13 @@ type Solution struct {
 
 // Solve runs the two-phase simplex method and returns the solution. A
 // problem marked malformed at construction time reports BadProblem.
+//
+// Each call uses a throwaway Solver, so the returned slices are freshly
+// allocated and independent of later solves. Callers in a hot loop
+// should hold a Solver of their own: it pools the tableau across solves
+// and warm-starts rhs-only resolves, returning bitwise-identical
+// solutions.
 func (p *Problem) Solve() Solution {
-	if p.err != nil {
-		if obs.On() {
-			mSolves.Inc()
-			mFailures.Inc()
-		}
-		return Solution{Status: BadProblem}
-	}
-	if p.numVars == 0 {
-		if obs.On() {
-			mSolves.Inc()
-		}
-		return Solution{Status: Optimal, X: nil, Value: 0}
-	}
-	t := newTableau(p)
-	st := t.solve()
-	if obs.On() {
-		mSolves.Inc()
-		mPivots.Add(uint64(t.pivots))
-		if st == IterLimit {
-			mFailures.Inc()
-		}
-	}
-	if st == Infeasible {
-		return Solution{Status: st, Farkas: t.farkas}
-	}
-	if st != Optimal {
-		return Solution{Status: st}
-	}
-	x := t.extract()
-	// Report the objective in the caller's orientation.
-	var v float64
-	for i, c := range p.objective {
-		v += c * x[i]
-	}
-	return Solution{Status: Optimal, X: x, Value: v}
+	var s Solver
+	return s.Solve(p)
 }

@@ -12,4 +12,13 @@ var (
 		"Simplex pivot operations across all solves.", nil)
 	mFailures = obs.Default.Counter("mincore_lp_failures_total",
 		"Solves ending in iteration-limit or bad-problem status.", nil)
+	mWarmSolves = obs.Default.Counter("mincore_lp_warm_solves_total",
+		"Solves answered outright by the previous optimal basis (feasible for the new rhs, zero pivots).",
+		nil)
+	mWarmDualSolves = obs.Default.Counter("mincore_lp_warm_dual_solves_total",
+		"Warm solves repaired by the dual simplex after an rhs change left the retained basis infeasible.",
+		nil)
+	mWarmFallbacks = obs.Default.Counter("mincore_lp_warm_fallbacks_total",
+		"Warm-eligible solves the dual repair could not finish (budget or infeasibility), forcing a cold two-phase solve.",
+		nil)
 )

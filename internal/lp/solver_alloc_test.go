@@ -1,0 +1,33 @@
+//go:build !race
+
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Allocation-regression gate for the pooled solver: after the first
+// solve warms the buffers, rhs-only resolves with ReuseX+SkipFarkas must
+// not allocate at all. The gate is excluded under the race detector,
+// whose instrumentation inflates allocation counts.
+func TestSolverAllocsSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p, setRHS := eq2Style(rng, 3, 5)
+	s := &Solver{ReuseX: true, SkipFarkas: true}
+	rhs := make([]float64, 3)
+	setRHS(rhs)
+	s.Solve(p) // warm the pools
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		i++
+		for dim := range rhs {
+			rhs[dim] = float64((i*7+dim*3)%11) - 5
+		}
+		setRHS(rhs)
+		s.Solve(p)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state solve allocates %.1f objects/op, want 0", avg)
+	}
+}

@@ -1,0 +1,390 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// eq2Style builds a dominance-graph-shaped edge LP: d equality rows over
+// nr+1 nonnegative variables (weights plus a distinguished last one),
+// closed by a convex-combination row Σx = 1, maximizing the last
+// variable. Feasible iff the varying right-hand side lies in the hull of
+// the random columns — so a resolve sequence exercises Optimal and
+// Infeasible alike. Returns the problem and a function retargeting the d
+// varying right-hand sides.
+func eq2Style(rng *rand.Rand, d, nr int) (*Problem, func(rhs []float64)) {
+	p := NewProblem(nr + 1)
+	for k := 0; k <= nr; k++ {
+		p.SetNonNegative(k)
+	}
+	obj := make([]float64, nr+1)
+	obj[nr] = 1
+	p.SetObjective(obj, true)
+	cols := make([][]float64, nr+1)
+	for k := range cols {
+		cols[k] = make([]float64, d)
+		for dim := range cols[k] {
+			cols[k][dim] = rng.NormFloat64()
+		}
+	}
+	crow := make([]float64, nr+1)
+	for dim := 0; dim < d; dim++ {
+		for k := 0; k <= nr; k++ {
+			crow[k] = cols[k][dim]
+		}
+		p.AddEQ(crow, 0)
+	}
+	ones := make([]float64, nr+1)
+	for k := range ones {
+		ones[k] = 1
+	}
+	p.AddEQ(ones, 1)
+	return p, func(rhs []float64) {
+		for dim := 0; dim < d; dim++ {
+			p.SetConstraintRHS(dim, rhs[dim])
+		}
+	}
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Warm-started resolves must return bitwise-identical solutions to cold
+// solves of the same problem: same Status, same Value bits, same X bits.
+// This is the contract the dominance-graph build relies on for
+// determinism across warm-start on/off.
+func TestSolverWarmMatchesColdBitwise(t *testing.T) {
+	warmed := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(3)
+		nr := d + 1 + rng.Intn(4)
+		warmP, setWarm := eq2Style(rand.New(rand.NewSource(seed)), d, nr)
+		coldP, setCold := eq2Style(rand.New(rand.NewSource(seed)), d, nr)
+		warm := &Solver{}
+		cold := &Solver{NoWarm: true}
+		for trial := 0; trial < 30; trial++ {
+			rhs := make([]float64, d)
+			for dim := range rhs {
+				rhs[dim] = 0.25 * rng.NormFloat64()
+			}
+			setWarm(rhs)
+			setCold(rhs)
+			before := warm.warmOK
+			ws := warm.Solve(warmP)
+			cs := cold.Solve(coldP)
+			if before && ws.Status == Optimal {
+				warmed++
+			}
+			if ws.Status != cs.Status {
+				t.Fatalf("seed %d trial %d: warm status %v, cold %v", seed, trial, ws.Status, cs.Status)
+			}
+			if ws.Status != Optimal {
+				continue
+			}
+			if math.Float64bits(ws.Value) != math.Float64bits(cs.Value) {
+				t.Fatalf("seed %d trial %d: warm value %v != cold %v", seed, trial, ws.Value, cs.Value)
+			}
+			if !bitsEqual(ws.X, cs.X) {
+				t.Fatalf("seed %d trial %d: warm X %v != cold X %v", seed, trial, ws.X, cs.X)
+			}
+		}
+	}
+	if warmed == 0 {
+		t.Fatal("warm path never engaged; test is vacuous")
+	}
+}
+
+// A structural mutation (new constraint, changed objective) must drop the
+// warm basis rather than warm-start against a stale tableau.
+func TestSolverStructuralChangeInvalidatesWarm(t *testing.T) {
+	p := NewProblem(2)
+	p.SetNonNegative(0)
+	p.SetNonNegative(1)
+	p.SetObjective([]float64{1, 1}, true)
+	p.AddLE([]float64{1, 0}, 4)
+	p.AddLE([]float64{0, 1}, 5)
+	s := &Solver{}
+	if got := s.Solve(p); got.Status != Optimal || math.Abs(got.Value-9) > 1e-9 {
+		t.Fatalf("first solve: %+v", got)
+	}
+	if !s.warmOK {
+		t.Fatal("expected warm-startable basis after optimal solve")
+	}
+	p.AddLE([]float64{1, 1}, 6) // structural change
+	got := s.Solve(p)
+	if got.Status != Optimal || math.Abs(got.Value-6) > 1e-9 {
+		t.Fatalf("after structural change: %+v", got)
+	}
+	if got.X[0]+got.X[1] > 6+1e-9 {
+		t.Fatalf("stale warm basis ignored the new constraint: %v", got.X)
+	}
+}
+
+// An infeasible warm basis (rhs moved far enough that the retained basic
+// values go negative) must fall back to a cold two-phase solve and still
+// return the right answer, including flipping to Infeasible.
+func TestSolverWarmFallbackOnInfeasibleBasis(t *testing.T) {
+	// x0 + x1 = rhs over nonnegative variables, maximize x0.
+	p := NewProblem(2)
+	p.SetNonNegative(0)
+	p.SetNonNegative(1)
+	p.SetObjective([]float64{1, 0}, true)
+	p.AddEQ([]float64{1, 1}, 3)
+	s := &Solver{}
+	if got := s.Solve(p); got.Status != Optimal || math.Abs(got.Value-3) > 1e-9 {
+		t.Fatalf("rhs=3: %+v", got)
+	}
+	// rhs = −1: no nonnegative solution. The warm basis recomputes to a
+	// negative basic value, forcing the cold path, which proves
+	// infeasibility.
+	p.SetConstraintRHS(0, -1)
+	if got := s.Solve(p); got.Status != Infeasible {
+		t.Fatalf("rhs=-1: want Infeasible, got %+v", got)
+	}
+	// And back to feasible again.
+	p.SetConstraintRHS(0, 7)
+	if got := s.Solve(p); got.Status != Optimal || math.Abs(got.Value-7) > 1e-9 {
+		t.Fatalf("rhs=7: %+v", got)
+	}
+}
+
+// Regression for the silent `_ = pivoted` no-op: a redundant equality
+// whose artificial cannot be driven out of the basis must have its row
+// neutralized (zeroed, rhs pinned to 0) so later pivots can never drift
+// the artificial away from zero and phase 2 cannot select the row.
+func TestRedundantRowNeutralized(t *testing.T) {
+	// Two copies of the same equality: phase 1 leaves one artificial
+	// basic in a row that is all zeros over structural columns.
+	p := NewProblem(2)
+	p.SetNonNegative(0)
+	p.SetNonNegative(1)
+	p.SetObjective([]float64{1, 0}, true)
+	p.AddEQ([]float64{1, 1}, 1)
+	p.AddEQ([]float64{1, 1}, 1)
+	s := &Solver{}
+	got := s.Solve(p)
+	if got.Status != Optimal || math.Abs(got.Value-1) > 1e-9 {
+		t.Fatalf("redundant system: %+v", got)
+	}
+	if got.X[0]+got.X[1] < 1-1e-9 || got.X[0]+got.X[1] > 1+1e-9 {
+		t.Fatalf("solution violates x0+x1=1: %v", got.X)
+	}
+	// White-box: the row holding the stuck artificial must be the unit
+	// row of that artificial with zero rhs.
+	tb := &s.t
+	found := false
+	for r := 0; r < tb.m; r++ {
+		if tb.basis[r] < tb.n {
+			continue
+		}
+		found = true
+		row := tb.a[r]
+		for j := range row {
+			want := 0.0
+			if j == tb.basis[r] {
+				want = 1
+			}
+			if row[j] != want {
+				t.Fatalf("redundant row %d not neutralized: a[%d][%d]=%v", r, r, j, row[j])
+			}
+		}
+		if tb.b[r] != 0 {
+			t.Fatalf("redundant row %d rhs not pinned to 0: %v", r, tb.b[r])
+		}
+	}
+	if !found {
+		t.Skip("simplex drove all artificials out; neutralization not exercised")
+	}
+	// A solver that retained a stuck artificial must not warm-start.
+	if s.warmOK {
+		t.Fatal("warmOK after artificial stuck in basis")
+	}
+}
+
+// Larger redundant family: k duplicated equalities plus an implied sum
+// row. Every solve must stay Optimal with the duplicated constraints
+// satisfied exactly; under the old code the stuck-artificial rows could
+// silently drift.
+func TestRedundantDegenerateFamily(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		p := NewProblem(3)
+		for i := 0; i < 3; i++ {
+			p.SetNonNegative(i)
+		}
+		p.SetObjective([]float64{1, 2, 3}, true)
+		for c := 0; c < k; c++ {
+			p.AddEQ([]float64{1, 1, 1}, 2)
+		}
+		p.AddEQ([]float64{2, 2, 2}, 4) // scaled copy, also redundant
+		got := p.Solve()
+		if got.Status != Optimal {
+			t.Fatalf("k=%d: %+v", k, got)
+		}
+		sum := got.X[0] + got.X[1] + got.X[2]
+		if math.Abs(sum-2) > 1e-9 {
+			t.Fatalf("k=%d: Σx=%v, want 2", k, sum)
+		}
+		if math.Abs(got.Value-6) > 1e-9 { // all weight on x2
+			t.Fatalf("k=%d: value %v, want 6", k, got.Value)
+		}
+	}
+}
+
+// Regression for the absolute ratio-test tie tolerance: at ~1e6 scale,
+// mathematically tied ratios computed through different roundings differ
+// by ~1e-10, which an absolute 1e-12 slack treats as a strict ordering.
+// The relative tolerance must recognize the tie and break it toward the
+// smallest basic index.
+func TestRatioTieRelativeAtLargeScale(t *testing.T) {
+	// Both rows bound x by exactly 1e6 in real arithmetic, but the
+	// computed ratios 3e5/0.3 and 1e5/0.1 differ in the last bits.
+	r0 := 3e5 / 0.3
+	r1 := 1e5 / 0.1
+	if r0 == r1 {
+		t.Skip("ratios rounded identically on this platform; tie not observable")
+	}
+	// Order the constraints so the row with the LARGER computed ratio
+	// comes first: an absolute tolerance would skip it, the relative
+	// tie-break must select it (smaller basic index).
+	rows := [][2]float64{{0.3, 3e5}, {0.1, 1e5}}
+	if r0 < r1 {
+		rows[0], rows[1] = rows[1], rows[0]
+	}
+	p := NewProblem(1)
+	p.SetNonNegative(0)
+	p.SetObjective([]float64{1}, true)
+	p.AddLE([]float64{rows[0][0]}, rows[0][1])
+	p.AddLE([]float64{rows[1][0]}, rows[1][1])
+	s := &Solver{}
+	got := s.Solve(p)
+	if got.Status != Optimal {
+		t.Fatalf("status %v", got.Status)
+	}
+	if math.Abs(got.X[0]-1e6) > 1e-3 {
+		t.Fatalf("x=%v, want ~1e6", got.X[0])
+	}
+	if s.t.basis[0] != 0 {
+		t.Fatalf("tie at 1e6 scale not broken toward smallest basic index: basis=%v", s.t.basis)
+	}
+}
+
+// A degenerate, badly-scaled system must terminate well under the Bland
+// switchover and agree with its unit-scale twin up to exact scaling.
+func TestDegenerateBadlyScaled(t *testing.T) {
+	build := func(scale float64) *Problem {
+		p := NewProblem(3)
+		for i := 0; i < 3; i++ {
+			p.SetNonNegative(i)
+		}
+		p.SetObjective([]float64{0.75, -150 * scale, 0.02}, true)
+		// Degenerate at the origin (all rhs zero) plus a scaled box.
+		p.AddLE([]float64{0.25, -60 * scale, -0.04}, 0)
+		p.AddLE([]float64{0.5, -90 * scale, -0.02}, 0)
+		p.AddLE([]float64{1, 0, 1}, scale)
+		return p
+	}
+	for _, scale := range []float64{1, 1e6} {
+		s := &Solver{}
+		got := s.Solve(build(scale))
+		if got.Status != Optimal {
+			t.Fatalf("scale %v: %v", scale, got.Status)
+		}
+		if s.t.pivots >= blandAfter {
+			t.Fatalf("scale %v: %d pivots reached the Bland switchover", scale, s.t.pivots)
+		}
+		if scale == 1e6 {
+			unit := build(1).Solve()
+			if math.Abs(got.Value-unit.Value*1e6) > 1e-6*math.Abs(got.Value)+1e-9 {
+				t.Fatalf("scaled value %v vs unit %v", got.Value, unit.Value)
+			}
+		}
+	}
+}
+
+// SetConstraintRHS with an out-of-range index must mark the problem
+// malformed, not panic, and Solve must report BadProblem.
+func TestSetConstraintRHSValidation(t *testing.T) {
+	p := NewProblem(1)
+	p.AddLE([]float64{1}, 1)
+	p.SetConstraintRHS(1, 2)
+	if p.Err() == nil {
+		t.Fatal("out-of-range SetConstraintRHS not recorded")
+	}
+	if got := p.Solve(); got.Status != BadProblem {
+		t.Fatalf("status %v, want BadProblem", got.Status)
+	}
+	q := NewProblem(1)
+	q.AddLE([]float64{1}, 1)
+	q.SetConstraintRHS(-1, 2)
+	if q.Err() == nil {
+		t.Fatal("negative-index SetConstraintRHS not recorded")
+	}
+}
+
+// ReuseX aliases Solution.X into solver-owned storage; the next solve
+// overwrites it.
+func TestSolverReuseXAliases(t *testing.T) {
+	p := NewProblem(1)
+	p.SetNonNegative(0)
+	p.SetObjective([]float64{1}, true)
+	p.AddLE([]float64{1}, 2)
+	s := &Solver{ReuseX: true}
+	a := s.Solve(p)
+	if a.Status != Optimal || a.X[0] != 2 {
+		t.Fatalf("first solve: %+v", a)
+	}
+	p.SetConstraintRHS(0, 5)
+	b := s.Solve(p)
+	if b.Status != Optimal || b.X[0] != 5 {
+		t.Fatalf("second solve: %+v", b)
+	}
+	if &a.X[0] != &b.X[0] {
+		t.Fatal("ReuseX did not alias X across solves")
+	}
+}
+
+// SkipFarkas leaves Solution.Farkas nil on infeasible solves.
+func TestSolverSkipFarkas(t *testing.T) {
+	p := NewProblem(1)
+	p.SetNonNegative(0)
+	p.AddEQ([]float64{1}, -1)
+	s := &Solver{SkipFarkas: true}
+	if got := s.Solve(p); got.Status != Infeasible || got.Farkas != nil {
+		t.Fatalf("want Infeasible with nil Farkas, got %+v", got)
+	}
+	var plain Solver
+	if got := plain.Solve(p); got.Status != Infeasible || got.Farkas == nil {
+		t.Fatalf("default path must keep the certificate, got %+v", got)
+	}
+}
+
+// Reset must drop the warm binding so a structurally rebuilt Problem at
+// the same address cannot be warm-started against stale storage.
+func TestSolverReset(t *testing.T) {
+	p := NewProblem(1)
+	p.SetNonNegative(0)
+	p.SetObjective([]float64{1}, true)
+	p.AddLE([]float64{1}, 1)
+	s := &Solver{}
+	if got := s.Solve(p); got.Status != Optimal {
+		t.Fatalf("%+v", got)
+	}
+	s.Reset()
+	if s.warmOK || s.p != nil {
+		t.Fatal("Reset left warm state behind")
+	}
+	if got := s.Solve(p); got.Status != Optimal || got.X[0] != 1 {
+		t.Fatalf("post-reset solve: %+v", got)
+	}
+}

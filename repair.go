@@ -32,6 +32,38 @@ import (
 // Structural errors (wrong dimension, cancelled context) abort
 // immediately: repair is for numerical failures, not caller mistakes.
 
+// buildEnv is the pair of instances one build attempt runs against:
+// full is what certification measures on and what the full-instance
+// algorithms (OptMC, MC1D, ANN, stream sketch) consume; work is the
+// (possibly prefiltered) instance DSMC and SCMC run on, with remap
+// translating its indices back into full's point order (nil when
+// work == full).
+type buildEnv struct {
+	full  *core.Instance
+	work  *core.Instance
+	remap []int
+}
+
+// env returns the Coreseter's standing build environment.
+func (c *Coreseter) env() buildEnv {
+	return buildEnv{full: c.inst, work: c.work, remap: c.remap}
+}
+
+// remapped translates work-instance indices into full-instance indices.
+// The identity when the prefilter is off; otherwise work index i is the
+// i-th extreme point, and remap (the full instance's X) holds its
+// original position.
+func (e buildEnv) remapped(idx []int) []int {
+	if e.remap == nil || idx == nil {
+		return idx
+	}
+	out := make([]int, len(idx))
+	for i, v := range idx {
+		out[i] = e.remap[v]
+	}
+	return out
+}
+
 // maxRetries resolves Options.MaxRetries: 0 means the default of one
 // re-seeded retry per chain entry, negative disables retries.
 func (c *Coreseter) maxRetries() int {
@@ -111,7 +143,7 @@ func (c *Coreseter) buildCertified(ctx context.Context, eps float64, algo Algori
 	if cacheState != "" {
 		tr.Root.SetAttr("cache", cacheState)
 	}
-	rep := &BuildReport{Requested: algo, Eps: eps, Trace: tr}
+	rep := &BuildReport{Requested: algo, Eps: eps, Prefiltered: c.prefiltered(), Trace: tr}
 	certEps := eps
 	if algo == Auto && c.Dim() == 1 {
 		certEps = math.Max(eps, 0) // loss of the 1D 0-coreset is exactly 0
@@ -130,14 +162,14 @@ func (c *Coreseter) buildCertified(ctx context.Context, eps float64, algo Algori
 				return nil, err
 			}
 			sp := tr.Root.StartChild(fmt.Sprintf("attempt(%s)#%d", a, attempt+1))
-			inst := c.inst
+			env := c.env()
 			if attempt > 0 {
 				rep.Retries++
 				mBuildRetries.Inc()
 				rep.Fallbacks = append(rep.Fallbacks, fmt.Sprintf("retry(%s)#%d", a, attempt))
 				jsp := sp.StartChild("reperturb")
 				var jerr error
-				inst, jerr = c.jitteredInstance(attempt)
+				env, jerr = c.jitteredEnv(attempt)
 				if jerr != nil {
 					jsp.SetAttr("error", jerr.Error())
 					jsp.End()
@@ -150,7 +182,7 @@ func (c *Coreseter) buildCertified(ctx context.Context, eps float64, algo Algori
 			rep.Attempts++
 			mBuildAttempts.Inc()
 			bsp := sp.StartChild("build-indices")
-			idx, err := c.buildIndices(ctx, inst, eps, a, bsp)
+			idx, err := c.buildIndices(ctx, env, eps, a, bsp)
 			if err != nil {
 				bsp.SetAttr("error", err.Error())
 				bsp.End()
@@ -209,11 +241,14 @@ func (c *Coreseter) buildCertified(ctx context.Context, eps float64, algo Algori
 	return nil, &UncertifiedError{Coreset: best, Report: rep, Err: errors.Join(attemptErrs...)}
 }
 
-// jitteredInstance rebuilds the instance under a re-seeded perturbation
-// whose scale doubles with each retry. Perturbation preserves point
-// order, so indices computed on the jittered instance are valid on the
-// original one — where certification always measures.
-func (c *Coreseter) jitteredInstance(attempt int) (*core.Instance, error) {
+// jitteredEnv rebuilds the instance under a re-seeded perturbation whose
+// scale doubles with each retry, then re-derives the prefiltered work
+// instance from the jittered hull (the perturbation moves points, so the
+// extreme set and its order may differ from the original's).
+// Perturbation preserves point order, so indices computed on the
+// jittered environment — after the work→full remap — are valid on the
+// original instance, where certification always measures.
+func (c *Coreseter) jitteredEnv(attempt int) (buildEnv, error) {
 	scale := c.opts.PerturbScale
 	if scale <= 0 {
 		scale = 1e-9
@@ -222,28 +257,35 @@ func (c *Coreseter) jitteredInstance(attempt int) (*core.Instance, error) {
 	pts := geom.Perturb(c.inst.Pts, scale, c.opts.Seed+9973*int64(attempt))
 	inst, err := core.NewInstance(pts)
 	if err != nil {
-		return nil, fmt.Errorf("mincore: repair perturbation: %w", err)
+		return buildEnv{}, fmt.Errorf("mincore: repair perturbation: %w", err)
 	}
 	inst.Workers = c.opts.Workers
-	return inst, nil
+	inst.DisableLPWarmStart = c.opts.DisableLPWarmStart
+	work, remap := deriveWorkInstance(inst, c.opts)
+	return buildEnv{full: inst, work: work, remap: remap}, nil
 }
 
-// buildIndices runs one algorithm against one instance and returns raw
-// coreset indices. It never recurses into the certified path, so repair
-// attempts cannot trigger nested repair chains. Phase spans are recorded
-// under sp (nil-safe: a nil span just skips tracing).
-func (c *Coreseter) buildIndices(ctx context.Context, inst *core.Instance, eps float64, algo Algorithm, sp *obs.Span) ([]int, error) {
+// buildIndices runs one algorithm against one build environment and
+// returns raw coreset indices in full-instance order. DSMC and SCMC run
+// on env.work — the ξ-point prefiltered instance when the prefilter is
+// active — and their results are remapped; the other algorithms consume
+// env.full directly (OptMC can select interior candidate points, and
+// ANN/stream-sketch conceptually cover the whole set). It never recurses
+// into the certified path, so repair attempts cannot trigger nested
+// repair chains. Phase spans are recorded under sp (nil-safe: a nil span
+// just skips tracing).
+func (c *Coreseter) buildIndices(ctx context.Context, env buildEnv, eps float64, algo Algorithm, sp *obs.Span) ([]int, error) {
 	switch algo {
 	case Auto:
-		return c.autoIndices(ctx, inst, eps, sp)
+		return c.autoIndices(ctx, env, eps, sp)
 	case OptMC:
 		osp := sp.StartChild("optmc")
-		idx, err := inst.OptMC(eps)
+		idx, err := env.full.OptMC(eps)
 		osp.End()
 		return idx, err
 	case DSMC:
 		dsp := sp.StartChild("dg-build")
-		dg, err := c.dgFor(ctx, inst)
+		dg, err := c.dgFor(ctx, env.work)
 		if err != nil {
 			dsp.SetAttr("error", err.Error())
 			dsp.End()
@@ -254,23 +296,23 @@ func (c *Coreseter) buildIndices(ctx context.Context, inst *core.Instance, eps f
 		dsp.SetAttr("edges", fmt.Sprintf("%d", dg.NumEdges))
 		dsp.End()
 		gsp := sp.StartChild("dsmc-greedy")
-		idx, err := inst.DSMCRefinedCtx(ctx, dg, eps, 8)
+		idx, err := env.work.DSMCRefinedCtx(ctx, dg, eps, 8)
 		gsp.End()
-		return idx, err
+		return env.remapped(idx), err
 	case SCMC:
 		ssp := sp.StartChild("scmc")
-		idx, m, err := inst.SCMCCtx(ctx, eps, core.SCMCOptions{Seed: c.opts.Seed})
+		idx, m, err := env.work.SCMCCtx(ctx, eps, core.SCMCOptions{Seed: c.opts.Seed})
 		ssp.SetAttr("samples", fmt.Sprintf("%d", m))
 		ssp.End()
-		return idx, err
+		return env.remapped(idx), err
 	case ANN:
 		asp := sp.StartChild("ann-kernel")
-		idx, err := kernel.ANN(inst.Pts, eps, kernel.Options{Seed: c.opts.Seed, Alpha: inst.Alpha})
+		idx, err := kernel.ANN(env.full.Pts, eps, kernel.Options{Seed: c.opts.Seed, Alpha: env.full.Alpha})
 		asp.End()
 		return idx, err
 	case StreamSketch:
 		ssp := sp.StartChild("stream-sketch")
-		idx, err := c.streamSketch(inst, eps)
+		idx, err := c.streamSketch(env.full, eps)
 		ssp.End()
 		return idx, err
 	default:
@@ -281,19 +323,19 @@ func (c *Coreseter) buildIndices(ctx context.Context, inst *core.Instance, eps f
 // autoIndices is the Auto policy over raw index builds: OptMC in 2D,
 // otherwise the smaller of DSMC and SCMC, raced on separate goroutines
 // when the worker budget allows.
-func (c *Coreseter) autoIndices(ctx context.Context, inst *core.Instance, eps float64, sp *obs.Span) ([]int, error) {
-	if inst.D == 1 {
+func (c *Coreseter) autoIndices(ctx context.Context, env buildEnv, eps float64, sp *obs.Span) ([]int, error) {
+	if env.full.D == 1 {
 		// Trivial case (Section 3): the two coordinate extremes are an
 		// optimal 0-coreset.
 		msp := sp.StartChild("mc1d")
-		idx, err := inst.MC1D()
+		idx, err := env.full.MC1D()
 		msp.End()
 		return idx, err
 	}
 	var errOpt error
-	if inst.D == 2 {
+	if env.full.D == 2 {
 		osp := sp.StartChild("optmc")
-		idx, err := inst.OptMC(eps)
+		idx, err := env.full.OptMC(eps)
 		if err == nil {
 			osp.End()
 			return idx, nil
@@ -306,8 +348,8 @@ func (c *Coreseter) autoIndices(ctx context.Context, inst *core.Instance, eps fl
 	// mutex-guarded so both children land under sp in start order.
 	var qd, qs []int
 	var errD, errS error
-	runD := func() { qd, errD = c.buildIndices(ctx, inst, eps, DSMC, sp) }
-	runS := func() { qs, errS = c.buildIndices(ctx, inst, eps, SCMC, sp) }
+	runD := func() { qd, errD = c.buildIndices(ctx, env, eps, DSMC, sp) }
+	runS := func() { qs, errS = c.buildIndices(ctx, env, eps, SCMC, sp) }
 	if parallel.Workers(c.opts.Workers) > 1 {
 		parallel.Do(runD, runS)
 	} else {
@@ -330,9 +372,9 @@ func (c *Coreseter) autoIndices(ctx context.Context, inst *core.Instance, eps fl
 }
 
 // dgFor returns the dominance graph for inst: the memoized one for the
-// original instance, a fresh build for a jittered repair instance.
+// standing work instance, a fresh build for a jittered repair instance.
 func (c *Coreseter) dgFor(ctx context.Context, inst *core.Instance) (*core.DominanceGraph, error) {
-	if inst == c.inst {
+	if inst == c.work {
 		return c.dominanceGraphCtx(ctx)
 	}
 	ipdg := inst.BuildIPDG(c.opts.IPDGSamples, c.opts.Seed+13)
